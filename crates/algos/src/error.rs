@@ -1,0 +1,43 @@
+//! Algorithm error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by graph algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter was out of range.
+    InvalidArg(String),
+    /// Two label vectors being compared had different lengths.
+    LengthMismatch {
+        /// Length of the first labeling.
+        left: usize,
+        /// Length of the second labeling.
+        right: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "labelings have different lengths: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::LengthMismatch { left: 3, right: 5 }.to_string().contains("3 vs 5"));
+    }
+}

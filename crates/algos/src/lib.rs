@@ -1,0 +1,38 @@
+//! Graph algorithms for communication-graph analysis.
+//!
+//! This crate implements the algorithmic core of the paper's §2:
+//!
+//! * [`wgraph`] — a minimal weighted undirected graph the algorithms share,
+//!   with adapters from [`commgraph_graph::CommGraph`].
+//! * [`jaccard`] — neighbor-set overlap scoring (the paper's Figure 1
+//!   similarity), both exact and MinHash-sketched.
+//! * [`louvain`] — modularity-maximizing community detection (Blondel et
+//!   al.), the clustering stage of the paper's segmentation and the
+//!   "conn-weighted / byte-weighted modularity" baselines of Figure 3.
+//! * [`simrank`] — SimRank and SimRank++ structural similarity, the other
+//!   two Figure 3 baselines.
+//! * [`roles`] — role inference: similarity scoring + clustering of the
+//!   scored clique, producing the µsegment labels of Figure 1.
+//! * [`metrics`] — partition quality: Adjusted Rand Index, Normalized Mutual
+//!   Information, purity, modularity — how experiments score segmentations
+//!   against simulator ground truth.
+//! * [`stats`] — traffic-distribution statistics: the byte CCDF of Figure 6,
+//!   degree distributions, concentration indices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod features;
+pub mod jaccard;
+pub mod kmeans;
+pub mod louvain;
+pub mod metrics;
+pub mod roles;
+pub mod simrank;
+pub mod stats;
+pub mod wgraph;
+
+pub use error::{Error, Result};
+pub use roles::{infer_roles, RoleInference, SegmentationMethod};
+pub use wgraph::WeightedGraph;

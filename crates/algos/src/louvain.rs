@@ -1,0 +1,496 @@
+//! Louvain community detection (Blondel et al. \[33\]).
+//!
+//! Two uses in the paper: (a) as the clustering stage of its own
+//! segmentation — run on the Jaccard-scored *clique*, where communities are
+//! groups of mutually-similar nodes, i.e. roles; and (b) directly on the
+//! communication graph with connection- or byte-weighted edges, as the
+//! Figure 3(c)/(d) baselines — which group nodes that *talk to each other*,
+//! precisely the wrong notion for role inference, as the experiments show.
+//!
+//! The implementation is the standard two-phase hierarchy: greedy local
+//! moves to the neighboring community with the best modularity gain, then
+//! aggregation of communities into super-nodes, repeated until the gain is
+//! negligible. Deterministic: nodes are visited in index order and ties
+//! break toward the smallest community id.
+
+use crate::wgraph::WeightedGraph;
+use std::collections::BTreeMap;
+
+/// Result of a Louvain run.
+#[derive(Debug, Clone)]
+pub struct LouvainResult {
+    /// Community label per node, compacted to `0..n_communities`.
+    pub labels: Vec<usize>,
+    /// Modularity of the final partition.
+    pub modularity: f64,
+    /// Number of aggregation levels performed.
+    pub levels: usize,
+}
+
+/// Modularity of a labeling on `g` at the given resolution (1.0 = classic).
+///
+/// Uses the convention: `Q = Σ_c [ w_in(c)/m − γ (Σ_tot(c) / 2m)² ]` with
+/// `m` the total edge weight (undirected edges once), `Σ_tot` the weighted
+/// degree sum (self-loops twice).
+pub fn modularity(g: &WeightedGraph, labels: &[usize], resolution: f64) -> f64 {
+    assert_eq!(labels.len(), g.node_count(), "one label per node");
+    let m = g.total_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let n_comm = labels.iter().copied().max().map_or(0, |x| x + 1);
+    let mut w_in = vec![0.0; n_comm];
+    let mut sigma = vec![0.0; n_comm];
+    for u in 0..g.node_count() as u32 {
+        sigma[labels[u as usize]] += g.weighted_degree(u);
+        for &(v, w) in g.neighbors(u) {
+            if labels[u as usize] == labels[v as usize] {
+                if v == u {
+                    w_in[labels[u as usize]] += w; // self-loop stored once
+                } else if v > u {
+                    w_in[labels[u as usize]] += w; // count undirected edge once
+                }
+            }
+        }
+    }
+    let two_m = 2.0 * m;
+    (0..n_comm).map(|c| w_in[c] / m - resolution * (sigma[c] / two_m) * (sigma[c] / two_m)).sum()
+}
+
+/// Run Louvain at resolution 1.0.
+///
+/// ```
+/// use algos::louvain::louvain;
+/// use algos::WeightedGraph;
+///
+/// // Two triangles joined by one weak edge.
+/// let g = WeightedGraph::from_edges(6, &[
+///     (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+///     (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+///     (2, 3, 0.1),
+/// ]);
+/// let r = louvain(&g);
+/// assert_eq!(r.labels[0], r.labels[1]);
+/// assert_ne!(r.labels[0], r.labels[4]);
+/// ```
+pub fn louvain(g: &WeightedGraph) -> LouvainResult {
+    louvain_with_resolution(g, 1.0)
+}
+
+/// Run Louvain at a custom resolution (γ > 1 yields more, smaller
+/// communities; γ < 1 fewer, larger ones).
+pub fn louvain_with_resolution(g: &WeightedGraph, resolution: f64) -> LouvainResult {
+    assert!(resolution > 0.0, "resolution must be positive");
+    let n = g.node_count();
+    if n == 0 {
+        return LouvainResult { labels: Vec::new(), modularity: 0.0, levels: 0 };
+    }
+    // labels[i] maps original node -> current community id.
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut level_graph = g.clone();
+    let mut levels = 0usize;
+    const MIN_GAIN: f64 = 1e-9;
+
+    loop {
+        let (local, improved) = one_level(&level_graph, resolution);
+        levels += 1;
+        // Thread this level's assignment through to original nodes.
+        for l in labels.iter_mut() {
+            *l = local[*l];
+        }
+        if !improved {
+            break;
+        }
+        let before = modularity(
+            &level_graph,
+            &(0..level_graph.node_count()).collect::<Vec<_>>(),
+            resolution,
+        );
+        let after = modularity(&level_graph, &local, resolution);
+        level_graph = aggregate(&level_graph, &local);
+        if after - before < MIN_GAIN {
+            break;
+        }
+    }
+    let labels = compact(labels);
+    let q = modularity(g, &labels, resolution);
+    LouvainResult { labels, modularity: q, levels }
+}
+
+/// Configuration for top-down hierarchical refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalConfig {
+    /// Do not attempt to split communities smaller than this.
+    pub min_split_size: usize,
+    /// A community is split only if the Louvain run on its induced subgraph
+    /// achieves at least this modularity (separates structure from noise).
+    pub min_split_modularity: f64,
+    /// Maximum recursion depth.
+    pub max_depth: usize,
+    /// Resolution passed to every Louvain invocation.
+    pub resolution: f64,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            min_split_size: 4,
+            min_split_modularity: 0.05,
+            max_depth: 4,
+            resolution: 1.0,
+        }
+    }
+}
+
+/// Hierarchical Louvain (the clustering of the paper's Figure 1 caption):
+/// run Louvain, then recursively re-run it on each community's induced
+/// subgraph, accepting a split when the sub-partition has real modularity.
+///
+/// Plain Louvain on a similarity clique merges *kinds* of roles — every
+/// web tier of every tenant shares the same control-plane hubs, so weak
+/// cross-tenant similarity edges glue them together. The recursion
+/// separates them: within the merged community, intra-tenant similarity is
+/// far stronger than cross-tenant similarity.
+pub fn hierarchical_louvain(g: &WeightedGraph, cfg: HierarchicalConfig) -> LouvainResult {
+    let base = louvain_with_resolution(g, cfg.resolution);
+    let mut labels = base.labels;
+    let mut levels = base.levels;
+    let mut next_label = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut depth = 0;
+    loop {
+        if depth >= cfg.max_depth {
+            break;
+        }
+        let n_comm = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut any_split = false;
+        for c in 0..n_comm {
+            let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
+            if members.len() < cfg.min_split_size {
+                continue;
+            }
+            let sub = induced_subgraph(g, &members);
+            let sub_result = louvain_with_resolution(&sub, cfg.resolution);
+            let n_sub = sub_result.labels.iter().copied().max().map_or(0, |m| m + 1);
+            if n_sub <= 1 || sub_result.modularity < cfg.min_split_modularity {
+                continue;
+            }
+            // Relabel: sub-community 0 keeps label c, the rest get fresh ids.
+            for (local, &orig) in members.iter().enumerate() {
+                let s = sub_result.labels[local];
+                if s > 0 {
+                    labels[orig] = next_label + s - 1;
+                }
+            }
+            next_label += n_sub - 1;
+            any_split = true;
+        }
+        levels += 1;
+        depth += 1;
+        if !any_split {
+            break;
+        }
+    }
+    let labels = compact(labels);
+    let q = modularity(g, &labels, cfg.resolution);
+    LouvainResult { labels, modularity: q, levels }
+}
+
+/// Subgraph induced by `members` (given in ascending original order), with
+/// nodes renumbered `0..members.len()`.
+fn induced_subgraph(g: &WeightedGraph, members: &[usize]) -> WeightedGraph {
+    let mut index = std::collections::HashMap::with_capacity(members.len());
+    for (local, &orig) in members.iter().enumerate() {
+        index.insert(orig as u32, local as u32);
+    }
+    let mut sub = WeightedGraph::new(members.len());
+    for (local, &orig) in members.iter().enumerate() {
+        for &(v, w) in g.neighbors(orig as u32) {
+            if let Some(&lv) = index.get(&v) {
+                // Add each undirected edge once (self-loops included).
+                if lv as usize >= local {
+                    sub.add_edge(local as u32, lv, w);
+                }
+            }
+        }
+    }
+    sub
+}
+
+/// One pass of greedy local moving. Returns (community per node, any move?).
+fn one_level(g: &WeightedGraph, resolution: f64) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let m = g.total_weight();
+    let mut comm: Vec<usize> = (0..n).collect();
+    if m == 0.0 {
+        return (comm, false);
+    }
+    let k: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
+    let mut sigma_tot: Vec<f64> = k.clone();
+    let two_m = 2.0 * m;
+    let mut improved_ever = false;
+
+    loop {
+        let mut moved = false;
+        for u in 0..n {
+            let cu = comm[u];
+            // Weights from u to each neighboring community (self-loops and
+            // internal orientation excluded — they don't change with a move).
+            let mut to_comm: BTreeMap<usize, f64> = BTreeMap::new();
+            for &(v, w) in g.neighbors(u as u32) {
+                if v as usize != u {
+                    *to_comm.entry(comm[v as usize]).or_insert(0.0) += w;
+                }
+            }
+            // Remove u from its community.
+            sigma_tot[cu] -= k[u];
+            let w_u_cu = to_comm.get(&cu).copied().unwrap_or(0.0);
+            let base_gain = w_u_cu - resolution * k[u] * sigma_tot[cu] / two_m;
+            // Best candidate (BTreeMap order makes ties deterministic:
+            // smallest community id wins).
+            let (mut best_c, mut best_gain) = (cu, base_gain);
+            for (&c, &w_uc) in &to_comm {
+                if c == cu {
+                    continue;
+                }
+                let gain = w_uc - resolution * k[u] * sigma_tot[c] / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c] += k[u];
+            if best_c != cu {
+                comm[u] = best_c;
+                moved = true;
+                improved_ever = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (compact(comm), improved_ever)
+}
+
+/// Build the aggregated graph: one node per community, intra-community
+/// weight becomes a self-loop.
+fn aggregate(g: &WeightedGraph, comm: &[usize]) -> WeightedGraph {
+    let n_comm = comm.iter().copied().max().map_or(0, |x| x + 1);
+    let mut edge_acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    for u in 0..g.node_count() as u32 {
+        for &(v, w) in g.neighbors(u) {
+            if v < u {
+                continue; // visit each undirected edge once; self-loop v==u kept
+            }
+            let (a, b) = (comm[u as usize] as u32, comm[v as usize] as u32);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *edge_acc.entry(key).or_insert(0.0) += w;
+        }
+    }
+    let mut out = WeightedGraph::new(n_comm);
+    for ((a, b), w) in edge_acc {
+        out.add_edge(a, b, w);
+    }
+    out
+}
+
+/// Renumber labels to a dense `0..k` range, preserving first-appearance order.
+fn compact(labels: Vec<usize>) -> Vec<usize> {
+    let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    labels
+        .into_iter()
+        .map(|l| {
+            *map.entry(l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by one weak edge.
+    fn two_cliques() -> WeightedGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        }
+        edges.push((0, 4, 0.1));
+        WeightedGraph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn finds_the_two_cliques() {
+        let r = louvain(&two_cliques());
+        let labels = &r.labels;
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[4], labels[7]);
+        assert_ne!(labels[0], labels[4], "cliques must separate");
+        assert!(r.modularity > 0.4, "Q = {}", r.modularity);
+    }
+
+    #[test]
+    fn modularity_of_known_partition() {
+        // Two equal disconnected cliques, correct split: Q = 0.5.
+        let mut edges = Vec::new();
+        for base in [0u32, 3] {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edges(6, &edges);
+        let q = modularity(&g, &[0, 0, 0, 1, 1, 1], 1.0);
+        assert!((q - 0.5).abs() < 1e-12, "Q = {q}");
+        let q_single = modularity(&g, &[0; 6], 1.0);
+        assert!(q_single.abs() < 1e-12, "single community has Q = 0, got {q_single}");
+    }
+
+    #[test]
+    fn louvain_beats_trivial_partitions() {
+        let g = two_cliques();
+        let r = louvain(&g);
+        let singletons: Vec<usize> = (0..8).collect();
+        assert!(r.modularity >= modularity(&g, &singletons, 1.0));
+        assert!(r.modularity >= modularity(&g, &[0; 8], 1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = louvain(&two_cliques());
+        let b = louvain(&two_cliques());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn resolution_controls_granularity() {
+        // A ring of 4 small cliques: high resolution splits them, very low
+        // resolution merges neighbors.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let base = c * 3;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+            edges.push((base, ((c + 1) % 4) * 3, 0.5));
+        }
+        let g = WeightedGraph::from_edges(12, &edges);
+        let fine = louvain_with_resolution(&g, 2.0);
+        let coarse = louvain_with_resolution(&g, 0.1);
+        let n_fine = fine.labels.iter().max().unwrap() + 1;
+        let n_coarse = coarse.labels.iter().max().unwrap() + 1;
+        assert!(n_fine >= n_coarse, "higher resolution, at least as many communities");
+    }
+
+    #[test]
+    fn handles_disconnected_and_empty() {
+        let g = WeightedGraph::new(5);
+        let r = louvain(&g);
+        assert_eq!(r.labels.len(), 5);
+        assert_eq!(r.modularity, 0.0);
+
+        let empty = louvain(&WeightedGraph::new(0));
+        assert!(empty.labels.is_empty());
+    }
+
+    #[test]
+    fn self_loops_do_not_break_clustering() {
+        // A modest self-loop raises the node's degree but must not pull it
+        // out of its clique. (A huge self-loop legitimately isolates the
+        // node — its degree term dominates any join gain.)
+        let mut g = two_cliques();
+        g.add_edge(0, 0, 1.0);
+        let r = louvain(&g);
+        assert_eq!(r.labels[0], r.labels[1], "self-loop keeps node in its clique");
+        assert_ne!(r.labels[0], r.labels[4], "cliques still separate");
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let r = louvain(&two_cliques());
+        let max = *r.labels.iter().max().unwrap();
+        let distinct: std::collections::HashSet<_> = r.labels.iter().collect();
+        assert_eq!(distinct.len(), max + 1, "labels form a dense 0..k range");
+    }
+
+    #[test]
+    fn hierarchical_splits_nested_structure() {
+        // Four 5-cliques; cliques {0,1} and {2,3} are strongly bridged into
+        // two super-communities, with one weak edge across. Plain Louvain
+        // settles for the two super-communities; the hierarchy recovers all
+        // four cliques.
+        let mut edges = Vec::new();
+        let clique = |edges: &mut Vec<(u32, u32, f64)>, base: u32| {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        };
+        for c in 0..4 {
+            clique(&mut edges, c * 5);
+        }
+        // Strong bridges within each pair (many, so plain Louvain merges).
+        for k in 0..5 {
+            edges.push((k, 5 + k, 0.55));
+            edges.push((10 + k, 15 + k, 0.55));
+        }
+        edges.push((0, 10, 0.05));
+        let g = WeightedGraph::from_edges(20, &edges);
+
+        let flat = louvain(&g);
+        let n_flat = flat.labels.iter().max().unwrap() + 1;
+        let hier = hierarchical_louvain(&g, HierarchicalConfig::default());
+        let n_hier = hier.labels.iter().max().unwrap() + 1;
+        assert!(n_hier >= n_flat, "hierarchy never coarsens");
+        assert!(n_hier >= 4, "all four cliques found, got {n_hier}");
+        // Each original clique stays whole.
+        for c in 0..4usize {
+            let base = c * 5;
+            for k in 1..5 {
+                assert_eq!(hier.labels[base], hier.labels[base + k], "clique {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_on_flat_structure() {
+        let g = two_cliques();
+        let flat = louvain(&g);
+        let hier = hierarchical_louvain(&g, HierarchicalConfig::default());
+        assert_eq!(flat.labels, hier.labels, "nothing to refine on two plain cliques");
+    }
+
+    #[test]
+    fn hierarchical_respects_min_split_size() {
+        let g = two_cliques();
+        let cfg = HierarchicalConfig { min_split_size: 100, ..Default::default() };
+        let r = hierarchical_louvain(&g, cfg);
+        assert_eq!(r.labels.iter().max().unwrap() + 1, 2, "no community big enough to split");
+    }
+
+    #[test]
+    fn weighted_star_groups_spokes_with_hub() {
+        // A hub with heavy spokes: everything is one community.
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 5.0), (0, 2, 5.0), (0, 3, 5.0), (0, 4, 5.0)]);
+        let r = louvain(&g);
+        // Modularity of a star is maximized by few communities; Louvain
+        // should not leave everything singleton.
+        let n_comm = r.labels.iter().max().unwrap() + 1;
+        assert!(n_comm < 5, "star must merge, got {n_comm} communities");
+    }
+}

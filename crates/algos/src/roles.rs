@@ -1,0 +1,322 @@
+//! Role inference — the auto-segmentation algorithms of §2.1.
+//!
+//! The paper's own method (Figure 1): score each node pair by the Jaccard
+//! overlap of their neighbor sets, then run (hierarchical) Louvain on the
+//! *scored clique* — the complete graph whose edge weights are similarity
+//! scores. Nodes clustered together play the same role and can share a
+//! µsegment.
+//!
+//! The Figure 3 alternatives are provided for comparison: SimRank and
+//! SimRank++ similarity cliques, and connection-/byte-weighted modularity
+//! directly on the communication graph. The latter group nodes that *talk*
+//! to each other — which is exactly wrong for roles, since two front-end
+//! replicas may never exchange a byte.
+
+use crate::jaccard::{jaccard_matrix_of_sets, MinHasher};
+use crate::louvain::{hierarchical_louvain, louvain, HierarchicalConfig, LouvainResult};
+use crate::simrank::{simrank, simrank_pp, SimRankConfig};
+use crate::wgraph::WeightedGraph;
+use commgraph_graph::CommGraph;
+use serde::Serialize;
+
+/// Which segmentation algorithm to run.
+#[derive(Debug, Clone)]
+pub enum SegmentationMethod {
+    /// The paper's method: exact Jaccard on neighbor sets + Louvain on the
+    /// scored clique. `min_score` drops weak similarity edges (sparsifies
+    /// the clique; 0.1 is a reasonable default).
+    JaccardLouvain {
+        /// Similarity floor below which clique edges are dropped.
+        min_score: f64,
+    },
+    /// MinHash-sketched Jaccard + Louvain — the sub-quadratic-constant
+    /// variant addressing the paper's complexity concern.
+    MinHashLouvain {
+        /// Number of hash permutations (more = tighter estimates).
+        hashes: usize,
+        /// Similarity floor below which clique edges are dropped.
+        min_score: f64,
+        /// Sketch seed.
+        seed: u64,
+    },
+    /// SimRank similarity + Louvain on the scored clique (Figure 3a).
+    SimRank {
+        /// Iteration parameters.
+        config: SimRankConfig,
+        /// Similarity floor below which clique edges are dropped.
+        min_score: f64,
+    },
+    /// SimRank++ similarity + Louvain on the scored clique (Figure 3b).
+    SimRankPP {
+        /// Iteration parameters.
+        config: SimRankConfig,
+        /// Similarity floor below which clique edges are dropped.
+        min_score: f64,
+    },
+    /// Louvain directly on the graph, edges weighted by connection count
+    /// (Figure 3c).
+    ModularityConns,
+    /// Louvain directly on the graph, edges weighted by bytes (Figure 3d).
+    ModularityBytes,
+    /// RolX-style feature clustering (the paper's \[51\] framing): structural
+    /// node features + k-means, with automatic k selection when `k` is
+    /// `None`.
+    FeatureKMeans {
+        /// Fixed cluster count, or `None` for Calinski–Harabasz selection
+        /// up to `k_max`.
+        k: Option<usize>,
+        /// Upper bound for automatic selection.
+        k_max: usize,
+        /// Seeding for the k-means++ initialization.
+        seed: u64,
+    },
+}
+
+impl SegmentationMethod {
+    /// Short identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SegmentationMethod::JaccardLouvain { .. } => "jaccard+louvain",
+            SegmentationMethod::MinHashLouvain { .. } => "minhash+louvain",
+            SegmentationMethod::SimRank { .. } => "simrank",
+            SegmentationMethod::SimRankPP { .. } => "simrank++",
+            SegmentationMethod::ModularityConns => "modularity-conns",
+            SegmentationMethod::ModularityBytes => "modularity-bytes",
+            SegmentationMethod::FeatureKMeans { .. } => "feature-kmeans",
+        }
+    }
+
+    /// The paper's default configuration of its own method.
+    pub fn paper_default() -> Self {
+        SegmentationMethod::JaccardLouvain { min_score: 0.1 }
+    }
+}
+
+/// The outcome of role inference on one graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoleInference {
+    /// Role label per graph node index (dense `0..n_roles`).
+    pub labels: Vec<usize>,
+    /// Number of inferred roles.
+    pub n_roles: usize,
+    /// Method identifier.
+    pub method: String,
+    /// Modularity achieved by the clustering stage (on whichever graph it
+    /// clustered: the scored clique or the raw communication graph).
+    pub clustering_modularity: f64,
+}
+
+/// Direction-qualified neighbor token sets: each neighbor contributes a
+/// token encoding *who* it is and *how the conversation leans* (mostly
+/// outbound bytes, mostly inbound, or balanced, from this node's view).
+///
+/// This is the "nature of the conversation" signal §2.1 says role inference
+/// should use: it separates e.g. front-ends (which *pull* from a mid-tier)
+/// from databases (which *serve* that same mid-tier) even though their bare
+/// neighbor sets are identical.
+pub fn directional_neighbor_sets(g: &CommGraph) -> Vec<Vec<u32>> {
+    let n = g.node_count();
+    let mut sets = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        let mut tokens: Vec<u32> = g
+            .neighbors(u)
+            .iter()
+            .filter(|(v, _)| *v != u)
+            .map(|(v, stats)| {
+                // stats are oriented outward from u.
+                let total = stats.bytes();
+                let class = if total == 0 {
+                    0
+                } else {
+                    let out_frac = stats.bytes_fwd as f64 / total as f64;
+                    if out_frac > 0.7 {
+                        1 // mostly outbound
+                    } else if out_frac < 0.3 {
+                        2 // mostly inbound
+                    } else {
+                        0 // balanced
+                    }
+                };
+                v * 3 + class
+            })
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        sets.push(tokens);
+    }
+    sets
+}
+
+/// Infer roles for every node of `g` with the chosen method.
+pub fn infer_roles(g: &CommGraph, method: &SegmentationMethod) -> RoleInference {
+    // Unweighted structure view, shared by the SimRank methods.
+    let structure = WeightedGraph::from_comm_graph(g, |_| 1.0);
+    // Similarity cliques are clustered hierarchically (Figure 1's
+    // "hierarchical louvain"): top-level Louvain finds role *kinds*, the
+    // recursion separates same-kind roles that only share hub neighbors.
+    let hier = HierarchicalConfig::default();
+    let result: LouvainResult = match method {
+        SegmentationMethod::JaccardLouvain { min_score } => {
+            let scores = jaccard_matrix_of_sets(&directional_neighbor_sets(g));
+            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+        }
+        SegmentationMethod::MinHashLouvain { hashes, min_score, seed } => {
+            let mh = MinHasher::new(*hashes, *seed);
+            let scores = mh.similarity_matrix_of_sets(&directional_neighbor_sets(g));
+            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+        }
+        SegmentationMethod::SimRank { config, min_score } => {
+            let scores = simrank(&structure, *config);
+            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+        }
+        SegmentationMethod::SimRankPP { config, min_score } => {
+            let weighted = WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64);
+            let scores = simrank_pp(&weighted, *config);
+            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+        }
+        SegmentationMethod::ModularityConns => {
+            louvain(&WeightedGraph::from_comm_graph(g, |e| e.conns as f64))
+        }
+        SegmentationMethod::ModularityBytes => {
+            louvain(&WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64))
+        }
+        SegmentationMethod::FeatureKMeans { k, k_max, seed } => {
+            let feats = crate::features::node_features(g);
+            let km = match k {
+                Some(k) => crate::kmeans::kmeans(&feats, *k, *seed, 200),
+                None => crate::kmeans::kmeans_auto(&feats, *k_max, *seed),
+            };
+            // k-means has no modularity; report the partition's modularity
+            // on the unweighted structure for comparability.
+            let q = crate::louvain::modularity(&structure, &km.labels, 1.0);
+            LouvainResult { labels: km.labels, modularity: q, levels: 1 }
+        }
+    };
+    let n_roles = result.labels.iter().copied().max().map_or(0, |m| m + 1);
+    RoleInference {
+        labels: result.labels,
+        n_roles,
+        method: method.name().to_string(),
+        clustering_modularity: result.modularity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::adjusted_rand_index;
+    use commgraph_graph::{EdgeStats, NodeId};
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    /// A synthetic three-tier deployment: 4 frontends, 3 backends, 2 DBs.
+    /// Frontends all talk to all backends; backends to both DBs. Peers of
+    /// the same tier never talk to each other.
+    fn three_tier() -> (CommGraph, Vec<usize>) {
+        let mut edges = HashMap::new();
+        let node = |tier: u8, i: u8| NodeId::Ip(Ipv4Addr::new(10, 0, tier, i));
+        let stats = |bytes: u64| EdgeStats {
+            bytes_fwd: bytes,
+            bytes_rev: bytes / 4,
+            pkts_fwd: bytes / 1000,
+            pkts_rev: bytes / 4000,
+            conns: 10,
+        };
+        for f in 0..4u8 {
+            for b in 0..3u8 {
+                edges.insert((node(0, f), node(1, b)), stats(100_000));
+            }
+        }
+        for b in 0..3u8 {
+            for d in 0..2u8 {
+                edges.insert((node(1, b), node(2, d)), stats(500_000));
+            }
+        }
+        let g = CommGraph::from_edge_map("ip", 0, 3600, edges);
+        // Ground truth by tier, in node order (nodes sort by IP → tier-major).
+        let truth: Vec<usize> =
+            g.nodes().iter().map(|n| n.ip().unwrap().octets()[2] as usize).collect();
+        (g, truth)
+    }
+
+    #[test]
+    fn jaccard_louvain_recovers_tiers() {
+        let (g, truth) = three_tier();
+        let r = infer_roles(&g, &SegmentationMethod::paper_default());
+        let ari = adjusted_rand_index(&r.labels, &truth).unwrap();
+        assert!(ari > 0.9, "paper's method should nail a clean 3-tier graph, ARI {ari}");
+        assert_eq!(r.n_roles, 3);
+    }
+
+    #[test]
+    fn minhash_variant_close_to_exact() {
+        let (g, truth) = three_tier();
+        let r = infer_roles(
+            &g,
+            &SegmentationMethod::MinHashLouvain { hashes: 256, min_score: 0.1, seed: 1 },
+        );
+        let ari = adjusted_rand_index(&r.labels, &truth).unwrap();
+        assert!(ari > 0.8, "sketched variant should stay close, ARI {ari}");
+    }
+
+    #[test]
+    fn modularity_methods_group_talkers_not_peers() {
+        let (g, truth) = three_tier();
+        let m = infer_roles(&g, &SegmentationMethod::ModularityBytes);
+        let j = infer_roles(&g, &SegmentationMethod::paper_default());
+        let ari_m = adjusted_rand_index(&m.labels, &truth).unwrap();
+        let ari_j = adjusted_rand_index(&j.labels, &truth).unwrap();
+        assert!(
+            ari_j > ari_m,
+            "the paper's point: modularity ({ari_m}) loses to jaccard ({ari_j}) on roles"
+        );
+    }
+
+    #[test]
+    fn simrank_methods_run_and_label_everything() {
+        let (g, _) = three_tier();
+        for method in [
+            SegmentationMethod::SimRank { config: SimRankConfig::default(), min_score: 0.05 },
+            SegmentationMethod::SimRankPP { config: SimRankConfig::default(), min_score: 0.05 },
+        ] {
+            let r = infer_roles(&g, &method);
+            assert_eq!(r.labels.len(), g.node_count());
+            assert!(r.n_roles >= 1);
+        }
+    }
+
+    #[test]
+    fn feature_kmeans_runs_and_separates_tiers() {
+        let (g, truth) = three_tier();
+        let r =
+            infer_roles(&g, &SegmentationMethod::FeatureKMeans { k: Some(3), k_max: 8, seed: 7 });
+        assert_eq!(r.labels.len(), g.node_count());
+        let ari = adjusted_rand_index(&r.labels, &truth).unwrap();
+        assert!(ari > 0.5, "feature clustering should track clean tiers, ARI {ari}");
+
+        let auto =
+            infer_roles(&g, &SegmentationMethod::FeatureKMeans { k: None, k_max: 6, seed: 7 });
+        assert!(auto.n_roles >= 2, "auto-k must find structure");
+    }
+
+    #[test]
+    fn methods_have_distinct_names() {
+        let names: std::collections::HashSet<&str> = [
+            SegmentationMethod::paper_default().name(),
+            SegmentationMethod::ModularityConns.name(),
+            SegmentationMethod::ModularityBytes.name(),
+            SegmentationMethod::SimRank { config: SimRankConfig::default(), min_score: 0.1 }.name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_inference() {
+        let g = CommGraph::from_edge_map("ip", 0, 60, HashMap::new());
+        let r = infer_roles(&g, &SegmentationMethod::paper_default());
+        assert!(r.labels.is_empty());
+        assert_eq!(r.n_roles, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! A minimal weighted undirected graph shared by the clustering algorithms.
+
+use commgraph_graph::CommGraph;
+
+/// Undirected weighted graph with dense `0..n` node ids.
+///
+/// Each edge is stored in both endpoint lists (self-loops once). Weights
+/// must be non-negative; zero-weight edges are dropped at construction.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(u32, f64)>>,
+    total_weight: f64,
+}
+
+impl WeightedGraph {
+    /// Graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { adj: vec![Vec::new(); n], total_weight: 0.0 }
+    }
+
+    /// Build from an edge list; `(u, v, w)` with `u == v` allowed (self-loop).
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative/non-finite weights.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut g = WeightedGraph::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Add an undirected edge. Zero weights are ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "endpoint range");
+        if w == 0.0 {
+            return;
+        }
+        self.adj[u as usize].push((v, w));
+        if u != v {
+            self.adj[v as usize].push((u, w));
+        }
+        self.total_weight += w;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Sum of all edge weights (each undirected edge once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Neighbors of `u` with weights. A self-loop appears once.
+    pub fn neighbors(&self, u: u32) -> &[(u32, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Weighted degree of `u`: sum of incident weights, self-loops counted
+    /// twice (the convention modularity expects).
+    pub fn weighted_degree(&self, u: u32) -> f64 {
+        self.adj[u as usize].iter().map(|&(v, w)| if v == u { 2.0 * w } else { w }).sum()
+    }
+
+    /// Neighbor id set (unweighted), excluding self-loops.
+    pub fn neighbor_set(&self, u: u32) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.adj[u as usize].iter().filter(|&&(n, _)| n != u).map(|&(n, _)| n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Build from a communication graph, weighting each edge with
+    /// `weight_of` (e.g. bytes, connections).
+    pub fn from_comm_graph(
+        g: &CommGraph,
+        weight_of: impl Fn(&commgraph_graph::EdgeStats) -> f64,
+    ) -> Self {
+        let mut out = WeightedGraph::new(g.node_count());
+        for i in 0..g.node_count() as u32 {
+            for (j, stats) in g.neighbors(i) {
+                if *j >= i {
+                    out.add_edge(i, *j, weight_of(stats));
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the *scored clique* of the paper's segmentation: a complete
+    /// graph over the same nodes where edge weights are pairwise similarity
+    /// scores. Scores below `min_score` are dropped to keep it sparse.
+    pub fn from_similarity(scores: &[Vec<f64>], min_score: f64) -> Self {
+        let n = scores.len();
+        let mut g = WeightedGraph::new(n);
+        for (i, row) in scores.iter().enumerate() {
+            debug_assert_eq!(row.len(), n, "similarity matrix must be square");
+            for (j, &score) in row.iter().enumerate().skip(i + 1) {
+                if score >= min_score && score > 0.0 {
+                    g.add_edge(i as u32, j as u32, score);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_and_totals() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 2, 1.0)]);
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.weighted_degree(0), 2.0);
+        assert_eq!(g.weighted_degree(1), 5.0);
+        assert_eq!(g.weighted_degree(2), 3.0 + 2.0, "self-loop counts twice");
+    }
+
+    #[test]
+    fn neighbor_set_excludes_self_and_dedups() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (0, 1, 1.0), (0, 0, 5.0)]);
+        assert_eq!(g.neighbor_set(0), vec![1]);
+    }
+
+    #[test]
+    fn zero_weight_edges_dropped() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 0.0)]);
+        assert_eq!(g.total_weight(), 0.0);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        WeightedGraph::from_edges(2, &[(0, 1, -1.0)]);
+    }
+
+    #[test]
+    fn similarity_clique_thresholds() {
+        let scores = vec![vec![1.0, 0.9, 0.05], vec![0.9, 1.0, 0.5], vec![0.05, 0.5, 1.0]];
+        let g = WeightedGraph::from_similarity(&scores, 0.1);
+        assert_eq!(g.neighbors(0).len(), 1, "0-2 edge filtered by threshold");
+        assert_eq!(g.neighbors(1).len(), 2);
+    }
+}

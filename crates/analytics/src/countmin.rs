@@ -1,0 +1,176 @@
+//! Count-Min sketch: approximate per-edge byte counters in fixed memory.
+//!
+//! SpaceSaving answers "who are the top-k edges"; Count-Min answers "about
+//! how many bytes did *this particular* edge move" for **any** edge, still
+//! in constant memory. Together they are the streaming substitute for the
+//! full aggregation map when a deployment has too many node pairs: exactly
+//! the §3.2 trade-off ("the memory need is proportional to the number of
+//! node pairs … one potential mitigation is to focus on the heavy hitters").
+//!
+//! Standard guarantees for width `w`, depth `d`: estimates never
+//! undercount, and overcount by at most `e·total/w` with probability
+//! `1 − (1/2)^d` (conservatively stated; this implementation uses the usual
+//! independent-row-hash construction).
+
+use std::hash::Hash;
+
+/// Count-Min sketch over 64-bit-hashable items with `u64` weights.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    seeds: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    /// Sketch with `depth` rows of `width` counters each.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        let seeds =
+            (0..depth as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i * 2 + 1)).collect();
+        CountMin { width, rows: vec![vec![0; width]; depth], seeds, total: 0 }
+    }
+
+    /// Dimension the sketch from accuracy targets: overestimate at most
+    /// `epsilon × total` with failure probability `delta`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMin::new(width, depth)
+    }
+
+    /// Total weight offered.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Heap bytes used by the counters.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * self.width * std::mem::size_of::<u64>()
+    }
+
+    fn index(&self, row: usize, h: u64) -> usize {
+        // Per-row mix of the item hash with the row seed.
+        let mut z = h ^ self.seeds[row];
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.width
+    }
+
+    /// Add `weight` for `item`.
+    pub fn insert<T: Hash>(&mut self, item: &T, weight: u64) {
+        let h = commgraph_graph::cardinality::hash64(item);
+        for row in 0..self.rows.len() {
+            let i = self.index(row, h);
+            self.rows[row][i] = self.rows[row][i].saturating_add(weight);
+        }
+        self.total = self.total.saturating_add(weight);
+    }
+
+    /// Point estimate for `item`: never below the true weight.
+    pub fn estimate<T: Hash>(&self, item: &T) -> u64 {
+        let h = commgraph_graph::cardinality::hash64(item);
+        (0..self.rows.len()).map(|row| self.rows[row][self.index(row, h)]).min().unwrap_or(0)
+    }
+
+    /// Merge another sketch of identical dimensions.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "depth mismatch");
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = x.saturating_add(*y);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cm = CountMin::new(64, 4);
+        for i in 0..500u32 {
+            cm.insert(&i, (i as u64 % 7) + 1);
+        }
+        for i in 0..500u32 {
+            let true_w = (i as u64 % 7) + 1;
+            assert!(cm.estimate(&i) >= true_w, "item {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_items_are_accurate() {
+        let mut cm = CountMin::with_error(0.001, 0.01);
+        cm.insert(&"elephant", 1_000_000);
+        for i in 0..2_000u32 {
+            cm.insert(&i, 10);
+        }
+        let est = cm.estimate(&"elephant");
+        // Error bound: e/width × total ≈ 0.001 × 1.02M ≈ 1K.
+        assert!(est >= 1_000_000);
+        assert!(est <= 1_010_000, "estimate {est}");
+    }
+
+    #[test]
+    fn absent_items_estimate_small() {
+        let mut cm = CountMin::with_error(0.001, 0.01);
+        for i in 0..1000u32 {
+            cm.insert(&i, 100);
+        }
+        let ghost = cm.estimate(&"never-inserted");
+        assert!(ghost <= cm.total() / 500, "ghost estimate {ghost}");
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountMin::new(128, 4);
+        let mut b = CountMin::new(128, 4);
+        let mut c = CountMin::new(128, 4);
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                a.insert(&i, 5);
+            } else {
+                b.insert(&i, 5);
+            }
+            c.insert(&i, 5);
+        }
+        a.merge(&b);
+        for i in 0..200u32 {
+            assert_eq!(a.estimate(&i), c.estimate(&i));
+        }
+        assert_eq!(a.total(), c.total());
+    }
+
+    #[test]
+    fn memory_is_fixed() {
+        let cm = CountMin::new(1 << 12, 4);
+        assert_eq!(cm.memory_bytes(), 4 * 4096 * 8);
+    }
+
+    #[test]
+    fn sizing_from_error_targets() {
+        let cm = CountMin::with_error(0.01, 0.05);
+        assert!(cm.memory_bytes() < 64 * 1024, "1% error fits in tens of KiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_mismatched() {
+        let mut a = CountMin::new(64, 4);
+        a.merge(&CountMin::new(128, 4));
+    }
+}

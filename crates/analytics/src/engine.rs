@@ -1,0 +1,369 @@
+//! The sharded mini-batch graph-construction engine (Figure 8).
+//!
+//! Ingestion hashes every record's *edge identity* (the canonical node pair
+//! under the configured facet) onto one of `workers` threads. Each worker
+//! owns a disjoint slice of the edge space and runs the same
+//! group-by-aggregate a single-threaded [`commgraph_graph::GraphBuilder`]
+//! would, per window. On `finish`, per-window shards concatenate — no
+//! cross-shard reconciliation is ever needed, which is what makes the plan
+//! "factor into parallelizable in-memory execution" as §3.2 asks.
+
+use crate::error::{Error, Result};
+use commgraph_graph::{CommGraph, EdgeStats, Facet, NodeId};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use flowlog::record::ConnSummary;
+use flowlog::time::bucket_start;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (shards).
+    pub workers: usize,
+    /// Facet to aggregate under.
+    pub facet: Facet,
+    /// Window length in seconds (3600 for hourly graphs).
+    pub window_len: u64,
+    /// Monitored inventory for vantage dedup (`None` disables dedup).
+    pub monitored: Option<HashSet<Ipv4Addr>>,
+    /// Channel depth per worker, in batches — the backpressure bound.
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            facet: Facet::Ip,
+            window_len: 3600,
+            monitored: None,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// Counters describing one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Records offered to `ingest`.
+    pub records_in: u64,
+    /// Records surviving vantage dedup (i.e. aggregated).
+    pub records_kept: u64,
+    /// Distinct edge entries across all shards and windows — the memory
+    /// driver.
+    pub edge_entries: usize,
+    /// Wall-clock seconds from first ingest to finish.
+    pub elapsed_secs: f64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl EngineStats {
+    /// Ingest throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            return 0.0;
+        }
+        self.records_in as f64 / self.elapsed_secs
+    }
+}
+
+type ShardMap = HashMap<u64, HashMap<(NodeId, NodeId), EdgeStats>>;
+
+enum Msg {
+    Batch(Vec<ConnSummary>),
+    Finish,
+}
+
+struct Worker {
+    tx: Sender<Msg>,
+    handle: JoinHandle<(ShardMap, u64)>,
+}
+
+/// The running engine. Create, `ingest` batches, then `finish`.
+pub struct StreamEngine {
+    cfg: EngineConfig,
+    workers: Vec<Worker>,
+    records_in: u64,
+    started: Option<Instant>,
+    closed: bool,
+}
+
+impl StreamEngine {
+    /// Spawn the worker pool.
+    pub fn new(cfg: EngineConfig) -> Result<Self> {
+        if cfg.workers == 0 {
+            return Err(Error::InvalidConfig("need at least one worker".into()));
+        }
+        if cfg.window_len == 0 {
+            return Err(Error::InvalidConfig("window length must be positive".into()));
+        }
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = bounded::<Msg>(cfg.queue_depth.max(1));
+            let facet = cfg.facet.clone();
+            let monitored = cfg.monitored.clone();
+            let window_len = cfg.window_len;
+            let handle = std::thread::spawn(move || worker_loop(rx, facet, monitored, window_len));
+            workers.push(Worker { tx, handle });
+        }
+        Ok(StreamEngine { cfg, workers, records_in: 0, started: None, closed: false })
+    }
+
+    /// Offer a batch; blocks when worker queues are full (backpressure).
+    pub fn ingest(&mut self, records: &[ConnSummary]) -> Result<()> {
+        if self.closed {
+            return Err(Error::EngineClosed);
+        }
+        self.started.get_or_insert_with(Instant::now);
+        self.records_in += records.len() as u64;
+        let n = self.workers.len();
+        // Shard by canonical edge identity so each worker owns disjoint
+        // edges regardless of which vantage reported the record.
+        let mut shards: Vec<Vec<ConnSummary>> = vec![Vec::new(); n];
+        for r in records {
+            let shard = (edge_hash(&self.cfg.facet, r) % n as u64) as usize;
+            shards[shard].push(*r);
+        }
+        for (i, batch) in shards.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.workers[i]
+                .tx
+                .send(Msg::Batch(batch))
+                .map_err(|_| Error::WorkerFailed("worker channel closed".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Drain workers and assemble one graph per window, in time order.
+    pub fn finish(mut self) -> Result<(Vec<CommGraph>, EngineStats)> {
+        self.closed = true;
+        let mut per_window: HashMap<u64, HashMap<(NodeId, NodeId), EdgeStats>> = HashMap::new();
+        let mut records_kept = 0u64;
+        for w in self.workers.drain(..) {
+            w.tx.send(Msg::Finish)
+                .map_err(|_| Error::WorkerFailed("worker channel closed".into()))?;
+            let (shard, kept) =
+                w.handle.join().map_err(|_| Error::WorkerFailed("worker panicked".into()))?;
+            records_kept += kept;
+            for (window, edges) in shard {
+                let target = per_window.entry(window).or_default();
+                // Shards are disjoint by construction; extend is a merge.
+                for (k, v) in edges {
+                    target.entry(k).or_default().absorb(&v);
+                }
+            }
+        }
+        let elapsed = self.started.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+        let edge_entries: usize = per_window.values().map(|m| m.len()).sum();
+        let mut windows: Vec<u64> = per_window.keys().copied().collect();
+        windows.sort_unstable();
+        let graphs: Vec<CommGraph> = windows
+            .into_iter()
+            .map(|w| {
+                CommGraph::from_edge_map(
+                    self.cfg.facet.name(),
+                    w,
+                    self.cfg.window_len,
+                    per_window.remove(&w).expect("key from map"),
+                )
+            })
+            .collect();
+        let stats = EngineStats {
+            records_in: self.records_in,
+            records_kept,
+            edge_entries,
+            elapsed_secs: elapsed,
+            workers: self.cfg.workers,
+        };
+        Ok((graphs, stats))
+    }
+}
+
+/// Hash of the canonical (direction-independent) edge a record belongs to.
+fn edge_hash(facet: &Facet, r: &ConnSummary) -> u64 {
+    let (a, b) = facet.endpoints(r);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    commgraph_graph::cardinality::hash64(&(lo, hi))
+}
+
+fn keep(monitored: &Option<HashSet<Ipv4Addr>>, r: &ConnSummary) -> bool {
+    match monitored {
+        Some(set) if set.contains(&r.key.local_ip) && set.contains(&r.key.remote_ip) => {
+            r.key.is_canonical()
+        }
+        _ => true,
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Msg>,
+    facet: Facet,
+    monitored: Option<HashSet<Ipv4Addr>>,
+    window_len: u64,
+) -> (ShardMap, u64) {
+    let mut shard: ShardMap = HashMap::new();
+    let mut kept = 0u64;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Finish => break,
+            Msg::Batch(records) => {
+                for r in &records {
+                    if !keep(&monitored, r) {
+                        continue;
+                    }
+                    kept += 1;
+                    let window = bucket_start(r.ts, window_len);
+                    let (local, remote) = facet.endpoints(r);
+                    let (key, bf, br, pf, pr) = if local <= remote {
+                        ((local, remote), r.bytes_sent, r.bytes_rcvd, r.pkts_sent, r.pkts_rcvd)
+                    } else {
+                        ((remote, local), r.bytes_rcvd, r.bytes_sent, r.pkts_rcvd, r.pkts_sent)
+                    };
+                    let e = shard.entry(window).or_default().entry(key).or_default();
+                    e.bytes_fwd = e.bytes_fwd.saturating_add(bf);
+                    e.bytes_rev = e.bytes_rev.saturating_add(br);
+                    e.pkts_fwd = e.pkts_fwd.saturating_add(pf);
+                    e.pkts_rev = e.pkts_rev.saturating_add(pr);
+                    e.conns += 1;
+                }
+            }
+        }
+    }
+    (shard, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commgraph_graph::GraphBuilder;
+    use flowlog::record::FlowKey;
+
+    fn ip(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, a, b)
+    }
+
+    fn records(n: u32) -> Vec<ConnSummary> {
+        (0..n)
+            .map(|i| ConnSummary {
+                ts: (i as u64 % 120) * 60,
+                key: FlowKey::tcp(
+                    ip((i % 5) as u8, 1),
+                    (40_000 + i % 1000) as u16,
+                    ip(9, (i % 7) as u8 + 1),
+                    443,
+                ),
+                pkts_sent: 2,
+                pkts_rcvd: 1,
+                bytes_sent: 100 + i as u64,
+                bytes_rcvd: 50,
+            })
+            .collect()
+    }
+
+    /// The engine must produce exactly what a single-threaded builder does.
+    #[test]
+    fn matches_single_threaded_builder() {
+        let recs = records(5000);
+        let mut engine =
+            StreamEngine::new(EngineConfig { workers: 4, window_len: 3600, ..Default::default() })
+                .unwrap();
+        for chunk in recs.chunks(512) {
+            engine.ingest(chunk).unwrap();
+        }
+        let (graphs, stats) = engine.finish().unwrap();
+
+        // Reference: one GraphBuilder per window.
+        let mut ref_builders: HashMap<u64, GraphBuilder> = HashMap::new();
+        for r in &recs {
+            let w = bucket_start(r.ts, 3600);
+            ref_builders.entry(w).or_insert_with(|| GraphBuilder::new(Facet::Ip, w, 3600)).add(r);
+        }
+        assert_eq!(graphs.len(), ref_builders.len());
+        for g in &graphs {
+            let reference = ref_builders.remove(&g.window_start()).unwrap().finish();
+            assert_eq!(g.node_count(), reference.node_count());
+            assert_eq!(g.edge_count(), reference.edge_count());
+            assert_eq!(g.totals(), reference.totals());
+            // Spot-check each edge.
+            for i in 0..g.node_count() as u32 {
+                for (j, stats) in g.neighbors(i) {
+                    let ri = reference.index_of(&g.node(i)).expect("node exists");
+                    let rj = reference.index_of(&g.node(*j)).expect("node exists");
+                    assert_eq!(reference.edge(ri, rj).expect("edge exists"), *stats);
+                }
+            }
+        }
+        assert_eq!(stats.records_in, 5000);
+        assert_eq!(stats.records_kept, 5000, "no dedup configured");
+        assert!(stats.records_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn dedup_matches_builder_dedup() {
+        let base = records(200);
+        // Duplicate every record from the peer's vantage; both ends monitored.
+        let mut recs = base.clone();
+        recs.extend(base.iter().map(|r| r.mirrored()));
+        let monitored: HashSet<Ipv4Addr> =
+            recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+
+        let mut engine = StreamEngine::new(EngineConfig {
+            workers: 3,
+            monitored: Some(monitored.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        engine.ingest(&recs).unwrap();
+        let (graphs, stats) = engine.finish().unwrap();
+        assert_eq!(stats.records_kept, 200, "each flow counted once");
+        let total: u64 = graphs.iter().map(|g| g.totals().bytes()).sum();
+        let expect: u64 = base.iter().map(|r| r.bytes_total()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let recs = records(3000);
+        let mut results = Vec::new();
+        for workers in [1, 2, 8] {
+            let mut e = StreamEngine::new(EngineConfig { workers, ..Default::default() }).unwrap();
+            e.ingest(&recs).unwrap();
+            let (graphs, _) = e.finish().unwrap();
+            let fingerprint: Vec<(u64, usize, usize, u64)> = graphs
+                .iter()
+                .map(|g| (g.window_start(), g.node_count(), g.edge_count(), g.totals().bytes()))
+                .collect();
+            results.push(fingerprint);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn ingest_after_finish_is_rejected() {
+        let engine = StreamEngine::new(EngineConfig::default()).unwrap();
+        let (graphs, _) = engine.finish().unwrap();
+        assert!(graphs.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(StreamEngine::new(EngineConfig { workers: 0, ..Default::default() }).is_err());
+        assert!(StreamEngine::new(EngineConfig { window_len: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn empty_run_produces_no_graphs() {
+        let mut e = StreamEngine::new(EngineConfig::default()).unwrap();
+        e.ingest(&[]).unwrap();
+        let (graphs, stats) = e.finish().unwrap();
+        assert!(graphs.is_empty());
+        assert_eq!(stats.records_in, 0);
+    }
+}

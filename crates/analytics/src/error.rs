@@ -1,0 +1,39 @@
+//! Analytics error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the analytics tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// The engine was used after shutdown.
+    EngineClosed,
+    /// A worker thread panicked or disconnected unexpectedly.
+    WorkerFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid analytics config: {m}"),
+            Error::EngineClosed => write!(f, "engine already shut down"),
+            Error::WorkerFailed(m) => write!(f, "worker failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::EngineClosed.to_string().contains("shut down"));
+    }
+}

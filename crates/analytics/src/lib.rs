@@ -1,0 +1,36 @@
+//! Low-COGS streaming analytics (§3.2, Figure 8).
+//!
+//! The paper's viability argument is economic: roughly 1000 VMs' worth of
+//! telemetry must be analyzable with "a handful of VMs worth of resources"
+//! (~0.5% surcharge). This crate is that analytics tier in miniature:
+//!
+//! * [`engine`] — a sharded mini-batch pipeline: records are hashed by flow
+//!   identity onto worker threads, each worker runs the group-by-aggregate
+//!   that builds graph edges, and per-window shards merge into
+//!   [`commgraph_graph::CommGraph`] snapshots. Sharding by edge key makes
+//!   worker state disjoint, so the merge is trivial and the result is
+//!   bit-identical to a single-threaded build.
+//! * [`sketch`] — SpaceSaving heavy-hitter tracking, the streaming
+//!   counterpart of the offline collapse threshold.
+//! * [`countmin`] — Count-Min point estimates for arbitrary edges in fixed
+//!   memory (the other half of the heavy-hitter mitigation).
+//! * [`memory`] — memory accounting for builder state ("the memory need is
+//!   proportional to the number of node pairs in the graph").
+//! * [`cogs`] — the dollars: collection cost at provider prices, analytics
+//!   capacity, and the resulting surcharge per monitored VM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cogs;
+pub mod countmin;
+pub mod engine;
+pub mod error;
+pub mod memory;
+pub mod sketch;
+
+pub use cogs::{CogsModel, CogsReport};
+pub use countmin::CountMin;
+pub use engine::{EngineConfig, EngineStats, StreamEngine};
+pub use error::{Error, Result};
+pub use sketch::SpaceSaving;

@@ -1,0 +1,134 @@
+//! Property-based tests for the analytics tier.
+
+use analytics::countmin::CountMin;
+use analytics::engine::{EngineConfig, StreamEngine};
+use analytics::sketch::SpaceSaving;
+use commgraph_graph::{Facet, GraphBuilder};
+use flowlog::record::{ConnSummary, FlowKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn arb_records() -> impl Strategy<Value = Vec<ConnSummary>> {
+    prop::collection::vec((0u64..7200, 0u8..10, 0u8..10, 1u64..100_000), 1..150).prop_map(
+        |tuples| {
+            tuples
+                .into_iter()
+                .map(|(ts, l, r, bytes)| ConnSummary {
+                    ts,
+                    key: FlowKey::tcp(
+                        Ipv4Addr::new(10, 0, 0, l + 1),
+                        40_000 + (bytes % 500) as u16,
+                        Ipv4Addr::new(10, 0, 1, r + 1),
+                        443,
+                    ),
+                    pkts_sent: bytes / 1000 + 1,
+                    pkts_rcvd: 1,
+                    bytes_sent: bytes,
+                    bytes_rcvd: bytes / 5,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel engine produces exactly the single-threaded result for
+    /// any record stream, any worker count, any batch size.
+    #[test]
+    fn engine_equals_builder(
+        records in arb_records(),
+        workers in 1usize..6,
+        chunk in 1usize..64,
+    ) {
+        let mut engine = StreamEngine::new(EngineConfig {
+            workers,
+            facet: Facet::Ip,
+            window_len: 3600,
+            monitored: None,
+            queue_depth: 2,
+        })
+        .expect("valid");
+        for batch in records.chunks(chunk) {
+            engine.ingest(batch).expect("ingest");
+        }
+        let (graphs, stats) = engine.finish().expect("drain");
+
+        let mut per_window: HashMap<u64, GraphBuilder> = HashMap::new();
+        for r in &records {
+            per_window
+                .entry(flowlog::time::bucket_start(r.ts, 3600))
+                .or_insert_with(|| GraphBuilder::new(Facet::Ip, 0, 3600))
+                .add(r);
+        }
+        prop_assert_eq!(graphs.len(), per_window.len());
+        prop_assert_eq!(stats.records_in as usize, records.len());
+        for g in &graphs {
+            let reference = per_window
+                .remove(&g.window_start())
+                .expect("window exists")
+                .finish();
+            prop_assert_eq!(g.node_count(), reference.node_count());
+            prop_assert_eq!(g.edge_count(), reference.edge_count());
+            prop_assert_eq!(g.totals(), reference.totals());
+        }
+    }
+
+    /// Count-Min never undercounts and its total is exact.
+    #[test]
+    fn countmin_guarantees(
+        items in prop::collection::vec((0u32..200, 1u64..10_000), 1..300),
+        width_pow in 4u32..10,
+    ) {
+        let mut cm = CountMin::new(1 << width_pow, 4);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (item, w) in &items {
+            cm.insert(item, *w);
+            *truth.entry(*item).or_default() += w;
+            total += w;
+        }
+        prop_assert_eq!(cm.total(), total);
+        for (item, &true_w) in &truth {
+            prop_assert!(cm.estimate(item) >= true_w, "undercounted {item}");
+        }
+    }
+
+    /// SpaceSaving: estimates never undercount, the count-minus-error lower
+    /// bound never overcounts, and any item above total/capacity is tracked.
+    #[test]
+    fn spacesaving_guarantees(
+        items in prop::collection::vec((0u32..64, 1u64..1_000), 1..300),
+        capacity in 4usize..32,
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for (item, w) in &items {
+            ss.insert(*item, *w);
+            *truth.entry(*item).or_default() += w;
+        }
+        let total = ss.total();
+        let tracked = ss.top(capacity);
+        for e in &tracked {
+            let true_w = truth.get(&e.item).copied().unwrap_or(0);
+            prop_assert!(e.count >= true_w, "estimate below truth for {}", e.item);
+            prop_assert!(
+                e.count - e.error <= true_w,
+                "lower bound violated for {}",
+                e.item
+            );
+        }
+        // Guarantee: every item with weight > total/capacity is tracked.
+        let threshold = total / capacity as u64;
+        for (item, &w) in &truth {
+            if w > threshold {
+                prop_assert!(
+                    tracked.iter().any(|e| e.item == *item),
+                    "heavy item {item} (w={w} > {threshold}) must be tracked"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Graph-construction microbenchmarks: the group-by-aggregate inner loop
+//! that the COGS case study (§3.2) depends on, plus heavy-hitter collapsing
+//! and graph diffing.
+
+use benchkit::simulate;
+use cloudsim::ClusterPreset;
+use commgraph_graph::collapse::collapse_default;
+use commgraph_graph::diff::diff;
+use commgraph_graph::{Facet, GraphBuilder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_builder(c: &mut Criterion) {
+    let run = simulate(ClusterPreset::K8sPaas, 0.3, 5);
+    let records = &run.records;
+
+    let mut group = c.benchmark_group("graph_build");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("ip_facet", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::new(Facet::Ip, 0, 3600);
+            builder.add_all(black_box(records));
+            black_box(builder.finish())
+        })
+    });
+    group.bench_function("ip_facet_with_dedup", |b| {
+        b.iter(|| {
+            let mut builder =
+                GraphBuilder::new(Facet::Ip, 0, 3600).with_monitored(run.monitored.clone());
+            builder.add_all(black_box(records));
+            black_box(builder.finish())
+        })
+    });
+    group.bench_function("ipport_facet", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::new(Facet::IpPort, 0, 3600);
+            builder.add_all(black_box(records));
+            black_box(builder.finish())
+        })
+    });
+    group.finish();
+}
+
+fn bench_collapse_and_diff(c: &mut Criterion) {
+    let run = simulate(ClusterPreset::K8sPaas, 0.3, 5);
+    let graph = {
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600);
+        b.add_all(&run.records);
+        b.finish()
+    };
+    let run2 = simulate(ClusterPreset::K8sPaas, 0.3, 6);
+    let graph2 = {
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600);
+        b.add_all(&run2.records);
+        b.finish()
+    };
+
+    let mut group = c.benchmark_group("graph_transform");
+    group.bench_function("collapse_0.1pct", |b| {
+        b.iter(|| black_box(collapse_default(black_box(&graph))))
+    });
+    group.bench_function("diff_hourly", |b| {
+        b.iter(|| black_box(diff(black_box(&graph), black_box(&graph2), 2.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builder, bench_collapse_and_diff);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Policy-path benchmarks: learning allow rules from a window, checking
+//! records at enforcement time (the per-flow hot path), compiling rules,
+//! and computing blast radii.
+
+use benchkit::simulate;
+use cloudsim::ClusterPreset;
+use commgraph::workbench::Workbench;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use segment::blast::fleet_blast_report;
+use segment::compile::compile;
+use segment::policy::SegmentPolicy;
+use segment::ViolationDetector;
+use std::hint::black_box;
+
+fn bench_policy_path(c: &mut Criterion) {
+    let run = simulate(ClusterPreset::K8sPaas, 0.3, 5);
+    let mut wb = Workbench::new(run.records.clone(), run.monitored.clone());
+    let seg = wb.segmentation().clone();
+    let policy = wb.policy().clone();
+    let records = &run.records;
+
+    let mut group = c.benchmark_group("policy");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("learn_port_scoped", |b| {
+        b.iter(|| black_box(SegmentPolicy::learn(black_box(records), &seg, true)))
+    });
+    group.bench_function("check_stream", |b| {
+        b.iter(|| {
+            let mut det = ViolationDetector::new(seg.clone(), policy.clone());
+            black_box(det.check_all(black_box(records)))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("policy_static");
+    group.bench_function("compile_rules", |b| {
+        b.iter(|| black_box(compile(black_box(&seg), black_box(&policy), 1000)))
+    });
+    group.bench_function("fleet_blast_report", |b| {
+        b.iter(|| black_box(fleet_blast_report(black_box(&seg), black_box(&policy))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_path);
+criterion_main!(benches);

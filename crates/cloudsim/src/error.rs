@@ -1,0 +1,49 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building topologies or running simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A topology referenced a role id that does not exist.
+    UnknownRole(u16),
+    /// A topology or config parameter was out of range.
+    InvalidConfig(String),
+    /// The IP pool for a cluster was exhausted.
+    IpPoolExhausted {
+        /// How many addresses the pool holds.
+        capacity: usize,
+    },
+    /// An attack scenario referenced an IP not present in the topology.
+    UnknownIp(std::net::Ipv4Addr),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRole(id) => write!(f, "unknown role id {id}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid simulator config: {msg}"),
+            Error::IpPoolExhausted { capacity } => {
+                write!(f, "IP pool exhausted (capacity {capacity})")
+            }
+            Error::UnknownIp(ip) => write!(f, "IP {ip} is not part of the topology"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        assert!(Error::UnknownRole(7).to_string().contains('7'));
+        let ip = "10.1.2.3".parse().unwrap();
+        assert!(Error::UnknownIp(ip).to_string().contains("10.1.2.3"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Role identities.
+//!
+//! A *role* is the unit of redundancy in cloud software: many resources run
+//! the same code for scale-out, so a deployment has far fewer roles than
+//! resources. This is the structural fact the paper's auto-segmentation
+//! exploits, and the simulator makes it explicit so segmentations can be
+//! scored against ground truth.
+
+use serde::{Deserialize, Serialize};
+
+/// Compact role identifier; index into a topology's role table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoleId(pub u16);
+
+/// Broad classification of what a role does; drives default traffic shapes
+/// and which analyses treat the role as a hub, client, or workload node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoleKind {
+    /// Public-facing request servers (web front-ends, API gateways).
+    Frontend,
+    /// Internal request-serving tiers (microservices, mid-tiers).
+    Service,
+    /// Stateful stores: databases, caches, blob stores.
+    Datastore,
+    /// Control-plane hubs: API servers, job managers, schedulers.
+    ControlPlane,
+    /// Telemetry / logging sinks.
+    TelemetrySink,
+    /// Batch/query workers (the KQuery executors).
+    Worker,
+    /// Load generators co-located in the cluster.
+    LoadGenerator,
+    /// External clients outside the subscription (not monitored).
+    ExternalClient,
+    /// External services the subscription calls out to (not monitored).
+    ExternalService,
+}
+
+impl RoleKind {
+    /// Whether resources of this kind live inside the subscription and thus
+    /// have their NIC telemetry collected.
+    pub fn is_monitored(self) -> bool {
+        !matches!(self, RoleKind::ExternalClient | RoleKind::ExternalService)
+    }
+}
+
+/// A role: name, kind, replica count, and the service ports it listens on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Role {
+    /// Identifier; equals the role's index in the topology.
+    pub id: RoleId,
+    /// Human-readable name, e.g. `"frontend"` or `"k8s-apiserver"`.
+    pub name: String,
+    /// Broad classification.
+    pub kind: RoleKind,
+    /// Number of replicas (VMs/pods/clients) playing this role initially.
+    pub replicas: usize,
+    /// Ports this role accepts connections on; empty for pure clients.
+    pub service_ports: Vec<u16>,
+}
+
+impl Role {
+    /// Whether this role's replicas contribute telemetry records.
+    pub fn is_monitored(&self) -> bool {
+        self.kind.is_monitored()
+    }
+
+    /// The port a connection to this role lands on, chosen round-robin by a
+    /// connection ordinal so multi-port roles spread load deterministically.
+    ///
+    /// # Panics
+    /// Panics if the role has no service ports (pure clients never accept).
+    pub fn service_port(&self, ordinal: u64) -> u16 {
+        assert!(!self.service_ports.is_empty(), "role {:?} accepts no connections", self.name);
+        self.service_ports[(ordinal % self.service_ports.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn role(kind: RoleKind, ports: Vec<u16>) -> Role {
+        Role { id: RoleId(0), name: "test".into(), kind, replicas: 3, service_ports: ports }
+    }
+
+    #[test]
+    fn external_roles_are_unmonitored() {
+        assert!(!RoleKind::ExternalClient.is_monitored());
+        assert!(!RoleKind::ExternalService.is_monitored());
+        assert!(RoleKind::Frontend.is_monitored());
+        assert!(RoleKind::ControlPlane.is_monitored());
+    }
+
+    #[test]
+    fn service_port_round_robins() {
+        let r = role(RoleKind::Service, vec![80, 443]);
+        assert_eq!(r.service_port(0), 80);
+        assert_eq!(r.service_port(1), 443);
+        assert_eq!(r.service_port(2), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepts no connections")]
+    fn portless_role_panics_on_port_request() {
+        role(RoleKind::ExternalClient, vec![]).service_port(0);
+    }
+}

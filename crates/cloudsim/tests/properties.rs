@@ -1,0 +1,169 @@
+//! Property-based tests for the workload simulator.
+
+use cloudsim::load::{LoadSchedule, LoadShape};
+use cloudsim::roles::RoleKind;
+use cloudsim::topology::TopologyBuilder;
+use cloudsim::traffic::{Fanout, TrafficProfile};
+use cloudsim::{SimConfig, Simulator, Topology};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (
+        1usize..5,
+        1usize..8,
+        1usize..20,
+        0.5f64..30.0,
+        prop_oneof![
+            Just(Fanout::Uniform),
+            Just(Fanout::Sticky),
+            (0.1f64..2.0).prop_map(Fanout::Zipf),
+        ],
+        0.0f64..0.9,
+    )
+        .prop_map(|(fe_n, be_n, ext_n, rate, fanout, continue_p)| {
+            let mut b = TopologyBuilder::new("prop", 44);
+            let fe = b.role("fe", RoleKind::Frontend, fe_n, vec![443]);
+            let be = b.role("be", RoleKind::Service, be_n, vec![8080, 8443]);
+            let ext = b.role("ext", RoleKind::ExternalClient, ext_n, vec![]);
+            b.connect(ext, fe, TrafficProfile::rpc(1.5, 300.0, 5_000.0));
+            b.connect(
+                fe,
+                be,
+                TrafficProfile::rpc(rate, 400.0, 2_000.0)
+                    .with_fanout(fanout)
+                    .with_continue_p(continue_p),
+            );
+            b.build().expect("generated topology is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ephemeral source ports always come from the ephemeral range, service
+    /// ports always from the role's declared set.
+    #[test]
+    fn port_discipline(topo in arb_topology(), seed in 0u64..500) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid");
+        let records = sim.collect(3);
+        for r in &records {
+            // The local side reported; one side must be a service port.
+            let sp = [443u16, 8080, 8443];
+            let local_svc = sp.contains(&r.key.local_port);
+            let remote_svc = sp.contains(&r.key.remote_port);
+            prop_assert!(local_svc || remote_svc, "no service port in {:?}", r.key);
+            if !local_svc {
+                prop_assert!(
+                    (32_768..=60_999).contains(&r.key.local_port),
+                    "ephemeral out of range: {}",
+                    r.key.local_port
+                );
+            }
+        }
+    }
+
+    /// Both-monitored flows appear exactly twice per minute (mirrored);
+    /// external flows exactly once, from the monitored side.
+    #[test]
+    fn vantage_discipline(topo in arb_topology(), seed in 0u64..500) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid");
+        let records = sim.collect(2);
+        use std::collections::HashMap;
+        let mut groups: HashMap<_, Vec<&flowlog::ConnSummary>> = HashMap::new();
+        for r in &records {
+            groups.entry((r.ts, r.key.canonical())).or_default().push(r);
+        }
+        for ((_, key), group) in groups {
+            let internal = |ip: std::net::Ipv4Addr| ip.octets()[0] == 10;
+            if internal(key.local_ip) && internal(key.remote_ip) {
+                prop_assert_eq!(group.len(), 2, "internal flows report twice: {:?}", key);
+                prop_assert_eq!(*group[0], group[1].mirrored(), "and mirror exactly");
+            } else {
+                prop_assert_eq!(group.len(), 1, "external flows report once: {:?}", key);
+                prop_assert!(internal(group[0].key.local_ip), "from the monitored side");
+            }
+        }
+    }
+
+    /// Scaling load up never reduces expected traffic (checked with the
+    /// same seed so the comparison is paired).
+    #[test]
+    fn load_monotonicity(topo in arb_topology(), seed in 0u64..200) {
+        let run = |factor: f64| {
+            let cfg = SimConfig {
+                seed,
+                load: LoadSchedule::steady()
+                    .with(LoadShape::Step { at_min: 0, factor }),
+                ..Default::default()
+            };
+            Simulator::new(topo.clone(), cfg).expect("valid").collect(3).len()
+        };
+        let low = run(0.5);
+        let high = run(4.0);
+        prop_assert!(
+            high as f64 >= low as f64,
+            "8x the load must not shrink traffic: {low} -> {high}"
+        );
+    }
+
+    /// Ground truth covers every IP that ever appears as a reporter, and
+    /// external IPs never appear as reporters.
+    #[test]
+    fn ground_truth_is_complete(topo in arb_topology(), seed in 0u64..500) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid");
+        let records = sim.collect(2);
+        let truth = sim.ground_truth();
+        for r in &records {
+            prop_assert!(truth.role_of(r.key.local_ip).is_some(), "{}", r.key.local_ip);
+            prop_assert_eq!(r.key.local_ip.octets()[0], 10, "only monitored VMs report");
+        }
+    }
+}
+
+#[test]
+fn dns_traffic_is_udp() {
+    // The K8s PaaS preset's coredns edges speak UDP; everything else TCP.
+    use cloudsim::ClusterPreset;
+    use flowlog::record::Protocol;
+    let preset = ClusterPreset::K8sPaas;
+    let mut sim = Simulator::new(preset.topology_scaled(0.1), preset.default_sim_config())
+        .expect("valid preset");
+    let records = sim.collect(3);
+    let udp: Vec<_> = records.iter().filter(|r| r.key.proto == Protocol::Udp).collect();
+    assert!(!udp.is_empty(), "DNS lookups must appear as UDP");
+    assert!(
+        udp.iter().all(|r| r.key.remote_port == 53 || r.key.local_port == 53),
+        "UDP traffic is DNS"
+    );
+    assert!(records.iter().any(|r| r.key.proto == Protocol::Tcp));
+}
+
+#[test]
+fn churned_in_replicas_get_fresh_addresses() {
+    // Regression: scale-out addresses must never collide with another
+    // role's static assignment (they once did, silently corrupting ground
+    // truth by re-labeling existing VMs).
+    use cloudsim::churn::ChurnPlan;
+    use cloudsim::ClusterPreset;
+    let preset = ClusterPreset::K8sPaas;
+    let topo = preset.topology_scaled(0.3);
+    let web = topo.role_named("tenant0-web").expect("role").id;
+    let mut cfg = preset.default_sim_config();
+    cfg.churn = ChurnPlan::none().with(2, web, 6);
+    let mut sim = Simulator::new(topo, cfg).expect("valid");
+    let truth_before = sim.ground_truth().ip_roles.len();
+    let _ = sim.collect(5);
+    let truth_after = sim.ground_truth().ip_roles.len();
+    assert_eq!(truth_after, truth_before + 6, "every new replica is a new IP");
+    // And the new addresses live in the dynamic range.
+    let dynamic: Vec<_> = sim
+        .ground_truth()
+        .ip_roles
+        .keys()
+        .filter(|ip| ip.octets()[2] >= 240)
+        .collect();
+    assert_eq!(dynamic.len(), 6);
+}

@@ -1,0 +1,360 @@
+//! The continuous security monitor — Figure 8's SaaS loop as a library.
+//!
+//! Everything else in this crate analyzes a *window you already have*. The
+//! monitor is the stateful driver a deployed service runs forever:
+//!
+//! 1. **Learning**: accumulate `learn_windows` windows of telemetry, then
+//!    derive the baseline — roles, µsegments, default-deny policy, the PCA
+//!    pattern model, and a calibrated anomaly threshold.
+//! 2. **Enforcing**: every subsequent window is checked three ways —
+//!    per-flow policy violations, whole-window anomaly score, and the
+//!    structural what-changed diff — and the monitor emits typed
+//!    [`MonitorEvent`]s an operator pipeline can route to dashboards,
+//!    tickets, or enforcement.
+//!
+//! Feed it minute batches with [`SecurityMonitor::ingest`]; events come back
+//! as windows close.
+
+use crate::anomaly::PatternModel;
+use crate::workbench::Workbench;
+use commgraph_graph::collapse::collapse_default;
+use commgraph_graph::diff::diff;
+use commgraph_graph::{CommGraph, Facet, GraphBuilder};
+use flowlog::record::ConnSummary;
+use flowlog::time::bucket_start;
+use segment::{SegmentPolicy, Segmentation, Violation, ViolationDetector};
+use serde::Serialize;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Window length in seconds (3600 = the paper's hourly graphs).
+    pub window_len: u64,
+    /// Clean windows to learn from before enforcing (≥ 2: the first fits
+    /// the models, the rest calibrate the anomaly threshold).
+    pub learn_windows: usize,
+    /// PCA components for the pattern model.
+    pub anomaly_k: usize,
+    /// Safety margin over the worst clean anomaly score.
+    pub anomaly_margin: f64,
+    /// Volume-change ratio that makes a persisting edge reportable.
+    pub change_ratio: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window_len: 3600,
+            learn_windows: 3,
+            anomaly_k: 25,
+            anomaly_margin: 1.5,
+            change_ratio: 3.0,
+        }
+    }
+}
+
+/// Events the monitor emits as windows close.
+#[derive(Debug, Clone, Serialize)]
+pub enum MonitorEvent {
+    /// The learning phase completed; enforcement starts next window.
+    BaselineReady {
+        /// Windows learned from.
+        windows: usize,
+        /// µsegments derived.
+        segments: usize,
+        /// Allow rules learned.
+        allow_rules: usize,
+        /// Calibrated anomaly threshold.
+        anomaly_threshold: f64,
+    },
+    /// A closed window's roll-up.
+    WindowSummary {
+        /// Window start time.
+        window_start: u64,
+        /// Records in the window.
+        records: usize,
+        /// Policy violations raised.
+        violations: usize,
+        /// Anomaly score (ratio over the baseline noise floor).
+        anomaly_score: f64,
+        /// Whether the window was flagged anomalous.
+        anomalous: bool,
+        /// Edges that appeared vs the previous window.
+        new_edges: usize,
+        /// Edges that vanished vs the previous window.
+        gone_edges: usize,
+    },
+    /// One policy violation (emitted per offending flow, capped per window).
+    PolicyViolation(Violation),
+}
+
+/// Phase of the monitor's lifecycle.
+enum Phase {
+    Learning { windows_done: usize, records: Vec<ConnSummary> },
+    Enforcing(Box<Baseline>),
+}
+
+struct Baseline {
+    segmentation: Segmentation,
+    policy: SegmentPolicy,
+    model: PatternModel,
+    threshold: f64,
+    previous_window: Option<CommGraph>,
+}
+
+/// The continuous monitor. See module docs for the lifecycle.
+pub struct SecurityMonitor {
+    cfg: MonitorConfig,
+    monitored: HashSet<Ipv4Addr>,
+    phase: Phase,
+    current_window_start: Option<u64>,
+    current_records: Vec<ConnSummary>,
+    /// Cap on per-window violation events (summaries always carry the full
+    /// count); keeps a port scan from emitting a million events.
+    pub max_violation_events: usize,
+}
+
+impl SecurityMonitor {
+    /// New monitor for a subscription with the given monitored inventory.
+    ///
+    /// # Panics
+    /// Panics if `learn_windows < 2` (one to fit, one to calibrate).
+    pub fn new(cfg: MonitorConfig, monitored: HashSet<Ipv4Addr>) -> Self {
+        assert!(cfg.learn_windows >= 2, "need >= 2 learning windows");
+        SecurityMonitor {
+            cfg,
+            monitored,
+            phase: Phase::Learning { windows_done: 0, records: Vec::new() },
+            current_window_start: None,
+            current_records: Vec::new(),
+            max_violation_events: 64,
+        }
+    }
+
+    /// True once the baseline is built and enforcement is active.
+    pub fn is_enforcing(&self) -> bool {
+        matches!(self.phase, Phase::Enforcing(_))
+    }
+
+    /// Ingest a batch of records (non-decreasing timestamps). Returns any
+    /// events produced by windows that closed.
+    pub fn ingest(&mut self, batch: &[ConnSummary]) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        for r in batch {
+            let w = bucket_start(r.ts, self.cfg.window_len);
+            match self.current_window_start {
+                None => self.current_window_start = Some(w),
+                Some(current) if w != current => {
+                    self.close_window(current, &mut events);
+                    self.current_window_start = Some(w);
+                }
+                _ => {}
+            }
+            self.current_records.push(*r);
+        }
+        events
+    }
+
+    /// Force-close the open window (end of stream).
+    pub fn flush(&mut self) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        if let Some(w) = self.current_window_start.take() {
+            self.close_window(w, &mut events);
+        }
+        events
+    }
+
+    fn close_window(&mut self, window_start: u64, events: &mut Vec<MonitorEvent>) {
+        let records = std::mem::take(&mut self.current_records);
+        match &mut self.phase {
+            Phase::Learning { windows_done, records: learned } => {
+                learned.extend_from_slice(&records);
+                *windows_done += 1;
+                if *windows_done >= self.cfg.learn_windows {
+                    let learned = std::mem::take(learned);
+                    let done = *windows_done;
+                    let baseline = self.build_baseline(learned, done);
+                    events.push(MonitorEvent::BaselineReady {
+                        windows: done,
+                        segments: baseline.segmentation.len(),
+                        allow_rules: baseline.policy.rule_count(),
+                        anomaly_threshold: baseline.threshold,
+                    });
+                    self.phase = Phase::Enforcing(Box::new(baseline));
+                }
+            }
+            Phase::Enforcing(baseline) => {
+                // Build this window's collapsed graph.
+                let mut b = GraphBuilder::new(Facet::Ip, window_start, self.cfg.window_len)
+                    .with_monitored(self.monitored.clone());
+                b.add_all(&records);
+                let graph = collapse_default(&b.finish());
+
+                // Policy check.
+                let mut det =
+                    ViolationDetector::new(baseline.segmentation.clone(), baseline.policy.clone());
+                let violations = det.check_all(&records);
+
+                // Anomaly score.
+                let score = baseline.model.score(&graph).map(|s| s.score).unwrap_or(f64::INFINITY);
+                let anomalous = score > baseline.threshold;
+
+                // Structural diff vs the previous window.
+                let (new_edges, gone_edges) = match &baseline.previous_window {
+                    Some(prev) => {
+                        let d = diff(prev, &graph, self.cfg.change_ratio);
+                        (d.added_edges.len(), d.removed_edges.len())
+                    }
+                    None => (0, 0),
+                };
+                baseline.previous_window = Some(graph);
+
+                events.push(MonitorEvent::WindowSummary {
+                    window_start,
+                    records: records.len(),
+                    violations: violations.len(),
+                    anomaly_score: score,
+                    anomalous,
+                    new_edges,
+                    gone_edges,
+                });
+                for v in violations.into_iter().take(self.max_violation_events) {
+                    events.push(MonitorEvent::PolicyViolation(v));
+                }
+            }
+        }
+    }
+
+    fn build_baseline(&self, records: Vec<ConnSummary>, windows: usize) -> Baseline {
+        // Split the learning records by window: the first window fits the
+        // pattern model, the rest calibrate the threshold; segmentation and
+        // policy learn from everything.
+        let mut wb = Workbench::new(records.clone(), self.monitored.clone());
+        let segmentation = wb.segmentation().clone();
+        let policy = wb.policy().clone();
+
+        let mut windows_graphs: Vec<CommGraph> = Vec::with_capacity(windows);
+        let mut starts: Vec<u64> =
+            records.iter().map(|r| bucket_start(r.ts, self.cfg.window_len)).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        for w in starts {
+            let mut b = GraphBuilder::new(Facet::Ip, w, self.cfg.window_len)
+                .with_monitored(self.monitored.clone());
+            b.add_all(records.iter().filter(|r| bucket_start(r.ts, self.cfg.window_len) == w));
+            windows_graphs.push(collapse_default(&b.finish()));
+        }
+        let model = PatternModel::fit(&windows_graphs[0], self.cfg.anomaly_k)
+            .expect("learning windows carry traffic");
+        let threshold = model
+            .calibrate_threshold(&windows_graphs[1..], self.cfg.anomaly_margin)
+            .expect("calibration windows are scorable");
+        Baseline { segmentation, policy, model, threshold, previous_window: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::attack::{AttackKind, AttackScenario};
+    use cloudsim::{ClusterPreset, SimConfig, Simulator};
+
+    fn monitored_of(sim: &Simulator) -> HashSet<Ipv4Addr> {
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect()
+    }
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            window_len: 600, // 10-minute windows keep the test fast
+            learn_windows: 2,
+            anomaly_k: 10,
+            anomaly_margin: 1.5,
+            change_ratio: 3.0,
+        }
+    }
+
+    #[test]
+    fn learns_then_enforces_quietly_on_clean_traffic() {
+        let preset = ClusterPreset::MicroserviceBench;
+        let mut sim =
+            Simulator::new(preset.topology_scaled(0.3), preset.default_sim_config()).unwrap();
+        let monitored = monitored_of(&sim);
+        let mut monitor = SecurityMonitor::new(cfg(), monitored);
+
+        let mut events = Vec::new();
+        sim.run(40, |_, batch| events.extend(monitor.ingest(batch)));
+        events.extend(monitor.flush());
+
+        assert!(monitor.is_enforcing());
+        let baseline_ready = events.iter().any(|e| matches!(e, MonitorEvent::BaselineReady { .. }));
+        assert!(baseline_ready, "baseline event emitted");
+        let summaries: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::WindowSummary { violations, anomalous, .. } => {
+                    Some((*violations, *anomalous))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!summaries.is_empty(), "enforced windows produce summaries");
+        for (violations, anomalous) in &summaries {
+            assert_eq!(*violations, 0, "clean traffic must not violate its own baseline");
+            assert!(!anomalous, "clean traffic must stay under the calibrated threshold");
+        }
+    }
+
+    #[test]
+    fn attack_window_raises_violations() {
+        let preset = ClusterPreset::MicroserviceBench;
+        let topo = preset.topology_scaled(0.3);
+        let breached =
+            topo.ip_of(topo.role_named("frontend").expect("role").id, 0).expect("slot 0");
+        let sim_cfg = SimConfig {
+            attacks: vec![AttackScenario {
+                kind: AttackKind::LateralMovement,
+                // Starts after two 10-minute learning windows.
+                start_min: 25,
+                duration_min: 15,
+                breached,
+                intensity: 6,
+            }],
+            ..preset.default_sim_config()
+        };
+        let mut sim = Simulator::new(topo, sim_cfg).unwrap();
+        let monitored = monitored_of(&sim);
+        let mut monitor = SecurityMonitor::new(cfg(), monitored);
+
+        let mut events = Vec::new();
+        sim.run(45, |_, batch| events.extend(monitor.ingest(batch)));
+        events.extend(monitor.flush());
+
+        let total_violations: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::WindowSummary { violations, .. } => Some(*violations),
+                _ => None,
+            })
+            .sum();
+        assert!(total_violations > 0, "lateral movement must trip the policy");
+        assert!(
+            events.iter().any(|e| matches!(e, MonitorEvent::PolicyViolation(_))),
+            "individual violations are surfaced"
+        );
+        // The per-window event cap holds.
+        let violation_events =
+            events.iter().filter(|e| matches!(e, MonitorEvent::PolicyViolation(_))).count();
+        let windows =
+            events.iter().filter(|e| matches!(e, MonitorEvent::WindowSummary { .. })).count();
+        assert!(violation_events <= windows * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning windows")]
+    fn rejects_single_learning_window() {
+        let c = MonitorConfig { learn_windows: 1, ..cfg() };
+        SecurityMonitor::new(c, HashSet::new());
+    }
+}

@@ -1,0 +1,248 @@
+//! A batteries-included analysis session over one telemetry window.
+//!
+//! The experiments and examples all follow the same arc: records → graph →
+//! roles → segments → policy → security/summary analyses. [`Workbench`]
+//! owns the records once and memoizes each stage, so callers write three
+//! lines instead of thirty and never recompute an eigendecomposition.
+
+use algos::roles::{infer_roles, RoleInference, SegmentationMethod};
+use algos::stats::{byte_ccdf, CcdfPoint};
+use commgraph_graph::collapse::collapse;
+use commgraph_graph::{CommGraph, Facet, GraphBuilder};
+use flowlog::record::ConnSummary;
+use linalg::pca::{pca_sweep, PcaSummary};
+use linalg::Matrix;
+use segment::blast::{fleet_blast_report, FleetBlastReport};
+use segment::{SegmentPolicy, Segmentation, Violation, ViolationDetector};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Default heavy-hitter collapse threshold (the paper's 0.1%).
+pub const DEFAULT_COLLAPSE: f64 = commgraph_graph::collapse::PAPER_THRESHOLD;
+
+/// One-window analysis session. Construct with the window's records and the
+/// monitored inventory; every analysis is computed lazily and cached.
+pub struct Workbench {
+    records: Vec<ConnSummary>,
+    monitored: HashSet<Ipv4Addr>,
+    collapse_threshold: f64,
+    method: SegmentationMethod,
+    ip_graph: Option<CommGraph>,
+    roles: Option<RoleInference>,
+    segmentation: Option<Segmentation>,
+    policy: Option<SegmentPolicy>,
+}
+
+impl Workbench {
+    /// New session over `records` with the given monitored inventory.
+    pub fn new(records: Vec<ConnSummary>, monitored: HashSet<Ipv4Addr>) -> Self {
+        Workbench {
+            records,
+            monitored,
+            collapse_threshold: DEFAULT_COLLAPSE,
+            method: SegmentationMethod::paper_default(),
+            ip_graph: None,
+            roles: None,
+            segmentation: None,
+            policy: None,
+        }
+    }
+
+    /// Override the heavy-hitter collapse threshold (builder style).
+    pub fn with_collapse_threshold(mut self, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "threshold in [0, 1]");
+        self.collapse_threshold = t;
+        self
+    }
+
+    /// Override the segmentation method (builder style).
+    pub fn with_method(mut self, m: SegmentationMethod) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// The records this session analyzes.
+    pub fn records(&self) -> &[ConnSummary] {
+        &self.records
+    }
+
+    /// The monitored inventory.
+    pub fn monitored(&self) -> &HashSet<Ipv4Addr> {
+        &self.monitored
+    }
+
+    /// The collapsed IP graph of the window (memoized).
+    ///
+    /// Monitored addresses are protected from collapsing — the
+    /// subscription's own resources are always visible.
+    pub fn ip_graph(&mut self) -> &CommGraph {
+        if self.ip_graph.is_none() {
+            let mut b = GraphBuilder::new(
+                Facet::Ip,
+                window_start(&self.records),
+                window_len(&self.records),
+            )
+            .with_monitored(self.monitored.clone());
+            b.add_all(&self.records);
+            let raw = b.finish();
+            let monitored = &self.monitored;
+            let collapsed = collapse(&raw, self.collapse_threshold, |n| {
+                n.ip().map(|ip| monitored.contains(&ip)).unwrap_or(false)
+            });
+            self.ip_graph = Some(collapsed);
+        }
+        self.ip_graph.as_ref().expect("just set")
+    }
+
+    /// An uncollapsed graph under any facet (not memoized — used for
+    /// IP-port sizing and service views).
+    pub fn graph_with_facet(&self, facet: Facet) -> CommGraph {
+        let mut b =
+            GraphBuilder::new(facet, window_start(&self.records), window_len(&self.records))
+                .with_monitored(self.monitored.clone());
+        b.add_all(&self.records);
+        b.finish()
+    }
+
+    /// Role inference on the IP graph (memoized).
+    pub fn roles(&mut self) -> &RoleInference {
+        if self.roles.is_none() {
+            let method = self.method.clone();
+            let g = self.ip_graph().clone();
+            self.roles = Some(infer_roles(&g, &method));
+        }
+        self.roles.as_ref().expect("just set")
+    }
+
+    /// µsegmentation derived from the inferred roles (memoized).
+    pub fn segmentation(&mut self) -> &Segmentation {
+        if self.segmentation.is_none() {
+            let monitored = self.monitored.clone();
+            let roles = self.roles().clone();
+            let g = self.ip_graph().clone();
+            let seg = Segmentation::from_inference(&g, &roles, |ip| monitored.contains(&ip))
+                .expect("workbench builds ip-facet graphs with matching labels");
+            self.segmentation = Some(seg);
+        }
+        self.segmentation.as_ref().expect("just set")
+    }
+
+    /// Default-deny policy learned from this window's traffic (memoized,
+    /// port-scoped).
+    pub fn policy(&mut self) -> &SegmentPolicy {
+        if self.policy.is_none() {
+            self.segmentation();
+            let seg = self.segmentation.as_ref().expect("memoized above");
+            self.policy = Some(SegmentPolicy::learn(&self.records, seg, true));
+        }
+        self.policy.as_ref().expect("just set")
+    }
+
+    /// Check a *different* window's records against this window's learned
+    /// policy — the detection workflow.
+    pub fn detect(&mut self, later_records: &[ConnSummary]) -> Vec<Violation> {
+        self.policy();
+        let seg = self.segmentation.as_ref().expect("policy() memoized it").clone();
+        let policy = self.policy.as_ref().expect("memoized above").clone();
+        let mut det = ViolationDetector::new(seg, policy);
+        det.check_all(later_records)
+    }
+
+    /// Fleet-wide blast-radius report under the learned segmentation.
+    pub fn blast_report(&mut self) -> FleetBlastReport {
+        self.policy();
+        fleet_blast_report(
+            self.segmentation.as_ref().expect("memoized"),
+            self.policy.as_ref().expect("memoized"),
+        )
+    }
+
+    /// Byte CCDF of the IP graph (Figure 6).
+    pub fn ccdf(&mut self) -> Vec<CcdfPoint> {
+        byte_ccdf(self.ip_graph())
+    }
+
+    /// PCA reconstruction-error sweep on the byte matrix (§2.2).
+    pub fn pca_summary(&mut self, ks: &[usize]) -> linalg::Result<PcaSummary> {
+        let m = self.byte_matrix()?;
+        pca_sweep(&m, ks)
+    }
+
+    /// Dense symmetric byte matrix of the collapsed IP graph.
+    pub fn byte_matrix(&mut self) -> linalg::Result<Matrix> {
+        let rows = self
+            .ip_graph()
+            .byte_matrix(4096)
+            .map_err(|e| linalg::Error::InvalidArg(e.to_string()))?;
+        Ok(Matrix::from_rows(rows))
+    }
+}
+
+fn window_start(records: &[ConnSummary]) -> u64 {
+    records.iter().map(|r| r.ts).min().unwrap_or(0)
+}
+
+fn window_len(records: &[ConnSummary]) -> u64 {
+    let start = window_start(records);
+    let end = records.iter().map(|r| r.ts).max().unwrap_or(0);
+    (end - start).max(60) + 60
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{ClusterPreset, Simulator};
+
+    fn session() -> Workbench {
+        let preset = ClusterPreset::MicroserviceBench;
+        let mut sim =
+            Simulator::new(preset.topology_scaled(0.25), preset.default_sim_config()).unwrap();
+        let records = sim.collect(5);
+        let monitored: HashSet<Ipv4Addr> =
+            sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+        Workbench::new(records, monitored)
+    }
+
+    #[test]
+    fn full_arc_runs() {
+        let mut wb = session();
+        let nodes = wb.ip_graph().node_count();
+        assert!(nodes > 5, "graph has nodes: {nodes}");
+        let n_roles = wb.roles().n_roles;
+        assert!(n_roles >= 2, "found roles: {n_roles}");
+        assert!(wb.segmentation().len() >= n_roles, "external splits can add segments");
+        assert!(wb.policy().rule_count() > 0);
+        let blast = wb.blast_report();
+        assert!(blast.mean_direct_fraction <= 1.0);
+        let ccdf = wb.ccdf();
+        assert!(!ccdf.is_empty());
+    }
+
+    #[test]
+    fn memoization_returns_same_results() {
+        let mut wb = session();
+        let a = wb.roles().labels.clone();
+        let b = wb.roles().labels.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_detection_is_quiet() {
+        let mut wb = session();
+        let records = wb.records().to_vec();
+        let violations = wb.detect(&records);
+        assert!(
+            violations.is_empty(),
+            "the learning window can never violate its own policy: {} hits",
+            violations.len()
+        );
+    }
+
+    #[test]
+    fn pca_on_small_cluster() {
+        let mut wb = session();
+        let summary = wb.pca_summary(&[1, 4, 16]).unwrap();
+        assert_eq!(summary.errors.len(), 3);
+        assert!(summary.errors[2].err <= summary.errors[0].err);
+    }
+}

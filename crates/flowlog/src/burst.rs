@@ -1,0 +1,208 @@
+//! Burst statistics sketch — §3.1's open issue, prototyped.
+//!
+//! "Pushing sketches into programmable NICs may be needed to capture
+//! information that is absent in a connection summary such as burst
+//! statistics." A connection summary says a flow moved 60 MB in a minute; it
+//! cannot say whether that was a 1 MB/s hum or a single 400 ms burst — and
+//! the difference decides buffer sizing and incast diagnosis.
+//!
+//! [`BurstSketch`] is the NIC-resident piece: per flow, O(1) state per
+//! packet-batch observation tracking the peak bytes seen in any sub-second
+//! tick plus the total, from which the host agent derives a per-interval
+//! **burst ratio** (peak tick rate / average rate). Memory is a few words
+//! per tracked flow, bounded like the flow table itself.
+
+use crate::record::FlowKey;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Per-flow burst state: current tick accumulation and the running peak.
+#[derive(Debug, Clone, Copy, Default)]
+struct BurstState {
+    tick_start: u64,
+    tick_bytes: u64,
+    peak_tick_bytes: u64,
+    total_bytes: u64,
+    first_seen: u64,
+    last_seen: u64,
+}
+
+/// Burst summary for one flow over the sketch's lifetime.
+#[derive(Debug, Clone, Serialize)]
+pub struct BurstSummary {
+    /// Peak bytes observed in any single tick.
+    pub peak_tick_bytes: u64,
+    /// Total bytes observed.
+    pub total_bytes: u64,
+    /// Active span in seconds (≥ 1 tick).
+    pub span_secs: u64,
+    /// Peak tick rate divided by the flow's average rate: 1.0 for a
+    /// perfectly smooth flow, ≫ 1 for bursts.
+    pub burst_ratio: f64,
+}
+
+/// NIC-resident burst sketch with a bounded flow set.
+#[derive(Debug)]
+pub struct BurstSketch {
+    tick_secs: u64,
+    capacity: usize,
+    flows: HashMap<FlowKey, BurstState>,
+}
+
+impl BurstSketch {
+    /// Sketch with sub-interval `tick_secs` granularity over at most
+    /// `capacity` flows (excess flows are ignored — on a real NIC the
+    /// heavy-hitter stage decides which flows deserve burst tracking).
+    ///
+    /// # Panics
+    /// Panics if `tick_secs` or `capacity` is zero.
+    pub fn new(tick_secs: u64, capacity: usize) -> Self {
+        assert!(tick_secs > 0, "tick must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        BurstSketch { tick_secs, capacity, flows: HashMap::new() }
+    }
+
+    /// Flows currently tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Observe `bytes` for `key` at time `ts` (seconds). Observations must
+    /// be non-decreasing in time per flow (NIC-local clock).
+    pub fn observe(&mut self, ts: u64, key: FlowKey, bytes: u64) {
+        if !self.flows.contains_key(&key) && self.flows.len() >= self.capacity {
+            return; // bounded: untracked flows are simply not sketched
+        }
+        let tick = ts - ts % self.tick_secs;
+        let st = self.flows.entry(key).or_insert_with(|| BurstState {
+            tick_start: tick,
+            first_seen: ts,
+            ..BurstState::default()
+        });
+        if tick != st.tick_start {
+            st.peak_tick_bytes = st.peak_tick_bytes.max(st.tick_bytes);
+            st.tick_bytes = 0;
+            st.tick_start = tick;
+        }
+        st.tick_bytes += bytes;
+        st.total_bytes += bytes;
+        st.last_seen = ts;
+    }
+
+    /// Finalize one flow's burst summary (folding the open tick).
+    pub fn summary(&self, key: &FlowKey) -> Option<BurstSummary> {
+        let st = self.flows.get(key)?;
+        let peak = st.peak_tick_bytes.max(st.tick_bytes);
+        let span = (st.last_seen - st.first_seen).max(self.tick_secs - 1) + 1;
+        let avg_per_tick = st.total_bytes as f64 * self.tick_secs as f64 / span as f64;
+        Some(BurstSummary {
+            peak_tick_bytes: peak,
+            total_bytes: st.total_bytes,
+            span_secs: span,
+            burst_ratio: if avg_per_tick > 0.0 { peak as f64 / avg_per_tick } else { 0.0 },
+        })
+    }
+
+    /// Drain all flows into `(key, summary)` pairs, clearing the sketch —
+    /// what the host agent pulls each interval alongside the flow table.
+    pub fn drain(&mut self) -> Vec<(FlowKey, BurstSummary)> {
+        let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        let mut out: Vec<(FlowKey, BurstSummary)> =
+            keys.into_iter().filter_map(|k| self.summary(&k).map(|s| (k, s))).collect();
+        self.flows.clear();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u8) -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, i), 40_000, Ipv4Addr::new(10, 0, 1, 1), 443)
+    }
+
+    #[test]
+    fn smooth_flow_has_ratio_near_one() {
+        let mut s = BurstSketch::new(1, 64);
+        for t in 0..60 {
+            s.observe(t, key(1), 1000);
+        }
+        let b = s.summary(&key(1)).unwrap();
+        assert_eq!(b.total_bytes, 60_000);
+        assert_eq!(b.peak_tick_bytes, 1000);
+        assert!((b.burst_ratio - 1.0).abs() < 0.05, "ratio {}", b.burst_ratio);
+    }
+
+    #[test]
+    fn bursty_flow_has_high_ratio() {
+        let mut s = BurstSketch::new(1, 64);
+        // Everything in one second of a 60-second span.
+        s.observe(0, key(1), 1);
+        s.observe(30, key(1), 60_000);
+        s.observe(59, key(1), 1);
+        let b = s.summary(&key(1)).unwrap();
+        assert_eq!(b.span_secs, 60);
+        assert_eq!(b.peak_tick_bytes, 60_000);
+        assert!(b.burst_ratio > 30.0, "ratio {}", b.burst_ratio);
+    }
+
+    #[test]
+    fn open_tick_counts_toward_peak() {
+        let mut s = BurstSketch::new(1, 64);
+        s.observe(0, key(1), 10);
+        s.observe(5, key(1), 500); // still in the open tick 5
+        let b = s.summary(&key(1)).unwrap();
+        assert_eq!(b.peak_tick_bytes, 500);
+    }
+
+    #[test]
+    fn capacity_bounds_tracking() {
+        let mut s = BurstSketch::new(1, 2);
+        s.observe(0, key(1), 1);
+        s.observe(0, key(2), 1);
+        s.observe(0, key(3), 1); // ignored
+        assert_eq!(s.len(), 2);
+        assert!(s.summary(&key(3)).is_none());
+        // Existing flows keep updating even at capacity.
+        s.observe(1, key(1), 5);
+        assert_eq!(s.summary(&key(1)).unwrap().total_bytes, 6);
+    }
+
+    #[test]
+    fn drain_clears_and_sorts() {
+        let mut s = BurstSketch::new(1, 8);
+        s.observe(0, key(2), 10);
+        s.observe(0, key(1), 10);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].0 < drained[1].0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coarser_ticks_smooth_the_signal() {
+        let run = |tick: u64| {
+            let mut s = BurstSketch::new(tick, 8);
+            for t in 0..60u64 {
+                // 10-second period: one hot second in ten.
+                let bytes = if t % 10 == 0 { 10_000 } else { 100 };
+                s.observe(t, key(1), bytes);
+            }
+            s.summary(&key(1)).unwrap().burst_ratio
+        };
+        let fine = run(1);
+        let coarse = run(10);
+        assert!(
+            fine > coarse * 2.0,
+            "1s ticks must expose bursts 10s ticks hide: {fine} vs {coarse}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Wire codecs for connection-summary streams.
+//!
+//! Two formats, both lossless for the Table 2 schema:
+//!
+//! * **Text** — one comma-separated line per record, in the spirit of the
+//!   NSG/VPC flow-log export formats, convenient for eyeballing and for
+//!   interchange with plotting scripts.
+//! * **Binary** — a fixed-width framed format (magic + version + count +
+//!   records) used where the text overhead matters, e.g. replaying
+//!   multi-million-record streams into benchmarks. Built on [`bytes`].
+//!
+//! Both codecs are exercised by round-trip property tests.
+
+use crate::error::{Error, Result};
+use crate::record::{ConnSummary, FlowKey, Protocol};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Header line describing the text format's columns.
+pub const TEXT_HEADER: &str =
+    "ts,proto,local_ip,local_port,remote_ip,remote_port,pkts_sent,pkts_rcvd,bytes_sent,bytes_rcvd";
+
+/// Encode one record as a text line (no trailing newline).
+pub fn encode_line(s: &ConnSummary) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}",
+        s.ts,
+        s.key.proto.number(),
+        s.key.local_ip,
+        s.key.local_port,
+        s.key.remote_ip,
+        s.key.remote_port,
+        s.pkts_sent,
+        s.pkts_rcvd,
+        s.bytes_sent,
+        s.bytes_rcvd
+    )
+}
+
+/// Decode one text line into a record.
+pub fn decode_line(line: &str) -> Result<ConnSummary> {
+    let fields: Vec<&str> = line.trim_end().split(',').collect();
+    if fields.len() != 10 {
+        return Err(Error::MalformedLine {
+            line: 0,
+            reason: format!("expected 10 fields, found {}", fields.len()),
+        });
+    }
+    fn num<T: std::str::FromStr>(field: &'static str, v: &str) -> Result<T> {
+        v.parse().map_err(|_| Error::BadField { field, value: v.to_string() })
+    }
+    fn ip(field: &'static str, v: &str) -> Result<Ipv4Addr> {
+        v.parse().map_err(|_| Error::BadField { field, value: v.to_string() })
+    }
+    Ok(ConnSummary {
+        ts: num("ts", fields[0])?,
+        key: FlowKey {
+            proto: Protocol::from_number(num("proto", fields[1])?),
+            local_ip: ip("local_ip", fields[2])?,
+            local_port: num("local_port", fields[3])?,
+            remote_ip: ip("remote_ip", fields[4])?,
+            remote_port: num("remote_port", fields[5])?,
+        },
+        pkts_sent: num("pkts_sent", fields[6])?,
+        pkts_rcvd: num("pkts_rcvd", fields[7])?,
+        bytes_sent: num("bytes_sent", fields[8])?,
+        bytes_rcvd: num("bytes_rcvd", fields[9])?,
+    })
+}
+
+/// Encode a batch as text: header line followed by one line per record.
+pub fn encode_text(records: &[ConnSummary]) -> String {
+    let mut out = String::with_capacity(TEXT_HEADER.len() + 1 + records.len() * 64);
+    out.push_str(TEXT_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&encode_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode a text batch. The header line is required; blank lines are skipped.
+pub fn decode_text(text: &str) -> Result<Vec<ConnSummary>> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim_end() == TEXT_HEADER => {}
+        Some((_, h)) => {
+            return Err(Error::MalformedLine {
+                line: 0,
+                reason: format!("missing or wrong header, got {h:?}"),
+            })
+        }
+        None => return Ok(Vec::new()),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = decode_line(line).map_err(|e| match e {
+            Error::MalformedLine { reason, .. } => Error::MalformedLine { line: idx, reason },
+            other => other,
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Magic bytes opening every binary frame.
+pub const BINARY_MAGIC: &[u8; 4] = b"CGF\x01";
+
+/// Fixed on-wire size of one binary record.
+pub const BINARY_RECORD_SIZE: usize = 8 + 4 + 2 + 4 + 2 + 1 + 8 * 4;
+
+/// Encode a batch into the framed binary format.
+pub fn encode_binary(records: &[ConnSummary]) -> Bytes {
+    let mut buf =
+        BytesMut::with_capacity(BINARY_MAGIC.len() + 4 + records.len() * BINARY_RECORD_SIZE);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u32(records.len() as u32);
+    for r in records {
+        buf.put_u64(r.ts);
+        buf.put_slice(&r.key.local_ip.octets());
+        buf.put_u16(r.key.local_port);
+        buf.put_slice(&r.key.remote_ip.octets());
+        buf.put_u16(r.key.remote_port);
+        buf.put_u8(r.key.proto.number());
+        buf.put_u64(r.pkts_sent);
+        buf.put_u64(r.pkts_rcvd);
+        buf.put_u64(r.bytes_sent);
+        buf.put_u64(r.bytes_rcvd);
+    }
+    buf.freeze()
+}
+
+/// Decode a framed binary batch.
+pub fn decode_binary(mut buf: impl Buf) -> Result<Vec<ConnSummary>> {
+    if buf.remaining() < BINARY_MAGIC.len() + 4 {
+        return Err(Error::BadBinary("buffer shorter than frame header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(Error::BadBinary(format!("bad magic {magic:02x?}")));
+    }
+    let count = buf.get_u32() as usize;
+    if buf.remaining() < count * BINARY_RECORD_SIZE {
+        return Err(Error::BadBinary(format!(
+            "frame claims {count} records but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ts = buf.get_u64();
+        let mut ip4 = [0u8; 4];
+        buf.copy_to_slice(&mut ip4);
+        let local_ip = Ipv4Addr::from(ip4);
+        let local_port = buf.get_u16();
+        buf.copy_to_slice(&mut ip4);
+        let remote_ip = Ipv4Addr::from(ip4);
+        let remote_port = buf.get_u16();
+        let proto = Protocol::from_number(buf.get_u8());
+        out.push(ConnSummary {
+            ts,
+            key: FlowKey { local_ip, local_port, remote_ip, remote_port, proto },
+            pkts_sent: buf.get_u64(),
+            pkts_rcvd: buf.get_u64(),
+            bytes_sent: buf.get_u64(),
+            bytes_rcvd: buf.get_u64(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u32) -> ConnSummary {
+        ConnSummary {
+            ts: 60 * i as u64,
+            key: FlowKey::tcp(
+                Ipv4Addr::from(0x0a00_0001 + i),
+                (1000 + i) as u16,
+                Ipv4Addr::from(0x0a00_1000 + i),
+                443,
+            ),
+            pkts_sent: 10 + i as u64,
+            pkts_rcvd: 5,
+            bytes_sent: 1_000 * i as u64,
+            bytes_rcvd: 999,
+        }
+    }
+
+    #[test]
+    fn text_line_round_trip() {
+        for i in 0..20 {
+            let r = rec(i);
+            assert_eq!(decode_line(&encode_line(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn text_batch_round_trip() {
+        let recs: Vec<_> = (0..50).map(rec).collect();
+        assert_eq!(decode_text(&encode_text(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn text_rejects_wrong_field_count() {
+        let err = decode_line("1,2,3").unwrap_err();
+        assert!(matches!(err, Error::MalformedLine { .. }));
+    }
+
+    #[test]
+    fn text_rejects_bad_ip_with_field_name() {
+        let line = "0,6,999.0.0.1,80,10.0.0.2,443,1,1,1,1";
+        match decode_line(line).unwrap_err() {
+            Error::BadField { field, .. } => assert_eq!(field, "local_ip"),
+            other => panic!("expected BadField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_header_is_mandatory() {
+        let body = encode_line(&rec(1));
+        assert!(decode_text(&body).is_err());
+    }
+
+    #[test]
+    fn text_error_reports_line_number() {
+        let mut text = encode_text(&[rec(0), rec(1)]);
+        text.push_str("this,is,broken\n");
+        match decode_text(&text).unwrap_err() {
+            Error::MalformedLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let recs: Vec<_> = (0..100).map(rec).collect();
+        let buf = encode_binary(&recs);
+        assert_eq!(buf.len(), 8 + recs.len() * BINARY_RECORD_SIZE);
+        assert_eq!(decode_binary(buf).unwrap(), recs);
+    }
+
+    #[test]
+    fn binary_empty_batch() {
+        let buf = encode_binary(&[]);
+        assert_eq!(decode_binary(buf).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = BytesMut::from(&encode_binary(&[rec(0)])[..]);
+        buf[0] ^= 0xff;
+        assert!(matches!(decode_binary(buf.freeze()).unwrap_err(), Error::BadBinary(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let full = encode_binary(&[rec(0), rec(1)]);
+        let truncated = full.slice(..full.len() - 5);
+        assert!(matches!(decode_binary(truncated).unwrap_err(), Error::BadBinary(_)));
+    }
+
+    #[test]
+    fn binary_is_denser_than_text() {
+        let recs: Vec<_> = (0..1000).map(rec).collect();
+        let b = encode_binary(&recs).len();
+        let t = encode_text(&recs).len();
+        assert!(b < t, "binary ({b}) should beat text ({t})");
+    }
+}

@@ -1,0 +1,41 @@
+//! Cloud flow telemetry: the substrate of dynamic communication graphs.
+//!
+//! Public clouds can record, for every VM, periodic summaries of every flow
+//! that enters or leaves it — transparently to the customer and with
+//! negligible overhead, because the programmable NIC (or the network
+//! virtualization software stack) already keeps per-flow state. This crate
+//! models that telemetry source end to end:
+//!
+//! * [`record`] — the connection-summary schema (Table 2 of the paper) and
+//!   flow identity types.
+//! * [`provider`] — per-provider collection presets (Table 3): aggregation
+//!   interval, sampling, and collection price.
+//! * [`sampling`] — packet- and flow-sampling stages with unbiased upscaling,
+//!   as deployed by providers that sample to reduce cost.
+//! * [`nic`] — a simulated smartNIC flow table plus the host agent that
+//!   periodically drains it into connection summaries (Figure 7).
+//! * [`codec`] — text (flow-log line) and binary codecs for summary streams.
+//! * [`nsg`] — Azure-NSG-style JSON interchange (v2 flow tuples).
+//! * [`burst`] — a NIC-resident burst-statistics sketch (§3.1's open issue).
+//! * [`time`] — aggregation-bucket helpers.
+//!
+//! The design goal mirrors the paper's: everything downstream (graph
+//! construction, segmentation, summaries, counterfactuals) consumes **only**
+//! this schema, so swapping the simulated source for a real NSG/VPC flow-log
+//! feed is a codec change, not an architecture change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod codec;
+pub mod error;
+pub mod nic;
+pub mod nsg;
+pub mod provider;
+pub mod record;
+pub mod sampling;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use record::{ConnSummary, FlowKey, Protocol};

@@ -1,0 +1,95 @@
+//! Aggregation-interval (bucket) arithmetic.
+//!
+//! Connection summaries are emitted on a fixed cadence (1 minute on Azure and
+//! AWS, 5 seconds and up on GCP — Table 3). All bucketing in the repository
+//! goes through these helpers so that every component agrees on interval
+//! boundaries.
+
+/// Seconds in one minute; the default aggregation interval.
+pub const MINUTE: u64 = 60;
+
+/// Seconds in one hour; the default graph-snapshot window.
+pub const HOUR: u64 = 3600;
+
+/// Floor a timestamp (seconds) to the start of its bucket of `interval` seconds.
+///
+/// # Panics
+/// Panics if `interval` is zero.
+pub fn bucket_start(ts: u64, interval: u64) -> u64 {
+    assert!(interval > 0, "aggregation interval must be positive");
+    ts - ts % interval
+}
+
+/// The bucket index of a timestamp, counting buckets of `interval` seconds
+/// from the epoch.
+pub fn bucket_index(ts: u64, interval: u64) -> u64 {
+    assert!(interval > 0, "aggregation interval must be positive");
+    ts / interval
+}
+
+/// Inclusive start and exclusive end of the bucket containing `ts`.
+pub fn bucket_bounds(ts: u64, interval: u64) -> (u64, u64) {
+    let start = bucket_start(ts, interval);
+    (start, start + interval)
+}
+
+/// Iterator over bucket start times covering `[from, to)`.
+///
+/// Yields the start of every bucket that intersects the half-open range.
+pub fn buckets_covering(from: u64, to: u64, interval: u64) -> impl Iterator<Item = u64> {
+    assert!(interval > 0, "aggregation interval must be positive");
+    let first = bucket_start(from, interval);
+    (first..to).step_by(interval as usize).take_while(move |_| from < to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_start_floors() {
+        assert_eq!(bucket_start(0, MINUTE), 0);
+        assert_eq!(bucket_start(59, MINUTE), 0);
+        assert_eq!(bucket_start(60, MINUTE), 60);
+        assert_eq!(bucket_start(3601, HOUR), 3600);
+    }
+
+    #[test]
+    fn bucket_index_counts_from_epoch() {
+        assert_eq!(bucket_index(0, MINUTE), 0);
+        assert_eq!(bucket_index(61, MINUTE), 1);
+        assert_eq!(bucket_index(7200, HOUR), 2);
+    }
+
+    #[test]
+    fn bounds_are_half_open() {
+        let (s, e) = bucket_bounds(95, MINUTE);
+        assert_eq!((s, e), (60, 120));
+        assert!(s <= 95 && 95 < e);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        bucket_start(10, 0);
+    }
+
+    #[test]
+    fn buckets_covering_spans_range() {
+        let v: Vec<u64> = buckets_covering(30, 200, MINUTE).collect();
+        assert_eq!(v, vec![0, 60, 120, 180]);
+    }
+
+    #[test]
+    fn buckets_covering_empty_range() {
+        let v: Vec<u64> = buckets_covering(100, 100, MINUTE).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn gcp_five_second_buckets() {
+        assert_eq!(bucket_start(12, 5), 10);
+        let v: Vec<u64> = buckets_covering(0, 20, 5).collect();
+        assert_eq!(v, vec![0, 5, 10, 15]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Streaming graph construction: the group-by-aggregate of §3.2.
+//!
+//! The builder consumes connection summaries one at a time and accumulates
+//! per-node-pair counters — memory proportional to the number of node pairs,
+//! exactly the cost model the paper analyzes. Two subtleties:
+//!
+//! * **Vantage dedup.** Per-NIC collection reports a flow from *both*
+//!   endpoints when both are inside the subscription. Given the monitored
+//!   set, the builder keeps only the canonical endpoint's report for
+//!   double-covered flows, so edge counters are not doubled.
+//! * **Connection counting.** `conns` counts deduped flow-reports
+//!   (flow-minutes). For sub-minute flows — the overwhelming majority in
+//!   cloud RPC workloads — this equals the number of connections; long-lived
+//!   flows contribute one count per interval they span.
+
+use crate::graph::CommGraph;
+use crate::node::{Facet, NodeId};
+use crate::stats::EdgeStats;
+use flowlog::record::ConnSummary;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Accumulates one window's records into a [`CommGraph`].
+///
+/// ```
+/// use commgraph_graph::{Facet, GraphBuilder};
+/// use flowlog::record::{ConnSummary, FlowKey};
+/// use std::net::Ipv4Addr;
+///
+/// let mut b = GraphBuilder::new(Facet::Ip, 0, 3600);
+/// b.add(&ConnSummary {
+///     ts: 0,
+///     key: FlowKey::tcp("10.0.0.1".parse().unwrap(), 40000,
+///                       "10.0.0.2".parse().unwrap(), 443),
+///     pkts_sent: 2, pkts_rcvd: 1, bytes_sent: 900, bytes_rcvd: 100,
+/// });
+/// let g = b.finish();
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.totals().bytes(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    facet: Facet,
+    /// When `Some`, flows between two monitored IPs are deduped to the
+    /// canonical vantage. When `None`, every record counts (single-vantage
+    /// telemetry, e.g. chokepoint captures).
+    monitored: Option<HashSet<Ipv4Addr>>,
+    edges: HashMap<(NodeId, NodeId), EdgeStats>,
+    window_start: u64,
+    window_len: u64,
+    records_seen: u64,
+    records_kept: u64,
+}
+
+impl GraphBuilder {
+    /// New builder for a window starting at `window_start` lasting
+    /// `window_len` seconds.
+    pub fn new(facet: Facet, window_start: u64, window_len: u64) -> Self {
+        GraphBuilder {
+            facet,
+            monitored: None,
+            edges: HashMap::new(),
+            window_start,
+            window_len,
+            records_seen: 0,
+            records_kept: 0,
+        }
+    }
+
+    /// Enable vantage dedup against the given monitored-IP inventory.
+    pub fn with_monitored(mut self, monitored: HashSet<Ipv4Addr>) -> Self {
+        self.monitored = Some(monitored);
+        self
+    }
+
+    /// The facet this builder aggregates under.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// Records offered / records kept after dedup.
+    pub fn record_counts(&self) -> (u64, u64) {
+        (self.records_seen, self.records_kept)
+    }
+
+    /// Current number of distinct node pairs (the memory driver).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether this record survives vantage dedup.
+    fn keep(&self, r: &ConnSummary) -> bool {
+        match &self.monitored {
+            // Both endpoints monitored ⇒ this flow was reported twice;
+            // keep only the canonical endpoint's copy.
+            Some(set) if set.contains(&r.key.remote_ip) && set.contains(&r.key.local_ip) => {
+                r.key.is_canonical()
+            }
+            _ => true,
+        }
+    }
+
+    /// Offer one record.
+    pub fn add(&mut self, r: &ConnSummary) {
+        self.records_seen += 1;
+        if !self.keep(r) {
+            return;
+        }
+        self.records_kept += 1;
+        let (local, remote) = self.facet.endpoints(r);
+        // Orient the undirected edge key and the byte direction split.
+        let (key, fwd_bytes, rev_bytes, fwd_pkts, rev_pkts) = if local <= remote {
+            ((local, remote), r.bytes_sent, r.bytes_rcvd, r.pkts_sent, r.pkts_rcvd)
+        } else {
+            ((remote, local), r.bytes_rcvd, r.bytes_sent, r.pkts_rcvd, r.pkts_sent)
+        };
+        let e = self.edges.entry(key).or_default();
+        e.bytes_fwd = e.bytes_fwd.saturating_add(fwd_bytes);
+        e.bytes_rev = e.bytes_rev.saturating_add(rev_bytes);
+        e.pkts_fwd = e.pkts_fwd.saturating_add(fwd_pkts);
+        e.pkts_rev = e.pkts_rev.saturating_add(rev_pkts);
+        e.conns += 1;
+    }
+
+    /// Offer a batch.
+    pub fn add_all<'a>(&mut self, records: impl IntoIterator<Item = &'a ConnSummary>) {
+        for r in records {
+            self.add(r);
+        }
+    }
+
+    /// Finish the window into an immutable snapshot.
+    pub fn finish(self) -> CommGraph {
+        CommGraph::from_edge_map(self.facet.name(), self.window_start, self.window_len, self.edges)
+    }
+}
+
+/// Splits a record stream into fixed windows, emitting one [`CommGraph`]
+/// per window — the "time-series of graphs" the paper's dynamic analyses
+/// consume. Records must arrive in non-decreasing timestamp order (the
+/// telemetry pipeline delivers per-minute batches, so this holds naturally).
+#[derive(Debug)]
+pub struct WindowedBuilder {
+    facet: Facet,
+    monitored: Option<HashSet<Ipv4Addr>>,
+    window_len: u64,
+    current: Option<GraphBuilder>,
+    finished: Vec<CommGraph>,
+}
+
+impl WindowedBuilder {
+    /// Builder emitting one graph per `window_len` seconds (3600 for the
+    /// paper's hourly graphs).
+    pub fn new(facet: Facet, window_len: u64) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        WindowedBuilder { facet, monitored: None, window_len, current: None, finished: Vec::new() }
+    }
+
+    /// Enable vantage dedup (see [`GraphBuilder::with_monitored`]).
+    pub fn with_monitored(mut self, monitored: HashSet<Ipv4Addr>) -> Self {
+        self.monitored = Some(monitored);
+        self
+    }
+
+    fn fresh(&self, window_start: u64) -> GraphBuilder {
+        let b = GraphBuilder::new(self.facet.clone(), window_start, self.window_len);
+        match &self.monitored {
+            Some(m) => b.with_monitored(m.clone()),
+            None => b,
+        }
+    }
+
+    /// Offer one record, rolling windows as timestamps advance.
+    pub fn add(&mut self, r: &ConnSummary) {
+        let w = flowlog::time::bucket_start(r.ts, self.window_len);
+        let roll = match &self.current {
+            Some(b) => b.window_start != w,
+            None => true,
+        };
+        if roll {
+            if let Some(b) = self.current.take() {
+                self.finished.push(b.finish());
+            }
+            self.current = Some(self.fresh(w));
+        }
+        self.current.as_mut().expect("window just ensured").add(r);
+    }
+
+    /// Offer a batch.
+    pub fn add_all<'a>(&mut self, records: impl IntoIterator<Item = &'a ConnSummary>) {
+        for r in records {
+            self.add(r);
+        }
+    }
+
+    /// Drain graphs for windows that have closed so far.
+    pub fn drain_finished(&mut self) -> Vec<CommGraph> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Finish the stream: close the open window and return all remaining
+    /// graphs in time order.
+    pub fn finish(mut self) -> Vec<CommGraph> {
+        if let Some(b) = self.current.take() {
+            self.finished.push(b.finish());
+        }
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowlog::record::FlowKey;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, d)
+    }
+
+    fn rec(ts: u64, l: u8, lp: u16, r: u8, rp: u16, sent: u64, rcvd: u64) -> ConnSummary {
+        ConnSummary {
+            ts,
+            key: FlowKey::tcp(ip(l), lp, ip(r), rp),
+            pkts_sent: sent.div_ceil(1000).max(1),
+            pkts_rcvd: rcvd.div_ceil(1000).max(1),
+            bytes_sent: sent,
+            bytes_rcvd: rcvd,
+        }
+    }
+
+    #[test]
+    fn aggregates_records_into_edges() {
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600);
+        b.add(&rec(0, 1, 40_000, 2, 443, 1000, 200));
+        b.add(&rec(60, 1, 40_001, 2, 443, 500, 100));
+        let g = b.finish();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge(0, 1).unwrap();
+        assert_eq!(e.bytes(), 1800);
+        assert_eq!(e.conns, 2);
+    }
+
+    #[test]
+    fn direction_split_follows_node_order() {
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600);
+        // Reporter is the *higher* IP: its sent bytes flow higher→lower.
+        b.add(&rec(0, 2, 40_000, 1, 443, 700, 50));
+        let g = b.finish();
+        let lo = g.index_of(&NodeId::Ip(ip(1))).unwrap();
+        let hi = g.index_of(&NodeId::Ip(ip(2))).unwrap();
+        let e = g.edge(lo, hi).unwrap();
+        assert_eq!(e.bytes_fwd, 50, "lower→higher is what ip1 sent (reported as rcvd)");
+        assert_eq!(e.bytes_rev, 700);
+    }
+
+    #[test]
+    fn dedup_halves_double_reported_flows() {
+        let flow = rec(0, 1, 40_000, 2, 443, 1000, 200);
+        let monitored: HashSet<Ipv4Addr> = [ip(1), ip(2)].into_iter().collect();
+
+        let mut with = GraphBuilder::new(Facet::Ip, 0, 3600).with_monitored(monitored);
+        with.add(&flow);
+        with.add(&flow.mirrored());
+        let g = with.finish();
+        assert_eq!(g.edge(0, 1).unwrap().bytes(), 1200, "each byte counted once");
+        assert_eq!(g.edge(0, 1).unwrap().conns, 1);
+
+        let mut without = GraphBuilder::new(Facet::Ip, 0, 3600);
+        without.add(&flow);
+        without.add(&flow.mirrored());
+        let g2 = without.finish();
+        assert_eq!(g2.edge(0, 1).unwrap().bytes(), 2400, "no inventory ⇒ no dedup");
+    }
+
+    #[test]
+    fn dedup_keeps_single_vantage_flows() {
+        // Remote is NOT monitored: the single report must be kept even
+        // though it is non-canonical.
+        let monitored: HashSet<Ipv4Addr> = [ip(2)].into_iter().collect();
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600).with_monitored(monitored);
+        b.add(&rec(0, 2, 40_000, 1, 443, 700, 50)); // local 10.0.0.2 > remote 10.0.0.1
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.totals().bytes(), 750);
+    }
+
+    #[test]
+    fn ipport_facet_separates_services_on_one_host() {
+        let mut b = GraphBuilder::new(Facet::IpPort, 0, 3600);
+        b.add(&rec(0, 1, 40_000, 2, 443, 100, 10));
+        b.add(&rec(0, 1, 40_001, 2, 8080, 100, 10));
+        let g = b.finish();
+        // Same hosts, two service ports ⇒ 4 nodes, 2 edges.
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn windowed_builder_rolls_hourly() {
+        let mut wb = WindowedBuilder::new(Facet::Ip, 3600);
+        wb.add(&rec(0, 1, 40_000, 2, 443, 100, 10));
+        wb.add(&rec(3599, 1, 40_001, 2, 443, 100, 10));
+        wb.add(&rec(3600, 1, 40_002, 2, 443, 100, 10));
+        wb.add(&rec(7300, 1, 40_003, 2, 443, 100, 10));
+        let graphs = wb.finish();
+        assert_eq!(graphs.len(), 3);
+        assert_eq!(graphs[0].window_start(), 0);
+        assert_eq!(graphs[0].totals().conns, 2);
+        assert_eq!(graphs[1].window_start(), 3600);
+        assert_eq!(graphs[2].window_start(), 7200);
+    }
+
+    #[test]
+    fn drain_finished_is_incremental() {
+        let mut wb = WindowedBuilder::new(Facet::Ip, 60);
+        wb.add(&rec(0, 1, 40_000, 2, 443, 1, 1));
+        assert!(wb.drain_finished().is_empty(), "window still open");
+        wb.add(&rec(60, 1, 40_001, 2, 443, 1, 1));
+        let done = wb.drain_finished();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].window_start(), 0);
+    }
+
+    #[test]
+    fn record_counts_track_dedup() {
+        let flow = rec(0, 1, 40_000, 2, 443, 1000, 200);
+        let monitored: HashSet<Ipv4Addr> = [ip(1), ip(2)].into_iter().collect();
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 3600).with_monitored(monitored);
+        b.add(&flow);
+        b.add(&flow.mirrored());
+        assert_eq!(b.record_counts(), (2, 1));
+    }
+}

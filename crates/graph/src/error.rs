@@ -1,0 +1,39 @@
+//! Graph-construction error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or transforming communication graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter was out of range (thresholds, window sizes, …).
+    InvalidConfig(String),
+    /// A node referenced by an operation is not in the graph.
+    UnknownNode(String),
+    /// Two graphs expected to be comparable were not (e.g. different facets).
+    Incompatible(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid graph config: {m}"),
+            Error::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            Error::Incompatible(m) => write!(f, "incompatible graphs: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        assert!(Error::UnknownNode("10.0.0.1".into()).to_string().contains("10.0.0.1"));
+    }
+}

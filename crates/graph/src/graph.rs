@@ -1,0 +1,361 @@
+//! The immutable communication-graph snapshot.
+
+use crate::error::{Error, Result};
+use crate::node::NodeId;
+use crate::stats::{EdgeStats, NodeStats};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A communication graph over one time window: nodes under some facet,
+/// undirected edges carrying byte/packet/connection counters.
+///
+/// Nodes are stored sorted by [`NodeId`], which — because the simulator
+/// assigns addresses role-major — groups same-role replicas contiguously and
+/// gives adjacency matrices their banded structure. Adjacency is CSR-style:
+/// one sorted neighbor list per node, each edge present in both endpoint
+/// lists with its stats oriented *outward* from the owning node.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommGraph {
+    facet_name: String,
+    window_start: u64,
+    window_len: u64,
+    nodes: Vec<NodeId>,
+    #[serde(skip)]
+    index: HashMap<NodeId, u32>,
+    adj: Vec<Vec<(u32, EdgeStats)>>,
+    node_stats: Vec<NodeStats>,
+    totals: EdgeStats,
+    edge_count: usize,
+}
+
+impl CommGraph {
+    /// Assemble a graph from an edge map. Used by the builder and by tests;
+    /// edge keys must be `(lower, higher)` ordered pairs (self-loops allowed)
+    /// with stats oriented lower→higher.
+    pub fn from_edge_map(
+        facet_name: impl Into<String>,
+        window_start: u64,
+        window_len: u64,
+        edges: HashMap<(NodeId, NodeId), EdgeStats>,
+    ) -> Self {
+        let mut node_set: Vec<NodeId> = edges.keys().flat_map(|(a, b)| [*a, *b]).collect();
+        node_set.sort_unstable();
+        node_set.dedup();
+        let index: HashMap<NodeId, u32> =
+            node_set.iter().enumerate().map(|(i, n)| (*n, i as u32)).collect();
+
+        let mut adj: Vec<Vec<(u32, EdgeStats)>> = vec![Vec::new(); node_set.len()];
+        let mut node_stats: Vec<NodeStats> = vec![NodeStats::default(); node_set.len()];
+        let mut totals = EdgeStats::default();
+        let edge_count = edges.len();
+
+        for ((a, b), stats) in &edges {
+            let (ia, ib) = (index[a], index[b]);
+            debug_assert!(a <= b, "edge keys must be ordered");
+            totals.absorb(stats);
+            if ia == ib {
+                adj[ia as usize].push((ib, *stats));
+                let ns = &mut node_stats[ia as usize];
+                ns.bytes += stats.bytes();
+                ns.pkts += stats.pkts();
+                ns.conns += stats.conns;
+                ns.degree += 1;
+            } else {
+                adj[ia as usize].push((ib, *stats));
+                adj[ib as usize].push((ia, stats.reversed()));
+                for (i, s) in [(ia, stats), (ib, stats)] {
+                    let ns = &mut node_stats[i as usize];
+                    ns.bytes += s.bytes();
+                    ns.pkts += s.pkts();
+                    ns.conns += s.conns;
+                    ns.degree += 1;
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|(n, _)| *n);
+        }
+        CommGraph {
+            facet_name: facet_name.into(),
+            window_start,
+            window_len,
+            nodes: node_set,
+            index,
+            adj,
+            node_stats,
+            totals,
+            edge_count,
+        }
+    }
+
+    /// Name of the facet this graph was built under (`"ip"`, `"ip-port"`, …).
+    pub fn facet_name(&self) -> &str {
+        &self.facet_name
+    }
+
+    /// Start of the time window (seconds since epoch).
+    pub fn window_start(&self) -> u64 {
+        self.window_start
+    }
+
+    /// Length of the time window in seconds.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All nodes, sorted by id.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The node at a dense index.
+    pub fn node(&self, idx: u32) -> NodeId {
+        self.nodes[idx as usize]
+    }
+
+    /// Dense index of a node id.
+    pub fn index_of(&self, node: &NodeId) -> Option<u32> {
+        self.index.get(node).copied()
+    }
+
+    /// Neighbor list of a node: `(neighbor index, stats oriented outward)`.
+    pub fn neighbors(&self, idx: u32) -> &[(u32, EdgeStats)] {
+        &self.adj[idx as usize]
+    }
+
+    /// Stats of the edge between two nodes, oriented `a → b`, if present.
+    pub fn edge(&self, a: u32, b: u32) -> Option<EdgeStats> {
+        let list = &self.adj[a as usize];
+        list.binary_search_by_key(&b, |(n, _)| *n).ok().map(|i| list[i].1)
+    }
+
+    /// Aggregate counters of a node.
+    pub fn node_stats(&self, idx: u32) -> NodeStats {
+        self.node_stats[idx as usize]
+    }
+
+    /// Whole-graph traffic totals.
+    pub fn totals(&self) -> EdgeStats {
+        self.totals
+    }
+
+    /// Node indices sorted by descending byte contribution.
+    pub fn nodes_by_bytes(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.node_stats[i as usize].bytes));
+        idx
+    }
+
+    /// Symmetric dense matrix of bytes exchanged between node pairs, in node
+    /// order — the object Figures 4/5 visualize and PCA consumes.
+    ///
+    /// Returns an error for graphs too large to densify (guard against
+    /// accidentally materializing an n² matrix for a 10⁶-node graph).
+    pub fn byte_matrix(&self, max_nodes: usize) -> Result<Vec<Vec<f64>>> {
+        let n = self.nodes.len();
+        if n > max_nodes {
+            return Err(Error::InvalidConfig(format!(
+                "graph has {n} nodes, above the densification cap {max_nodes}"
+            )));
+        }
+        let mut m = vec![vec![0.0f64; n]; n];
+        for (i, list) in self.adj.iter().enumerate() {
+            for (j, stats) in list {
+                m[i][*j as usize] = stats.bytes() as f64;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Graphviz DOT rendering. `groups` optionally assigns each node a group
+    /// (e.g. an inferred role); nodes in the same group share a color. Edge
+    /// pen width scales with log-bytes.
+    pub fn to_dot(&self, groups: Option<&[usize]>) -> String {
+        const PALETTE: [&str; 12] = [
+            "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+            "#9c755f", "#bab0ac", "#1f77b4", "#2ca02c",
+        ];
+        let mut out = String::new();
+        out.push_str("graph commgraph {\n  overlap=false;\n  node [style=filled];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let color = groups
+                .and_then(|g| g.get(i))
+                .map(|&g| PALETTE[g % PALETTE.len()])
+                .unwrap_or("#cccccc");
+            let _ = writeln!(out, "  n{i} [label=\"{n}\", fillcolor=\"{color}\"];");
+        }
+        for (i, list) in self.adj.iter().enumerate() {
+            for (j, stats) in list {
+                if (*j as usize) < i {
+                    continue; // emit each undirected edge once
+                }
+                let w = 0.3 + (stats.bytes().max(1) as f64).log10() * 0.4;
+                let _ = writeln!(out, "  n{i} -- n{j} [penwidth={w:.2}];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Compact JSON summary (counts, totals, top talkers) for experiment
+    /// artifacts.
+    pub fn summary_json(&self, top_k: usize) -> serde_json::Value {
+        let top: Vec<serde_json::Value> = self
+            .nodes_by_bytes()
+            .into_iter()
+            .take(top_k)
+            .map(|i| {
+                let ns = self.node_stats(i);
+                serde_json::json!({
+                    "node": self.node(i).to_string(),
+                    "bytes": ns.bytes,
+                    "degree": ns.degree,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "facet": self.facet_name,
+            "window_start": self.window_start,
+            "window_len": self.window_len,
+            "nodes": self.node_count(),
+            "edges": self.edge_count(),
+            "total_bytes": self.totals.bytes(),
+            "total_conns": self.totals.conns,
+            "top_talkers": top,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index pairs are clearest for symmetry checks
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> NodeId {
+        NodeId::Ip(Ipv4Addr::new(10, 0, 0, d))
+    }
+
+    fn edge(bf: u64, br: u64, conns: u64) -> EdgeStats {
+        EdgeStats { bytes_fwd: bf, bytes_rev: br, pkts_fwd: bf / 100, pkts_rev: br / 100, conns }
+    }
+
+    fn triangle() -> CommGraph {
+        let mut edges = HashMap::new();
+        edges.insert((ip(1), ip(2)), edge(1000, 500, 3));
+        edges.insert((ip(2), ip(3)), edge(200, 100, 1));
+        edges.insert((ip(1), ip(3)), edge(50, 25, 2));
+        CommGraph::from_edge_map("ip", 0, 3600, edges)
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.index_of(&ip(2)).is_some());
+        assert!(g.index_of(&ip(9)).is_none());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_oriented_stats() {
+        let g = triangle();
+        let (a, b) = (g.index_of(&ip(1)).unwrap(), g.index_of(&ip(2)).unwrap());
+        let ab = g.edge(a, b).unwrap();
+        let ba = g.edge(b, a).unwrap();
+        assert_eq!(ab.bytes_fwd, 1000);
+        assert_eq!(ba.bytes_fwd, 500, "stats flip when viewed from the other end");
+        assert_eq!(ab.bytes(), ba.bytes());
+    }
+
+    #[test]
+    fn node_stats_accumulate_incident_edges() {
+        let g = triangle();
+        let i1 = g.index_of(&ip(1)).unwrap();
+        let ns = g.node_stats(i1);
+        assert_eq!(ns.bytes, 1500 + 75);
+        assert_eq!(ns.degree, 2);
+        assert_eq!(ns.conns, 5);
+    }
+
+    #[test]
+    fn totals_count_each_edge_once() {
+        let g = triangle();
+        assert_eq!(g.totals().bytes(), 1875);
+        assert_eq!(g.totals().conns, 6);
+    }
+
+    #[test]
+    fn byte_matrix_is_symmetric() {
+        let g = triangle();
+        let m = g.byte_matrix(10).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+            assert_eq!(m[i][i], 0.0);
+        }
+        assert!(g.byte_matrix(2).is_err(), "cap is enforced");
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let mut edges = HashMap::new();
+        edges.insert((ip(1), ip(1)), edge(100, 0, 1));
+        let g = CommGraph::from_edge_map("service", 0, 60, edges);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_stats(0).degree, 1);
+        assert_eq!(g.totals().bytes(), 100);
+        let m = g.byte_matrix(10).unwrap();
+        assert_eq!(m[0][0], 100.0);
+    }
+
+    #[test]
+    fn nodes_by_bytes_ranks_heaviest_first() {
+        let g = triangle();
+        let order = g.nodes_by_bytes();
+        // ip(1) (1575) > ip(2) (1800)? ip(2): edges (1,2)=1500 + (2,3)=300 = 1800.
+        assert_eq!(g.node(order[0]), ip(2));
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_groups() {
+        let g = triangle();
+        let dot = g.to_dot(Some(&[0, 0, 1]));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("10.0.0.1"));
+        assert_eq!(dot.matches(" -- ").count(), 3);
+        // Same group ⇒ same color string appears at least twice.
+        let color_count = dot.matches("#4e79a7").count();
+        assert_eq!(color_count, 2);
+    }
+
+    #[test]
+    fn summary_json_has_expected_fields() {
+        let g = triangle();
+        let j = g.summary_json(2);
+        assert_eq!(j["nodes"], 3);
+        assert_eq!(j["edges"], 3);
+        assert_eq!(j["top_talkers"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CommGraph::from_edge_map("ip", 0, 60, HashMap::new());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.byte_matrix(10).unwrap().is_empty());
+    }
+}

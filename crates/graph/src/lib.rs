@@ -1,0 +1,48 @@
+//! Dynamic, multi-faceted communication graphs.
+//!
+//! This crate turns a stream of connection summaries into the paper's core
+//! artifact: a **complete communication graph** of everything that talks
+//! inside a cloud subscription. Nodes can be IPs, `(IP, port)` tuples, or
+//! services (the *multi-faceted* requirement); edges carry byte, packet, and
+//! connection counters; a windowed builder produces a *time series* of
+//! graphs (the *dynamic* requirement).
+//!
+//! Key pieces:
+//! * [`node`] — node identities and the facet abstraction.
+//! * [`stats`] — edge and node counters.
+//! * [`builder`] — streaming group-by-aggregate construction, including the
+//!   double-report dedup rule for per-NIC telemetry and windowing.
+//! * [`graph`] — the immutable snapshot with CSR adjacency, matrix export,
+//!   and DOT/JSON serialization.
+//! * [`collapse`] — heavy-hitter collapsing: nodes below a traffic-share
+//!   threshold fold into one `Other` node, the paper's §3.2 mitigation that
+//!   bounds memory on graphs with many small remote peers.
+//! * [`export`] — GraphML and edge-list CSV renders for external tooling.
+//! * [`diff`] — "what changed?" comparisons between snapshots.
+//! * [`series`] — hourly snapshot sequences and persistence metrics
+//!   (Figure 5's timelapse analysis).
+//! * [`cardinality`] — HyperLogLog estimation of node/edge counts for
+//!   facets too large to materialize (the KQuery IP-port graph).
+//! * [`timeseries`] — per-edge byte series at the summary cadence: the
+//!   paper's "embed timeseries in the node and edge attributes" variant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cardinality;
+pub mod collapse;
+pub mod diff;
+pub mod error;
+pub mod export;
+pub mod graph;
+pub mod node;
+pub mod series;
+pub mod stats;
+pub mod timeseries;
+
+pub use builder::{GraphBuilder, WindowedBuilder};
+pub use error::{Error, Result};
+pub use graph::CommGraph;
+pub use node::{Facet, NodeId};
+pub use stats::{EdgeStats, NodeStats};

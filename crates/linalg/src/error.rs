@@ -1,0 +1,67 @@
+//! Linear-algebra error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by matrix operations and decompositions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Operand shapes do not line up.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left operand shape `(rows, cols)`.
+        left: (usize, usize),
+        /// Right operand shape `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// An operation required a symmetric matrix but got an asymmetric one.
+    NotSymmetric {
+        /// Worst absolute asymmetry found.
+        max_asymmetry: f64,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// Which algorithm.
+        algorithm: &'static str,
+        /// Iterations/sweeps performed.
+        iterations: usize,
+    },
+    /// A parameter was out of range (e.g. k > n).
+    InvalidArg(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, left, right } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            Error::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix is not symmetric (max asymmetry {max_asymmetry:.3e})")
+            }
+            Error::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+            Error::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(Error::NoConvergence { algorithm: "jacobi", iterations: 3 }
+            .to_string()
+            .contains("jacobi"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense linear algebra for communication-matrix analysis, from scratch.
+//!
+//! The paper's succinct-summaries analysis (§2.2) rests on one observation:
+//! cloud communication matrices are exceedingly low-rank, so a handful of
+//! eigenvectors reconstructs them almost perfectly (k = 25 of n > 500 gives
+//! < 5% error on the K8s PaaS cluster). This crate provides everything that
+//! analysis needs without an external linear-algebra dependency:
+//!
+//! * [`matrix`] — a dense row-major matrix with the handful of operations
+//!   the analyses use (multiply, transpose, norms).
+//! * [`eigen`] — cyclic Jacobi eigendecomposition for symmetric matrices:
+//!   simple, robust, and exact enough at the few-hundred-node scale of
+//!   collapsed IP graphs.
+//! * [`pca`] — the paper's sparse transform `M_k = E_k D_k E_kᵀ` and its
+//!   `ReconErr` metric.
+//! * [`ica`] — FastICA (the paper's footnote 6 alternative), implemented
+//!   with whitening + deflationary fixed-point iteration.
+//! * [`quantize`] — the log-scale normalization behind the Figure 4/5
+//!   heatmaps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eigen;
+pub mod error;
+pub mod ica;
+pub mod matrix;
+pub mod pca;
+pub mod quantize;
+
+pub use eigen::{eigen_symmetric, EigenDecomposition};
+pub use error::{Error, Result};
+pub use ica::{fast_ica, IcaDecomposition};
+pub use matrix::Matrix;
+pub use pca::{pca_sweep, recon_err, sparse_transform, PcaSummary};

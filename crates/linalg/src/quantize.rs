@@ -1,0 +1,151 @@
+//! Log-scale quantization for adjacency-matrix heatmaps (Figures 4 & 5).
+//!
+//! The paper renders byte matrices "normalized and color-coded in log
+//! scale": entries span six-plus orders of magnitude, so a linear scale
+//! would show only the elephants. [`log_normalize`] maps entries to `[0, 1]`
+//! on a log axis spanning `decades` orders of magnitude below the maximum;
+//! [`to_csv`] emits the result for external plotting.
+
+use crate::matrix::Matrix;
+
+/// Log-normalize a non-negative matrix to `[0, 1]`.
+///
+/// The maximum entry maps to 1; entries `decades` orders of magnitude below
+/// it (or zero) map to 0; everything between maps linearly in log-space.
+/// The paper's figures use 6 decades.
+///
+/// # Panics
+/// Panics if `decades` is not positive or any entry is negative.
+pub fn log_normalize(m: &Matrix, decades: f64) -> Matrix {
+    assert!(decades > 0.0, "decades must be positive");
+    let max = m.data().iter().fold(0.0f64, |a, &b| {
+        assert!(b >= 0.0, "log heatmaps need non-negative matrices");
+        a.max(b)
+    });
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    if max == 0.0 {
+        return out;
+    }
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            let v = m[(i, j)];
+            if v > 0.0 {
+                let rel = (v / max).log10(); // ≤ 0
+                out[(i, j)] = ((rel + decades) / decades).clamp(0.0, 1.0);
+            }
+        }
+    }
+    out
+}
+
+/// Quantize a `[0, 1]` matrix into `levels` integer buckets `0..levels`.
+/// Bucket `levels - 1` holds the maximum.
+///
+/// # Panics
+/// Panics if `levels` is zero.
+pub fn bucketize(normalized: &Matrix, levels: u8) -> Vec<Vec<u8>> {
+    assert!(levels > 0, "need at least one level");
+    let mut out = vec![vec![0u8; normalized.cols()]; normalized.rows()];
+    for i in 0..normalized.rows() {
+        for j in 0..normalized.cols() {
+            let v = normalized[(i, j)].clamp(0.0, 1.0);
+            out[i][j] = ((v * levels as f64) as u8).min(levels - 1);
+        }
+    }
+    out
+}
+
+/// Render a matrix as CSV (one row per line, `%.6g` entries).
+pub fn to_csv(m: &Matrix) -> String {
+    let mut out = String::with_capacity(m.rows() * m.cols() * 8);
+    for i in 0..m.rows() {
+        let mut first = true;
+        for j in 0..m.cols() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{:.6}", m[(i, j)]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Coarse ASCII heatmap for terminal eyeballing (examples use it to show the
+/// Figure 4 patterns without a plotting stack). One character per cell.
+pub fn to_ascii(normalized: &Matrix) -> String {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let buckets = bucketize(normalized, 10);
+    let mut out = String::with_capacity(normalized.rows() * (normalized.cols() + 1));
+    for row in buckets {
+        for b in row {
+            out.push(RAMP[b as usize]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_maps_to_one_zero_to_zero() {
+        let m = Matrix::from_rows(vec![vec![0.0, 1e6], vec![1.0, 1e3]]);
+        let n = log_normalize(&m, 6.0);
+        assert_eq!(n[(0, 1)], 1.0);
+        assert_eq!(n[(0, 0)], 0.0);
+        // 1e3 is 3 decades below 1e6: maps to 0.5 on a 6-decade scale.
+        assert!((n[(1, 1)] - 0.5).abs() < 1e-12);
+        // 1.0 is exactly 6 decades below: clamps to 0.
+        assert_eq!(n[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn below_range_clamps_to_zero() {
+        let m = Matrix::from_rows(vec![vec![1e-3, 1e6]]);
+        let n = log_normalize(&m, 6.0);
+        assert_eq!(n[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn zero_matrix_stays_zero() {
+        let n = log_normalize(&Matrix::zeros(3, 3), 6.0);
+        assert_eq!(n.abs_sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_entries_panic() {
+        log_normalize(&Matrix::from_rows(vec![vec![-1.0]]), 6.0);
+    }
+
+    #[test]
+    fn bucketize_covers_range() {
+        let m = Matrix::from_rows(vec![vec![0.0, 0.49, 0.99, 1.0]]);
+        let b = bucketize(&m, 10);
+        assert_eq!(b[0], vec![0, 4, 9, 9]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let csv = to_csv(&m);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 2);
+    }
+
+    #[test]
+    fn ascii_heatmap_dimensions() {
+        let m = Matrix::from_rows(vec![vec![0.0, 1.0], vec![0.5, 0.2]]);
+        let art = to_ascii(&m);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().count(), 2);
+        assert_eq!(lines[0].chars().nth(1), Some('@'), "max cell uses densest glyph");
+        assert_eq!(lines[0].chars().next(), Some(' '), "zero cell is blank");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use linalg::eigen::eigen_symmetric;
+use linalg::ica::fast_ica;
+use linalg::pca::{pca_sweep, recon_err, recon_err_profile};
+use linalg::quantize::{bucketize, log_normalize};
+use linalg::Matrix;
+use proptest::prelude::*;
+
+/// Arbitrary symmetric matrix with entries in [-scale, scale].
+fn arb_symmetric() -> impl Strategy<Value = Matrix> {
+    (2usize..12, 0.1f64..1000.0).prop_flat_map(|(n, scale)| {
+        prop::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |upper| {
+            let mut m = Matrix::zeros(n, n);
+            let mut it = upper.into_iter();
+            for i in 0..n {
+                for j in i..n {
+                    let v = it.next().expect("enough entries") * scale;
+                    m[(i, j)] = v;
+                    m[(j, i)] = v;
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Arbitrary non-negative symmetric matrix (byte-matrix-like).
+fn arb_nonneg_symmetric() -> impl Strategy<Value = Matrix> {
+    arb_symmetric().prop_map(|m| {
+        let n = m.rows();
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = m[(i, j)].abs();
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full-rank reconstruction recovers the matrix; eigenvectors are
+    /// orthonormal; eigenpairs satisfy M v = λ v.
+    #[test]
+    fn eigen_soundness(m in arb_symmetric()) {
+        let n = m.rows();
+        let d = eigen_symmetric(&m, 1e-11).expect("symmetric by construction");
+        // Reconstruction.
+        let full = d.reconstruct(n).expect("k = n is valid");
+        let scale = m.frobenius().max(1.0);
+        prop_assert!(m.sub(&full).unwrap().frobenius() / scale < 1e-7);
+        // Orthonormality.
+        let vtv = d.vectors.transpose().matmul(&d.vectors).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(n)).unwrap().frobenius() < 1e-7);
+        // Definition, every pair.
+        for c in 0..n {
+            for i in 0..n {
+                let mv: f64 = (0..n).map(|j| m[(i, j)] * d.vectors[(j, c)]).sum();
+                prop_assert!(
+                    (mv - d.values[c] * d.vectors[(i, c)]).abs() < 1e-6 * scale.max(1.0),
+                    "Mv = λv violated"
+                );
+            }
+        }
+        // Sorted by |λ| descending.
+        for w in d.values.windows(2) {
+            prop_assert!(w[0].abs() + 1e-12 >= w[1].abs());
+        }
+    }
+
+    /// Trace is preserved: Σλ = tr(M).
+    #[test]
+    fn eigen_preserves_trace(m in arb_symmetric()) {
+        let d = eigen_symmetric(&m, 1e-11).expect("symmetric");
+        let trace: f64 = (0..m.rows()).map(|i| m[(i, i)]).sum();
+        let sum: f64 = d.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * m.frobenius().max(1.0));
+    }
+
+    /// The error profile starts at 1 (k=0, nonzero matrix), ends at ~0
+    /// (k=n), and pca_sweep agrees with it pointwise.
+    #[test]
+    fn pca_profile_endpoints(m in arb_nonneg_symmetric()) {
+        prop_assume!(m.abs_sum() > 1e-6);
+        let n = m.rows();
+        let d = eigen_symmetric(&m, 1e-11).expect("symmetric");
+        let profile = recon_err_profile(&d, &m).expect("aligned");
+        prop_assert_eq!(profile.len(), n + 1);
+        prop_assert!((profile[0] - 1.0).abs() < 1e-9, "k=0 misses everything");
+        prop_assert!(profile[n] < 1e-6, "k=n is exact, got {}", profile[n]);
+        // pca_sweep decomposes at its own tolerance; allow small numeric
+        // divergence from our tighter-tolerance profile.
+        let sweep = pca_sweep(&m, &[0, 1, n]).expect("square");
+        for e in &sweep.errors {
+            prop_assert!((e.err - profile[e.k]).abs() < 1e-6, "k={} {} vs {}", e.k, e.err, profile[e.k]);
+        }
+    }
+
+    /// recon_err is a scaled L1 distance: zero iff equal, symmetric wrt
+    /// the difference's sign.
+    #[test]
+    fn recon_err_axioms(m in arb_nonneg_symmetric()) {
+        prop_assume!(m.abs_sum() > 1e-9);
+        prop_assert_eq!(recon_err(&m, &m).unwrap(), 0.0);
+        let zero = Matrix::zeros(m.rows(), m.cols());
+        prop_assert!((recon_err(&m, &zero).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// FastICA reconstruction with all components is near-exact whenever the
+    /// data has enough columns.
+    #[test]
+    fn ica_full_rank_reconstructs(
+        rows in 2usize..5,
+        cols in 24usize..64,
+        seed_vals in prop::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        // Build deterministic non-Gaussian-ish data from the seeds.
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let s = seed_vals[(r * 3 + c) % seed_vals.len()];
+                        let saw = ((c as f64 * (r as f64 + 1.3)) % 7.0) - 3.5;
+                        s + saw
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = Matrix::from_rows(data);
+        let d = fast_ica(&m, rows, 400).expect("valid dims");
+        let r = d.reconstruct().expect("shapes align");
+        let denom = m.abs_sum().max(1.0);
+        prop_assert!(
+            m.sub(&r).unwrap().abs_sum() / denom < 1e-6,
+            "full-rank ICA must reconstruct"
+        );
+    }
+
+    /// Quantization: outputs bounded, monotone wrt the input, max maps to 1.
+    #[test]
+    fn quantize_axioms(m in arb_nonneg_symmetric()) {
+        prop_assume!(m.abs_sum() > 0.0);
+        let norm = log_normalize(&m, 6.0);
+        let max_in = m.data().iter().cloned().fold(0.0f64, f64::max);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert!((0.0..=1.0).contains(&norm[(i, j)]));
+                if m[(i, j)] == max_in {
+                    prop_assert_eq!(norm[(i, j)], 1.0);
+                }
+            }
+        }
+        let buckets = bucketize(&norm, 10);
+        for row in &buckets {
+            for &b in row {
+                prop_assert!(b < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Segmentation error type.
+
+use std::fmt;
+
+/// Convenience alias using the crate [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building segmentations and policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The graph facet is unsuitable (segmentation needs an IP-facet graph).
+    WrongFacet {
+        /// The facet that was supplied.
+        got: String,
+    },
+    /// Inference labels do not line up with graph nodes.
+    LabelMismatch {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A parameter was out of range.
+    InvalidArg(String),
+    /// An IP was not found in the segmentation.
+    UnknownIp(std::net::Ipv4Addr),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WrongFacet { got } => {
+                write!(f, "segmentation needs an ip-facet graph, got {got}")
+            }
+            Error::LabelMismatch { nodes, labels } => {
+                write!(f, "{labels} labels for {nodes} nodes")
+            }
+            Error::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            Error::UnknownIp(ip) => write!(f, "IP {ip} is not in the segmentation"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::WrongFacet { got: "ip-port".into() }.to_string().contains("ip-port"));
+        assert!(Error::LabelMismatch { nodes: 5, labels: 3 }.to_string().contains('5'));
+    }
+}

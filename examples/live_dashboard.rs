@@ -1,0 +1,122 @@
+//! A live "what changed?" dashboard over streaming telemetry — Figure 5 as
+//! a terminal app. Simulates six hours of the K8s PaaS cluster with a flash
+//! crowd and a tenant scale-out, builds one graph per hour through the
+//! streaming pipeline, and prints an hourly changes digest plus an ASCII
+//! heatmap of the final byte matrix.
+//!
+//! ```sh
+//! cargo run --release --example live_dashboard
+//! ```
+
+use commgraph::cloudsim::churn::ChurnPlan;
+use commgraph::cloudsim::load::{LoadSchedule, LoadShape};
+use commgraph::cloudsim::{ClusterPreset, Simulator};
+use commgraph::graph::Facet;
+use commgraph::linalg::quantize::{log_normalize, to_ascii};
+use commgraph::linalg::Matrix;
+use commgraph::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let preset = ClusterPreset::K8sPaas;
+    let scale = 0.25;
+    let topo = preset.topology_scaled(scale);
+    let web = topo.role_named("tenant2-web").expect("preset role").id;
+    let mut cfg = preset.default_sim_config();
+    cfg.load = LoadSchedule::steady()
+        .with(LoadShape::Diurnal { period_min: 1440.0, amplitude: 0.3, phase_min: 0.0 })
+        .with(LoadShape::Spike { start_min: 150, duration_min: 45, factor: 3.5 });
+    cfg.churn = ChurnPlan::none().with(200, web, 4);
+
+    println!("streaming 6 hours of '{}' telemetry …\n", preset.name());
+    let mut sim = Simulator::new(topo, cfg).expect("preset is valid");
+    let monitored = sim
+        .ground_truth()
+        .ip_roles
+        .keys()
+        .copied()
+        .filter(|ip| ip.octets()[0] == 10)
+        .collect::<std::collections::HashSet<_>>();
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        facet: Facet::Ip,
+        window_len: 3600,
+        monitored: Some(monitored),
+    });
+    sim.run(6 * 60, |_, batch| pipeline.ingest(batch));
+    let out = pipeline.finish().expect("windows arrive in order");
+
+    println!(
+        "{} records total, {:.0} records/min average\n",
+        out.total_records,
+        out.mean_records_per_minute()
+    );
+    println!(
+        "{:<6} {:>7} {:>7} {:>10} {:>12} {:>11} {:>11} {:>13}",
+        "hour",
+        "nodes",
+        "edges",
+        "MB moved",
+        "edge-jacc",
+        "new edges",
+        "gone edges",
+        "volume moves"
+    );
+    let seq = &out.sequence;
+    for (i, g) in seq.graphs().iter().enumerate() {
+        let (ej, added, removed, changed) = if i == 0 {
+            (1.0, 0, 0, 0)
+        } else {
+            let d = seq.diff_adjacent(i - 1, 3.0).expect("adjacent pair");
+            (d.edge_jaccard, d.added_edges.len(), d.removed_edges.len(), d.changed_edges.len())
+        };
+        let mut notes = Vec::new();
+        if changed > 50 {
+            notes.push("⚠ volume shift");
+        }
+        if added > 100 {
+            notes.push("⚠ new structure");
+        }
+        println!(
+            "{:<6} {:>7} {:>7} {:>10.0} {:>12.3} {:>11} {:>11} {:>13}  {}",
+            format!("+{i}"),
+            g.node_count(),
+            g.edge_count(),
+            g.totals().bytes() as f64 / 1e6,
+            ej,
+            added,
+            removed,
+            changed,
+            notes.join(" ")
+        );
+    }
+
+    let p = seq.persistence(3.0);
+    println!("\nmean hour-over-hour edge similarity: {:.3}", p.mean_edge_jaccard);
+    if let Some(t) = p.most_changed_transition {
+        println!("biggest change: hour +{} → +{} (the flash crowd / scale-out)", t, t + 1);
+    }
+
+    // Final-hour matrix, Figure 4 style.
+    let last = seq.graphs().last().expect("six windows");
+    let raw = Matrix::from_rows(last.byte_matrix(4096).expect("collapsed scale"));
+    println!("\nfinal-hour byte matrix (log scale, darker = more bytes):");
+    print!("{}", to_ascii(&downsample(&log_normalize(&raw, 6.0), 56)));
+}
+
+/// Max-pool to at most `target` rows/cols for terminal display.
+fn downsample(m: &Matrix, target: usize) -> Matrix {
+    let n = m.rows();
+    if n <= target {
+        return m.clone();
+    }
+    let stride = n.div_ceil(target);
+    let out_n = n.div_ceil(stride);
+    let mut out = Matrix::zeros(out_n, out_n);
+    for i in 0..n {
+        for j in 0..n {
+            if m[(i, j)] > out[(i / stride, j / stride)] {
+                out[(i / stride, j / stride)] = m[(i, j)];
+            }
+        }
+    }
+    out
+}

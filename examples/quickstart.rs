@@ -1,0 +1,66 @@
+//! Quickstart: telemetry → communication graph → roles → µsegments, in one
+//! page of code.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use commgraph::cloudsim::{ClusterPreset, Simulator};
+use commgraph::workbench::Workbench;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+fn main() {
+    // 1. Get connection summaries. Here: simulate 15 minutes of the
+    //    microservices reference cluster. In production these records
+    //    arrive as NSG/VPC flow logs with the exact same schema.
+    let preset = ClusterPreset::MicroserviceBench;
+    let topo = preset.topology_scaled(0.5);
+    let mut sim = Simulator::new(topo, preset.default_sim_config()).expect("preset is valid");
+    let records = sim.collect(15);
+    let monitored: HashSet<Ipv4Addr> =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+    println!("telemetry: {} connection summaries from {} VMs", records.len(), monitored.len());
+
+    // 2. One Workbench gives you every analysis, lazily computed.
+    let mut wb = Workbench::new(records, monitored);
+
+    // 3. The communication graph (heavy-hitters collapsed).
+    let g = wb.ip_graph();
+    println!(
+        "graph: {} nodes, {} edges, {} distinct connections, {:.1} MB exchanged",
+        g.node_count(),
+        g.edge_count(),
+        g.totals().conns,
+        g.totals().bytes() as f64 / 1e6
+    );
+
+    // 4. Role inference (Jaccard similarity + hierarchical Louvain).
+    let roles = wb.roles().clone();
+    println!("roles: {} inferred for {} resources", roles.n_roles, roles.labels.len());
+
+    // 5. µsegments and a default-deny policy learned from this window.
+    let n_segments = wb.segmentation().len();
+    let n_rules = wb.policy().rule_count();
+    println!(
+        "segmentation: {n_segments} µsegments, {n_rules} allow rules (everything else denied)"
+    );
+
+    // 6. What did segmentation buy? Blast-radius reduction.
+    let blast = wb.blast_report();
+    println!(
+        "blast radius: breach reaches {:.1} resources on average (was {}; {:.1}x reduction)",
+        blast.mean_direct,
+        blast.resources - 1,
+        (blast.resources as f64 - 1.0) / blast.mean_direct.max(1.0),
+    );
+
+    // 7. Where does the traffic concentrate? (Figure 6 in one line.)
+    let ccdf = wb.ccdf();
+    if let Some(p) = ccdf.iter().find(|p| p.frac_nodes >= 0.1) {
+        println!(
+            "traffic skew: the top 10% of nodes carry {:.1}% of all bytes",
+            (1.0 - p.ccdf) * 100.0
+        );
+    }
+}

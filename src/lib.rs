@@ -1,0 +1,2 @@
+//! Root meta-crate: re-exports the `commgraph` public API.
+pub use commgraph::*;

@@ -1,0 +1,145 @@
+//! Cross-crate property-based tests: invariants that must hold over
+//! arbitrary simulated workloads, not just hand-picked fixtures.
+
+use commgraph::cloudsim::roles::RoleKind;
+use commgraph::cloudsim::topology::TopologyBuilder;
+use commgraph::cloudsim::traffic::TrafficProfile;
+use commgraph::cloudsim::{SimConfig, Simulator};
+use commgraph::graph::collapse::{collapse, collapse_default};
+use commgraph::graph::{Facet, GraphBuilder};
+use commgraph::segment::policy::SegmentPolicy;
+use commgraph::segment::{Segmentation, ViolationDetector};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// A small random-but-valid topology.
+fn arb_topology() -> impl Strategy<Value = commgraph::cloudsim::Topology> {
+    (
+        2usize..6,    // frontend replicas
+        2usize..8,    // backend replicas
+        1usize..4,    // datastore replicas
+        1usize..30,   // external clients
+        1.0f64..40.0, // fe->be rate
+    )
+        .prop_map(|(fe_n, be_n, db_n, ext_n, rate)| {
+            let mut b = TopologyBuilder::new("prop", 33);
+            let fe = b.role("fe", RoleKind::Frontend, fe_n, vec![443]);
+            let be = b.role("be", RoleKind::Service, be_n, vec![8080]);
+            let db = b.role("db", RoleKind::Datastore, db_n, vec![5432]);
+            let ext = b.role("ext", RoleKind::ExternalClient, ext_n, vec![]);
+            b.connect(ext, fe, TrafficProfile::rpc(2.0, 400.0, 9_000.0));
+            b.connect(fe, be, TrafficProfile::rpc(rate, 500.0, 3_000.0));
+            b.connect(be, db, TrafficProfile::bulk(1.5, 20_000.0, 90_000.0));
+            b.build().expect("generated topology is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Graph construction conserves traffic: the deduped record stream's
+    /// bytes equal the graph's edge totals.
+    #[test]
+    fn graph_totals_match_record_stream(topo in arb_topology(), seed in 0u64..1000) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid topology");
+        let records = sim.collect(4);
+        let monitored: HashSet<Ipv4Addr> = sim
+            .ground_truth().ip_roles.keys().copied()
+            .filter(|ip| ip.octets()[0] == 10).collect();
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 4 * 60).with_monitored(monitored.clone());
+        b.add_all(&records);
+        let g = b.finish();
+
+        // Expected: each flow counted once (internal flows are reported twice).
+        let mut expect = 0u64;
+        for r in &records {
+            let both = monitored.contains(&r.key.local_ip)
+                && monitored.contains(&r.key.remote_ip);
+            if !both || r.key.is_canonical() {
+                expect += r.bytes_total();
+            }
+        }
+        prop_assert_eq!(g.totals().bytes(), expect);
+    }
+
+    /// Heavy-hitter collapsing never changes whole-graph traffic totals and
+    /// never grows the graph, at any threshold.
+    #[test]
+    fn collapse_conserves_and_shrinks(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+        threshold in 0.0f64..=0.3,
+    ) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid topology");
+        let records = sim.collect(3);
+        let mut b = GraphBuilder::new(Facet::Ip, 0, 180);
+        b.add_all(&records);
+        let g = b.finish();
+        let c = collapse(&g, threshold, |_| false);
+        prop_assert_eq!(c.totals().bytes(), g.totals().bytes());
+        prop_assert_eq!(c.totals().pkts(), g.totals().pkts());
+        prop_assert_eq!(c.totals().conns, g.totals().conns);
+        prop_assert!(c.node_count() <= g.node_count());
+        prop_assert!(c.edge_count() <= g.edge_count());
+
+        let d = collapse_default(&g);
+        prop_assert!(d.node_count() <= g.node_count());
+    }
+
+    /// A policy learned from a window never flags that same window — on any
+    /// workload, at any seed, port-scoped or not.
+    #[test]
+    fn learned_policy_is_self_consistent(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+        port_scoped in any::<bool>(),
+    ) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid topology");
+        let records = sim.collect(3);
+        let truth = sim.ground_truth().clone();
+        // Segment by true roles: every IP is in a segment.
+        let mut groups: std::collections::HashMap<u16, Vec<Ipv4Addr>> = Default::default();
+        for (ip, role) in &truth.ip_roles {
+            groups.entry(role.0).or_default().push(*ip);
+        }
+        let seg = Segmentation::from_members(
+            groups
+                .into_iter()
+                .map(|(role, ips)| (format!("r{role}"), ips, true))
+                .collect(),
+        );
+        let policy = SegmentPolicy::learn(&records, &seg, port_scoped);
+        let mut det = ViolationDetector::new(seg, policy);
+        let violations = det.check_all(&records);
+        prop_assert!(
+            violations.is_empty(),
+            "self-check must be clean, got {} violations",
+            violations.len()
+        );
+    }
+
+    /// Simulated records are always well-formed and timestamped in order.
+    #[test]
+    fn simulator_output_is_well_formed(topo in arb_topology(), seed in 0u64..1000) {
+        let mut sim = Simulator::new(topo, SimConfig { seed, ..Default::default() })
+            .expect("valid topology");
+        let mut last_ts = 0;
+        let mut total = 0usize;
+        sim.run(3, |minute, batch| {
+            for r in batch {
+                assert!(r.is_well_formed(), "{r:?}");
+                assert_eq!(r.ts, minute * 60);
+                assert!(r.ts >= last_ts);
+            }
+            if let Some(r) = batch.last() {
+                last_ts = r.ts;
+            }
+            total += batch.len();
+        });
+        prop_assert!(total > 0, "topologies with traffic must emit records");
+    }
+}
