@@ -9,6 +9,8 @@
 //! quadratic exact computation is too expensive.
 
 use crate::wgraph::WeightedGraph;
+use linalg::par::{self, Parallelism};
+use linalg::sym::SymMatrix;
 
 /// Jaccard similarity of two sorted, deduplicated id slices.
 pub fn jaccard_of_sets(a: &[u32], b: &[u32]) -> f64 {
@@ -35,26 +37,34 @@ pub fn jaccard_of_sets(a: &[u32], b: &[u32]) -> f64 {
 ///
 /// O(n² · d̄) — the "super-quadratic complexity" the paper flags as an open
 /// issue; [`MinHasher`] is the cheaper alternative.
-pub fn jaccard_matrix(g: &WeightedGraph) -> Vec<Vec<f64>> {
+pub fn jaccard_matrix(g: &WeightedGraph) -> SymMatrix {
     let n = g.node_count();
     let sets: Vec<Vec<u32>> = (0..n as u32).map(|u| g.neighbor_set(u)).collect();
     jaccard_matrix_of_sets(&sets)
 }
 
 /// Exact pairwise Jaccard matrix over arbitrary token sets (each set must be
-/// sorted and deduplicated). Role inference uses token sets that qualify
-/// each neighbor with the *nature of the conversation*, per §2.1.
-pub fn jaccard_matrix_of_sets(sets: &[Vec<u32>]) -> Vec<Vec<f64>> {
-    let n = sets.len();
-    let mut m = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        m[i][i] = 1.0;
-        for j in (i + 1)..n {
-            let s = jaccard_of_sets(&sets[i], &sets[j]);
-            m[i][j] = s;
-            m[j][i] = s;
+/// sorted and deduplicated), at the default [`Parallelism`]. Role inference
+/// uses token sets that qualify each neighbor with the *nature of the
+/// conversation*, per §2.1.
+pub fn jaccard_matrix_of_sets(sets: &[Vec<u32>]) -> SymMatrix {
+    jaccard_matrix_of_sets_with(sets, Parallelism::default())
+}
+
+/// Exact pairwise Jaccard matrix with an explicit worker count.
+///
+/// Rows of the packed upper triangle are distributed over workers; every
+/// entry is one independent [`jaccard_of_sets`] call, so the result is
+/// bit-for-bit identical at any worker count.
+pub fn jaccard_matrix_of_sets_with(sets: &[Vec<u32>], parallelism: Parallelism) -> SymMatrix {
+    let mut m = SymMatrix::zeros(sets.len());
+    m.fill_upper(parallelism, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            jaccard_of_sets(&sets[i], &sets[j])
         }
-    }
+    });
     m
 }
 
@@ -106,24 +116,35 @@ impl MinHasher {
 
     /// Approximate pairwise similarity matrix: O(n·d̄·k + n²·k) but with a
     /// much smaller constant than exact Jaccard on high-degree graphs.
-    pub fn similarity_matrix(&self, g: &WeightedGraph) -> Vec<Vec<f64>> {
+    pub fn similarity_matrix(&self, g: &WeightedGraph) -> SymMatrix {
         let sets: Vec<Vec<u32>> = (0..g.node_count() as u32).map(|u| g.neighbor_set(u)).collect();
         self.similarity_matrix_of_sets(&sets)
     }
 
-    /// Approximate pairwise similarity over arbitrary token sets.
-    pub fn similarity_matrix_of_sets(&self, sets: &[Vec<u32>]) -> Vec<Vec<f64>> {
-        let n = sets.len();
-        let sigs: Vec<Signature> = sets.iter().map(|s| self.signature(s)).collect();
-        let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            m[i][i] = 1.0;
-            for j in (i + 1)..n {
-                let s = self.estimate(&sigs[i], &sigs[j]);
-                m[i][j] = s;
-                m[j][i] = s;
+    /// Approximate pairwise similarity over arbitrary token sets, at the
+    /// default [`Parallelism`].
+    pub fn similarity_matrix_of_sets(&self, sets: &[Vec<u32>]) -> SymMatrix {
+        self.similarity_matrix_of_sets_with(sets, Parallelism::default())
+    }
+
+    /// Approximate pairwise similarity with an explicit worker count:
+    /// signatures are sketched in parallel (one per set), then the packed
+    /// estimate matrix is filled by row tiles. Deterministic at any worker
+    /// count.
+    pub fn similarity_matrix_of_sets_with(
+        &self,
+        sets: &[Vec<u32>],
+        parallelism: Parallelism,
+    ) -> SymMatrix {
+        let sigs: Vec<Signature> = par::par_map(parallelism, sets, |s| self.signature(s));
+        let mut m = SymMatrix::zeros(sets.len());
+        m.fill_upper(parallelism, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                self.estimate(&sigs[i], &sigs[j])
             }
-        }
+        });
         m
     }
 }
@@ -160,17 +181,17 @@ mod tests {
     #[test]
     fn replicas_score_high_without_direct_edge() {
         let m = jaccard_matrix(&replica_graph());
-        assert_eq!(m[0][1], 1.0, "identical neighbor sets");
-        assert!(m[0][2] < 0.5, "frontend vs backend dissimilar: {}", m[0][2]);
+        assert_eq!(m[(0, 1)], 1.0, "identical neighbor sets");
+        assert!(m[(0, 2)] < 0.5, "frontend vs backend dissimilar: {}", m[(0, 2)]);
     }
 
     #[test]
     fn matrix_is_symmetric_with_unit_diagonal() {
         let m = jaccard_matrix(&replica_graph());
         for i in 0..5 {
-            assert_eq!(m[i][i], 1.0);
+            assert_eq!(m[(i, i)], 1.0);
             for j in 0..5 {
-                assert_eq!(m[i][j], m[j][i]);
+                assert_eq!(m[(i, j)], m[(j, i)]);
             }
         }
     }
@@ -187,12 +208,34 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    (exact[i][j] - approx[i][j]).abs() < 0.15,
+                    (exact[(i, j)] - approx[(i, j)]).abs() < 0.15,
                     "({i},{j}): exact {} vs minhash {}",
-                    exact[i][j],
-                    approx[i][j]
+                    exact[(i, j)],
+                    approx[(i, j)]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matrices_bitwise_match_serial() {
+        let sets: Vec<Vec<u32>> =
+            (0..40u32).map(|i| (0..(i % 7)).map(|k| (i + k * 3) % 25).collect()).collect();
+        let sets: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let serial = jaccard_matrix_of_sets_with(&sets, Parallelism::serial());
+        let mh = MinHasher::new(64, 5);
+        let mh_serial = mh.similarity_matrix_of_sets_with(&sets, Parallelism::serial());
+        for workers in [2, 3, 8] {
+            let p = Parallelism::new(workers);
+            assert_eq!(jaccard_matrix_of_sets_with(&sets, p), serial, "{workers} workers");
+            assert_eq!(mh.similarity_matrix_of_sets_with(&sets, p), mh_serial);
         }
     }
 

@@ -18,6 +18,10 @@
 //!   against simulator ground truth.
 //! * [`stats`] — traffic-distribution statistics: the byte CCDF of Figure 6,
 //!   degree distributions, concentration indices.
+//! * [`par`] (re-exported from `linalg`) — the scoped-thread tile scheduler
+//!   behind every `_with(…, Parallelism)` kernel variant; [`sym`] — the flat
+//!   packed-upper-triangular [`sym::SymMatrix`] all similarity kernels
+//!   produce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,5 +38,7 @@ pub mod stats;
 pub mod wgraph;
 
 pub use error::{Error, Result};
-pub use roles::{infer_roles, RoleInference, SegmentationMethod};
+pub use linalg::par::{self, Parallelism};
+pub use linalg::sym::{self, SymMatrix};
+pub use roles::{infer_roles, infer_roles_with, RoleInference, SegmentationMethod};
 pub use wgraph::WeightedGraph;

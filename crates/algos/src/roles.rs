@@ -12,11 +12,12 @@
 //! to each other — which is exactly wrong for roles, since two front-end
 //! replicas may never exchange a byte.
 
-use crate::jaccard::{jaccard_matrix_of_sets, MinHasher};
+use crate::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
 use crate::louvain::{hierarchical_louvain, louvain, HierarchicalConfig, LouvainResult};
-use crate::simrank::{simrank, simrank_pp, SimRankConfig};
+use crate::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use crate::wgraph::WeightedGraph;
 use commgraph_graph::CommGraph;
+use linalg::par::Parallelism;
 use serde::Serialize;
 
 /// Which segmentation algorithm to run.
@@ -147,8 +148,22 @@ pub fn directional_neighbor_sets(g: &CommGraph) -> Vec<Vec<u32>> {
     sets
 }
 
-/// Infer roles for every node of `g` with the chosen method.
+/// Infer roles for every node of `g` with the chosen method, at the default
+/// [`Parallelism`].
 pub fn infer_roles(g: &CommGraph, method: &SegmentationMethod) -> RoleInference {
+    infer_roles_with(g, method, Parallelism::default())
+}
+
+/// Infer roles with an explicit worker count for the similarity kernels.
+///
+/// The Jaccard/MinHash/SimRank scoring stages run row-partitioned under
+/// `parallelism`; clustering itself is serial. Scores — and therefore the
+/// inferred roles — are bit-for-bit identical at any worker count.
+pub fn infer_roles_with(
+    g: &CommGraph,
+    method: &SegmentationMethod,
+    parallelism: Parallelism,
+) -> RoleInference {
     // Unweighted structure view, shared by the SimRank methods.
     let structure = WeightedGraph::from_comm_graph(g, |_| 1.0);
     // Similarity cliques are clustered hierarchically (Figure 1's
@@ -157,21 +172,22 @@ pub fn infer_roles(g: &CommGraph, method: &SegmentationMethod) -> RoleInference 
     let hier = HierarchicalConfig::default();
     let result: LouvainResult = match method {
         SegmentationMethod::JaccardLouvain { min_score } => {
-            let scores = jaccard_matrix_of_sets(&directional_neighbor_sets(g));
+            let scores = jaccard_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism);
             hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
         }
         SegmentationMethod::MinHashLouvain { hashes, min_score, seed } => {
             let mh = MinHasher::new(*hashes, *seed);
-            let scores = mh.similarity_matrix_of_sets(&directional_neighbor_sets(g));
+            let scores =
+                mh.similarity_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism);
             hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
         }
         SegmentationMethod::SimRank { config, min_score } => {
-            let scores = simrank(&structure, *config);
+            let scores = simrank_with(&structure, *config, parallelism);
             hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
         }
         SegmentationMethod::SimRankPP { config, min_score } => {
             let weighted = WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64);
-            let scores = simrank_pp(&weighted, *config);
+            let scores = simrank_pp_with(&weighted, *config, parallelism);
             hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
         }
         SegmentationMethod::ModularityConns => {

@@ -15,6 +15,8 @@
 //! `1 − 2^{−|common neighbors|}` applied to the converged scores.
 
 use crate::wgraph::WeightedGraph;
+use linalg::par::Parallelism;
+use linalg::sym::SymMatrix;
 use linalg::Matrix;
 
 /// Configuration for SimRank iterations.
@@ -32,17 +34,36 @@ impl Default for SimRankConfig {
     }
 }
 
-/// Plain SimRank similarity matrix.
-pub fn simrank(g: &WeightedGraph, cfg: SimRankConfig) -> Vec<Vec<f64>> {
-    let w = transition_matrix(g, false);
-    iterate(g.node_count(), &w, cfg)
+/// Plain SimRank similarity matrix at the default [`Parallelism`].
+pub fn simrank(g: &WeightedGraph, cfg: SimRankConfig) -> SymMatrix {
+    simrank_with(g, cfg, Parallelism::default())
 }
 
-/// SimRank++: weight- and spread-aware transitions plus the evidence factor.
-pub fn simrank_pp(g: &WeightedGraph, cfg: SimRankConfig) -> Vec<Vec<f64>> {
+/// Plain SimRank with an explicit worker count. The matrix products inside
+/// the fixed-point iteration are double-buffered and row-partitioned; each
+/// output row is computed in the serial loop order, so results are
+/// bit-for-bit identical at any worker count.
+pub fn simrank_with(g: &WeightedGraph, cfg: SimRankConfig, parallelism: Parallelism) -> SymMatrix {
+    let w = transition_matrix(g, false);
+    iterate(g.node_count(), &w, cfg, parallelism)
+}
+
+/// SimRank++: weight- and spread-aware transitions plus the evidence factor,
+/// at the default [`Parallelism`].
+pub fn simrank_pp(g: &WeightedGraph, cfg: SimRankConfig) -> SymMatrix {
+    simrank_pp_with(g, cfg, Parallelism::default())
+}
+
+/// SimRank++ with an explicit worker count (same determinism contract as
+/// [`simrank_with`]).
+pub fn simrank_pp_with(
+    g: &WeightedGraph,
+    cfg: SimRankConfig,
+    parallelism: Parallelism,
+) -> SymMatrix {
     let w = transition_matrix(g, true);
-    let mut s = iterate(g.node_count(), &w, cfg);
-    apply_evidence(g, &mut s);
+    let mut s = iterate(g.node_count(), &w, cfg, parallelism);
+    apply_evidence(g, &mut s, parallelism);
     s
 }
 
@@ -99,13 +120,20 @@ fn transition_matrix(g: &WeightedGraph, weighted: bool) -> Matrix {
     w
 }
 
-/// Fixed-point iteration `S ← C · Wᵀ S W`, diagonal pinned to 1.
-fn iterate(n: usize, w: &Matrix, cfg: SimRankConfig) -> Vec<Vec<f64>> {
+/// Fixed-point iteration `S ← C · Wᵀ S W`, diagonal pinned to 1. The two
+/// matrix products per iteration run row-partitioned under `parallelism`
+/// (double-buffered: each reads the previous iterate, writes a fresh one);
+/// the converged upper triangle is packed into a [`SymMatrix`].
+fn iterate(n: usize, w: &Matrix, cfg: SimRankConfig, parallelism: Parallelism) -> SymMatrix {
     assert!((0.0..1.0).contains(&cfg.decay) && cfg.decay > 0.0, "decay must be in (0,1)");
     let mut s = Matrix::identity(n);
     let wt = w.transpose();
     for _ in 0..cfg.iterations {
-        let mut next = wt.matmul(&s).expect("shapes agree").matmul(w).expect("shapes agree");
+        let mut next = wt
+            .matmul_with(&s, parallelism)
+            .expect("shapes agree")
+            .matmul_with(w, parallelism)
+            .expect("shapes agree");
         for i in 0..n {
             for j in 0..n {
                 next[(i, j)] *= cfg.decay;
@@ -114,21 +142,22 @@ fn iterate(n: usize, w: &Matrix, cfg: SimRankConfig) -> Vec<Vec<f64>> {
         }
         s = next;
     }
-    (0..n).map(|i| s.row(i).to_vec()).collect()
+    let mut out = SymMatrix::zeros(n);
+    out.fill_upper(parallelism, |i, j| s[(i, j)]);
+    out
 }
 
 /// Evidence factor `1 − 2^{−|N(a) ∩ N(b)|}` applied off-diagonal.
-fn apply_evidence(g: &WeightedGraph, s: &mut [Vec<f64>]) {
+fn apply_evidence(g: &WeightedGraph, s: &mut SymMatrix, parallelism: Parallelism) {
     let n = g.node_count();
     let sets: Vec<Vec<u32>> = (0..n as u32).map(|u| g.neighbor_set(u)).collect();
-    for a in 0..n {
-        for b in (a + 1)..n {
-            let common = intersection_size(&sets[a], &sets[b]);
-            let ev = 1.0 - 0.5f64.powi(common as i32);
-            s[a][b] *= ev;
-            s[b][a] = s[a][b];
+    s.update_upper(parallelism, |a, b, v| {
+        if a == b {
+            return v;
         }
-    }
+        let common = intersection_size(&sets[a], &sets[b]);
+        v * (1.0 - 0.5f64.powi(common as i32))
+    });
 }
 
 fn intersection_size(a: &[u32], b: &[u32]) -> usize {
@@ -163,8 +192,8 @@ mod tests {
     #[test]
     fn self_similarity_is_one() {
         let s = simrank(&replica_graph(), SimRankConfig::default());
-        for (i, row) in s.iter().enumerate() {
-            assert_eq!(row[i], 1.0);
+        for i in 0..s.n() {
+            assert_eq!(s[(i, i)], 1.0);
         }
     }
 
@@ -173,7 +202,7 @@ mod tests {
         let s = simrank(&replica_graph(), SimRankConfig::default());
         for i in 0..5 {
             for j in 0..5 {
-                assert!((s[i][j] - s[j][i]).abs() < 1e-9);
+                assert!((s[(i, j)] - s[(j, i)]).abs() < 1e-9);
             }
         }
     }
@@ -185,21 +214,19 @@ mod tests {
         // (both reduce to the same neighbor-pair average here) but must
         // never lose to it, and must clearly beat the client-server pair.
         assert!(
-            s[0][1] >= s[0][4] - 1e-12,
+            s[(0, 1)] >= s[(0, 4)] - 1e-12,
             "replicas {} must not lose to frontend-vs-outsider {}",
-            s[0][1],
-            s[0][4]
+            s[(0, 1)],
+            s[(0, 4)]
         );
-        assert!(s[0][1] > s[0][2], "replicas must beat client-server similarity");
+        assert!(s[(0, 1)] > s[(0, 2)], "replicas must beat client-server similarity");
     }
 
     #[test]
     fn scores_bounded_by_one() {
         let s = simrank(&replica_graph(), SimRankConfig::default());
-        for row in &s {
-            for &v in row {
-                assert!((0.0..=1.0 + 1e-9).contains(&v), "score {v} out of range");
-            }
+        for &v in s.data() {
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "score {v} out of range");
         }
     }
 
@@ -209,15 +236,15 @@ mod tests {
         // single neighbor 1 whose self-similarity is 1).
         let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
         let s = simrank(&g, SimRankConfig { decay: 0.8, iterations: 10 });
-        assert!((s[0][2] - 0.8).abs() < 1e-6, "s(0,2) = {}", s[0][2]);
+        assert!((s[(0, 2)] - 0.8).abs() < 1e-6, "s(0,2) = {}", s[(0, 2)]);
     }
 
     #[test]
     fn isolated_nodes_score_zero() {
         let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]);
         let s = simrank(&g, SimRankConfig::default());
-        assert_eq!(s[0][2], 0.0);
-        assert_eq!(s[2][2], 1.0, "self-similarity still pinned");
+        assert_eq!(s[(0, 2)], 0.0);
+        assert_eq!(s[(2, 2)], 1.0, "self-similarity still pinned");
     }
 
     #[test]
@@ -229,10 +256,10 @@ mod tests {
         );
         let spp = simrank_pp(&g, SimRankConfig::default());
         assert!(
-            spp[2][3] > spp[0][1],
+            spp[(2, 3)] > spp[(0, 1)],
             "two shared neighbors ({}) must outscore one ({})",
-            spp[2][3],
-            spp[0][1]
+            spp[(2, 3)],
+            spp[(0, 1)]
         );
     }
 
@@ -250,17 +277,28 @@ mod tests {
         let s = simrank(&g, SimRankConfig::default());
         // Unweighted SimRank sees 0 and 1 as structurally identical; the
         // weighted variant must not score them higher than it does.
-        assert!(spp[0][1] <= s[0][1] + 1e-9);
-        for row in &spp {
-            for &v in row {
-                assert!(v.is_finite());
-            }
+        assert!(spp[(0, 1)] <= s[(0, 1)] + 1e-9);
+        for &v in spp.data() {
+            assert!(v.is_finite());
         }
     }
 
     #[test]
     fn empty_graph() {
         let s = simrank(&WeightedGraph::new(0), SimRankConfig::default());
-        assert!(s.is_empty());
+        assert_eq!(s.n(), 0);
+    }
+
+    #[test]
+    fn parallel_simrank_bitwise_matches_serial() {
+        let g = replica_graph();
+        let cfg = SimRankConfig::default();
+        let serial = simrank_with(&g, cfg, Parallelism::serial());
+        let serial_pp = simrank_pp_with(&g, cfg, Parallelism::serial());
+        for workers in [2, 8] {
+            let p = Parallelism::new(workers);
+            assert_eq!(simrank_with(&g, cfg, p), serial, "{workers} workers");
+            assert_eq!(simrank_pp_with(&g, cfg, p), serial_pp, "{workers} workers (pp)");
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! A minimal weighted undirected graph shared by the clustering algorithms.
 
 use commgraph_graph::CommGraph;
+use linalg::sym::SymMatrix;
 
 /// Undirected weighted graph with dense `0..n` node ids.
 ///
@@ -94,12 +95,12 @@ impl WeightedGraph {
     /// Build the *scored clique* of the paper's segmentation: a complete
     /// graph over the same nodes where edge weights are pairwise similarity
     /// scores. Scores below `min_score` are dropped to keep it sparse.
-    pub fn from_similarity(scores: &[Vec<f64>], min_score: f64) -> Self {
-        let n = scores.len();
+    pub fn from_similarity(scores: &SymMatrix, min_score: f64) -> Self {
+        let n = scores.n();
         let mut g = WeightedGraph::new(n);
-        for (i, row) in scores.iter().enumerate() {
-            debug_assert_eq!(row.len(), n, "similarity matrix must be square");
-            for (j, &score) in row.iter().enumerate().skip(i + 1) {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let score = scores[(i, j)];
                 if score >= min_score && score > 0.0 {
                     g.add_edge(i as u32, j as u32, score);
                 }
@@ -143,7 +144,11 @@ mod tests {
 
     #[test]
     fn similarity_clique_thresholds() {
-        let scores = vec![vec![1.0, 0.9, 0.05], vec![0.9, 1.0, 0.5], vec![0.05, 0.5, 1.0]];
+        let mut scores = SymMatrix::zeros(3);
+        for (i, j, v) in [(0, 0, 1.0), (0, 1, 0.9), (0, 2, 0.05), (1, 1, 1.0), (1, 2, 0.5), (2, 2, 1.0)]
+        {
+            scores.set(i, j, v);
+        }
         let g = WeightedGraph::from_similarity(&scores, 0.1);
         assert_eq!(g.neighbors(0).len(), 1, "0-2 edge filtered by threshold");
         assert_eq!(g.neighbors(1).len(), 2);

@@ -1,10 +1,12 @@
 //! Property-based tests for the graph algorithms.
 #![allow(clippy::needless_range_loop)] // index pairs are clearest for symmetry checks
 
-use algos::jaccard::{jaccard_matrix_of_sets, jaccard_of_sets, MinHasher};
+use algos::jaccard::{jaccard_matrix_of_sets, jaccard_matrix_of_sets_with, jaccard_of_sets, MinHasher};
 use algos::louvain::{hierarchical_louvain, louvain, modularity, HierarchicalConfig};
 use algos::metrics::{adjusted_rand_index, normalized_mutual_information, purity};
+use algos::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use algos::wgraph::WeightedGraph;
+use algos::{Parallelism, SymMatrix};
 use proptest::prelude::*;
 
 /// Arbitrary undirected weighted graph with n ≤ 24 nodes.
@@ -50,10 +52,64 @@ proptest! {
     ) {
         let m = jaccard_matrix_of_sets(&sets);
         for i in 0..sets.len() {
-            prop_assert_eq!(m[i][i], 1.0);
+            prop_assert_eq!(m[(i, i)], 1.0);
             for j in 0..sets.len() {
-                prop_assert_eq!(m[i][j], m[j][i]);
-                prop_assert!((0.0..=1.0).contains(&m[i][j]));
+                prop_assert_eq!(m[(i, j)], m[(j, i)]);
+                prop_assert!((0.0..=1.0).contains(&m[(i, j)]));
+            }
+        }
+    }
+
+    /// Parallel Jaccard (exact and sketched) is bit-for-bit identical to the
+    /// serial kernel at 1, 2, and NCPU workers.
+    #[test]
+    fn parallel_jaccard_matches_serial_bitwise(
+        sets in prop::collection::vec(
+            prop::collection::btree_set(0u32..40, 0..12)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            1..16,
+        )
+    ) {
+        let serial = jaccard_matrix_of_sets_with(&sets, Parallelism::serial());
+        let mh = MinHasher::new(32, 17);
+        let mh_serial = mh.similarity_matrix_of_sets_with(&sets, Parallelism::serial());
+        let ncpu = Parallelism::default().workers();
+        for workers in [1, 2, ncpu] {
+            let p = Parallelism::new(workers);
+            prop_assert_eq!(&jaccard_matrix_of_sets_with(&sets, p), &serial);
+            prop_assert_eq!(&mh.similarity_matrix_of_sets_with(&sets, p), &mh_serial);
+        }
+    }
+
+    /// Parallel SimRank / SimRank++ are bit-for-bit identical to the serial
+    /// kernels at 1, 2, and NCPU workers.
+    #[test]
+    fn parallel_simrank_matches_serial_bitwise(g in arb_graph()) {
+        let cfg = SimRankConfig { decay: 0.8, iterations: 3 };
+        let serial = simrank_with(&g, cfg, Parallelism::serial());
+        let serial_pp = simrank_pp_with(&g, cfg, Parallelism::serial());
+        let ncpu = Parallelism::default().workers();
+        for workers in [1, 2, ncpu] {
+            let p = Parallelism::new(workers);
+            prop_assert_eq!(&simrank_with(&g, cfg, p), &serial);
+            prop_assert_eq!(&simrank_pp_with(&g, cfg, p), &serial_pp);
+        }
+    }
+
+    /// Writing either triangle of a SymMatrix leaves it exactly symmetric.
+    #[test]
+    fn symmatrix_set_preserves_symmetry(
+        n in 1usize..20,
+        writes in prop::collection::vec((0usize..20, 0usize..20, -100.0f64..100.0), 0..40),
+    ) {
+        let mut m = SymMatrix::zeros(n);
+        for (i, j, v) in writes {
+            let (i, j) = (i % n, j % n);
+            m.set(i, j, v);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(m[(i, j)], m[(j, i)]);
             }
         }
     }

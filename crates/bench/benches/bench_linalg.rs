@@ -2,11 +2,11 @@
 //! the §2.2 summaries, at communication-matrix sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use linalg::eigen::eigen_symmetric;
+use linalg::eigen::{eigen_symmetric, eigen_symmetric_with};
 use linalg::ica::fast_ica;
-use linalg::pca::{pca_sweep, recon_err_profile};
+use linalg::pca::{pca_sweep, pca_sweep_with, recon_err_profile};
 use linalg::quantize::log_normalize;
-use linalg::Matrix;
+use linalg::{Matrix, Parallelism};
 use std::hint::black_box;
 
 /// A synthetic block-structured "communication matrix" of dimension n with
@@ -64,6 +64,26 @@ fn bench_pca(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel eigensolve and PCA sweep on the same inputs.
+fn bench_linalg_parallel(c: &mut Criterion) {
+    let m = block_matrix(128, 16);
+    let mut group = c.benchmark_group("linalg_parallel");
+    group.sample_size(10);
+    for (label, par) in
+        [("serial", Parallelism::serial()), ("parallel", Parallelism::default())]
+    {
+        group.bench_function(format!("eigen_128/{label}"), |b| {
+            b.iter(|| black_box(eigen_symmetric_with(black_box(&m), 1e-10, par).expect("symmetric")))
+        });
+        group.bench_function(format!("pca_sweep_128/{label}"), |b| {
+            b.iter(|| {
+                black_box(pca_sweep_with(black_box(&m), &[1, 5, 10, 25, 50], par).expect("square"))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_ica_and_quantize(c: &mut Criterion) {
     let m = block_matrix(96, 12);
     let mut group = c.benchmark_group("ica_quantize");
@@ -77,5 +97,5 @@ fn bench_ica_and_quantize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eigen, bench_pca, bench_ica_and_quantize);
+criterion_group!(benches, bench_eigen, bench_pca, bench_linalg_parallel, bench_ica_and_quantize);
 criterion_main!(benches);

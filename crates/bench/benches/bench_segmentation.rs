@@ -3,11 +3,12 @@
 //! sketching as the remedy, and SimRank as strictly costlier. These benches
 //! quantify all of that on one K8s PaaS graph.
 
-use algos::jaccard::{jaccard_matrix_of_sets, MinHasher};
+use algos::jaccard::{jaccard_matrix_of_sets, jaccard_matrix_of_sets_with, MinHasher};
 use algos::louvain::{hierarchical_louvain, louvain, HierarchicalConfig};
 use algos::roles::{directional_neighbor_sets, infer_roles, SegmentationMethod};
-use algos::simrank::{simrank, SimRankConfig};
+use algos::simrank::{simrank, simrank_with, SimRankConfig};
 use algos::wgraph::WeightedGraph;
+use algos::Parallelism;
 use benchkit::{collapsed_ip_graph, simulate};
 use cloudsim::ClusterPreset;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -31,6 +32,31 @@ fn bench_similarity(c: &mut Criterion) {
     group.bench_function("simrank_5_iters", |b| {
         b.iter(|| black_box(simrank(black_box(&structure), SimRankConfig::default())))
     });
+    group.finish();
+}
+
+/// Serial vs parallel variants of the similarity kernels, same inputs — the
+/// speedup story satellite to the `commgraph-algos::par` scheduler.
+fn bench_similarity_parallel(c: &mut Criterion) {
+    let run = simulate(ClusterPreset::K8sPaas, 0.3, 5);
+    let g = collapsed_ip_graph(&run);
+    let sets = directional_neighbor_sets(&g);
+    let structure = WeightedGraph::from_comm_graph(&g, |_| 1.0);
+
+    let mut group = c.benchmark_group("similarity_parallel");
+    group.sample_size(20);
+    for (label, par) in
+        [("serial", Parallelism::serial()), ("parallel", Parallelism::default())]
+    {
+        group.bench_function(format!("jaccard_exact/{label}"), |b| {
+            b.iter(|| black_box(jaccard_matrix_of_sets_with(black_box(&sets), par)))
+        });
+        group.bench_function(format!("simrank_5_iters/{label}"), |b| {
+            b.iter(|| {
+                black_box(simrank_with(black_box(&structure), SimRankConfig::default(), par))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -82,5 +108,11 @@ fn bench_end_to_end_methods(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity, bench_clustering, bench_end_to_end_methods);
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_similarity_parallel,
+    bench_clustering,
+    bench_end_to_end_methods
+);
 criterion_main!(benches);

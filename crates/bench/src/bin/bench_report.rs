@@ -1,0 +1,157 @@
+//! Serial-vs-parallel baseline report for the `commgraph-algos::par` kernels.
+//!
+//! Times each ported kernel — exact Jaccard, MinHash, SimRank, the Jacobi
+//! eigensolver, and the PCA sweep — once under `Parallelism::serial()` and
+//! once under a multi-worker knob, on fixed-seed inputs, and writes
+//! `BENCH_PR1.json` at the repository root: one entry per kernel with
+//! `{n, serial_ms, parallel_ms, speedup}` plus the core count the run
+//! actually had (speedups are only meaningful on multi-core hosts).
+//!
+//! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
+//! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
+//! `--reps 3` (best-of-N timing).
+
+use algos::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
+use algos::simrank::{simrank_with, SimRankConfig};
+use algos::wgraph::WeightedGraph;
+use algos::Parallelism;
+use benchkit::{arg, arg_u64};
+use linalg::eigen::eigen_symmetric_with;
+use linalg::pca::pca_sweep_with;
+use linalg::Matrix;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock milliseconds for `f`.
+fn time_ms<T>(reps: u64, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Deterministic neighbor-set fixture: n sets of ~32 ids drawn from a
+/// universe sized so replicas overlap heavily.
+fn fixture_sets(n: usize) -> Vec<Vec<u32>> {
+    let mut state = 0xC0FFEEu64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|i| {
+            let mut s: Vec<u32> = (0..32).map(|_| next() % (n as u32 * 4)).collect();
+            // Every 4th set shares a common core, like same-role replicas.
+            if i % 4 == 0 {
+                s.extend(0..16u32);
+            }
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect()
+}
+
+/// Deterministic dense symmetric matrix with a generic spectrum.
+fn fixture_symmetric(n: usize) -> Matrix {
+    let mut state = 0x5EEDu64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 40) as f64 / 16_777_216.0
+    };
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = next();
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
+
+fn main() {
+    let n: usize = arg("n", "500").parse().unwrap_or(500);
+    let workers: usize = arg("workers", "4").parse().unwrap_or(4);
+    let reps = arg_u64("reps", 3);
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let serial = Parallelism::serial();
+    let parallel = Parallelism::new(workers);
+
+    let mut report = serde_json::Map::new();
+    let mut add = |name: &str, dim: usize, serial_ms: f64, parallel_ms: f64| {
+        let speedup = serial_ms / parallel_ms;
+        println!("{name:<28} n={dim:<5} serial {serial_ms:9.2} ms  parallel {parallel_ms:9.2} ms  speedup {speedup:5.2}x");
+        report.insert(
+            name.to_string(),
+            json!({"n": dim, "serial_ms": serial_ms, "parallel_ms": parallel_ms, "speedup": speedup}),
+        );
+    };
+
+    let sets = fixture_sets(n);
+    add(
+        "jaccard_matrix_of_sets",
+        n,
+        time_ms(reps, || jaccard_matrix_of_sets_with(&sets, serial)),
+        time_ms(reps, || jaccard_matrix_of_sets_with(&sets, parallel)),
+    );
+
+    let mh = MinHasher::new(128, 7);
+    add(
+        "minhash_similarity",
+        n,
+        time_ms(reps, || mh.similarity_matrix_of_sets_with(&sets, serial)),
+        time_ms(reps, || mh.similarity_matrix_of_sets_with(&sets, parallel)),
+    );
+
+    // SimRank is O(n³) per iteration — a smaller graph keeps the run short.
+    let sr_n = (n / 3).max(16);
+    let edges: Vec<(u32, u32, f64)> = (0..sr_n as u32)
+        .flat_map(|u| {
+            (1..4u32).map(move |k| (u, (u + k * 7) % sr_n as u32, 1.0 + (u % 5) as f64))
+        })
+        .filter(|&(u, v, _)| u != v)
+        .collect();
+    let g = WeightedGraph::from_edges(sr_n, &edges);
+    let cfg = SimRankConfig::default();
+    add(
+        "simrank",
+        sr_n,
+        time_ms(reps, || simrank_with(&g, cfg, serial)),
+        time_ms(reps, || simrank_with(&g, cfg, parallel)),
+    );
+
+    let m = fixture_symmetric(n);
+    add(
+        "eigen_symmetric",
+        n,
+        time_ms(reps, || eigen_symmetric_with(&m, 1e-8, serial).expect("symmetric")),
+        time_ms(reps, || eigen_symmetric_with(&m, 1e-8, parallel).expect("symmetric")),
+    );
+
+    // PCA at a smaller dimension: the sweep re-runs the eigensolve.
+    let pca_n = (n / 2).max(32);
+    let mp = fixture_symmetric(pca_n);
+    let ks = [1, 4, 16, 64];
+    add(
+        "pca_sweep",
+        pca_n,
+        time_ms(reps, || pca_sweep_with(&mp, &ks, serial).expect("square")),
+        time_ms(reps, || pca_sweep_with(&mp, &ks, parallel).expect("square")),
+    );
+
+    let out = json!({
+        "cores": cores,
+        "workers": workers,
+        "reps": reps,
+        "kernels": serde_json::Value::Object(report),
+    });
+    let path = "BENCH_PR1.json";
+    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
+        .expect("write report");
+    println!("\nwrote {path} (host has {cores} core(s); speedups need multi-core hardware)");
+}

@@ -30,6 +30,7 @@ fn hourly_graphs(preset: ClusterPreset, scale: f64, cfg: SimConfig, hours: u64) 
         facet: Facet::Ip,
         window_len: 3600,
         monitored: Some(monitored),
+        ..Default::default()
     });
     sim.run(hours * 60, |_, batch| pipeline.ingest(batch));
     // Collapse each window: the pattern model should learn the stable heavy

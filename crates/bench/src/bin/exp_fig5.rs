@@ -41,6 +41,7 @@ fn main() {
         facet: Facet::Ip,
         window_len: 3600,
         monitored: Some(monitored),
+        ..Default::default()
     });
     sim.run(hours * 60, |_, batch| pipeline.ingest(batch));
     let out = pipeline.finish().expect("windows arrive in order");

@@ -9,6 +9,7 @@ use commgraph_graph::series::GraphSequence;
 use commgraph_graph::{Facet, Result as GraphResult};
 use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
+use linalg::Parallelism;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -21,11 +22,19 @@ pub struct PipelineConfig {
     pub window_len: u64,
     /// Monitored inventory for vantage dedup; `None` disables dedup.
     pub monitored: Option<HashSet<Ipv4Addr>>,
+    /// Worker count forwarded to downstream per-window analyses (role
+    /// inference, PCA). Ingest itself is serial — it is I/O-bound.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { facet: Facet::Ip, window_len: 3600, monitored: None }
+        PipelineConfig {
+            facet: Facet::Ip,
+            window_len: 3600,
+            monitored: None,
+            parallelism: Parallelism::default(),
+        }
     }
 }
 
@@ -57,6 +66,7 @@ pub struct Pipeline {
     builder: WindowedBuilder,
     per_minute: HashMap<u64, u64>,
     total: u64,
+    parallelism: Parallelism,
 }
 
 impl Pipeline {
@@ -66,7 +76,13 @@ impl Pipeline {
         if let Some(m) = cfg.monitored {
             builder = builder.with_monitored(m);
         }
-        Pipeline { builder, per_minute: HashMap::new(), total: 0 }
+        Pipeline { builder, per_minute: HashMap::new(), total: 0, parallelism: cfg.parallelism }
+    }
+
+    /// The worker count per-window analyses should run at (e.g. pass it to
+    /// [`crate::Workbench::with_parallelism`] for each finished window).
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Ingest a batch of records (non-decreasing timestamps across calls).

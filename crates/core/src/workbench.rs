@@ -5,13 +5,13 @@
 //! owns the records once and memoizes each stage, so callers write three
 //! lines instead of thirty and never recompute an eigendecomposition.
 
-use algos::roles::{infer_roles, RoleInference, SegmentationMethod};
+use algos::roles::{infer_roles_with, RoleInference, SegmentationMethod};
 use algos::stats::{byte_ccdf, CcdfPoint};
 use commgraph_graph::collapse::collapse;
 use commgraph_graph::{CommGraph, Facet, GraphBuilder};
 use flowlog::record::ConnSummary;
-use linalg::pca::{pca_sweep, PcaSummary};
-use linalg::Matrix;
+use linalg::pca::{pca_sweep_with, PcaSummary};
+use linalg::{Matrix, Parallelism};
 use segment::blast::{fleet_blast_report, FleetBlastReport};
 use segment::{SegmentPolicy, Segmentation, Violation, ViolationDetector};
 use std::collections::HashSet;
@@ -27,6 +27,7 @@ pub struct Workbench {
     monitored: HashSet<Ipv4Addr>,
     collapse_threshold: f64,
     method: SegmentationMethod,
+    parallelism: Parallelism,
     ip_graph: Option<CommGraph>,
     roles: Option<RoleInference>,
     segmentation: Option<Segmentation>,
@@ -41,6 +42,7 @@ impl Workbench {
             monitored,
             collapse_threshold: DEFAULT_COLLAPSE,
             method: SegmentationMethod::paper_default(),
+            parallelism: Parallelism::default(),
             ip_graph: None,
             roles: None,
             segmentation: None,
@@ -58,6 +60,15 @@ impl Workbench {
     /// Override the segmentation method (builder style).
     pub fn with_method(mut self, m: SegmentationMethod) -> Self {
         self.method = m;
+        self
+    }
+
+    /// Override the worker count used by the similarity and PCA kernels
+    /// (builder style). `Parallelism::serial()` forces the exact legacy
+    /// serial path; the default uses every available core. Similarity
+    /// scores are bit-for-bit identical at any worker count.
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
         self
     }
 
@@ -108,8 +119,9 @@ impl Workbench {
     pub fn roles(&mut self) -> &RoleInference {
         if self.roles.is_none() {
             let method = self.method.clone();
+            let parallelism = self.parallelism;
             let g = self.ip_graph().clone();
-            self.roles = Some(infer_roles(&g, &method));
+            self.roles = Some(infer_roles_with(&g, &method, parallelism));
         }
         self.roles.as_ref().expect("just set")
     }
@@ -165,7 +177,7 @@ impl Workbench {
     /// PCA reconstruction-error sweep on the byte matrix (§2.2).
     pub fn pca_summary(&mut self, ks: &[usize]) -> linalg::Result<PcaSummary> {
         let m = self.byte_matrix()?;
-        pca_sweep(&m, ks)
+        pca_sweep_with(&m, ks, self.parallelism)
     }
 
     /// Dense symmetric byte matrix of the collapsed IP graph.

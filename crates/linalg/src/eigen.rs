@@ -8,6 +8,7 @@
 
 use crate::error::{Error, Result};
 use crate::matrix::Matrix;
+use crate::par::{self, Parallelism};
 
 /// Result of a symmetric eigendecomposition: `M = V diag(λ) Vᵀ`.
 #[derive(Debug, Clone)]
@@ -21,27 +22,49 @@ pub struct EigenDecomposition {
 impl EigenDecomposition {
     /// Reconstruct the original matrix from the top `k` eigenpairs.
     pub fn reconstruct(&self, k: usize) -> Result<Matrix> {
+        self.reconstruct_with(k, Parallelism::serial())
+    }
+
+    /// Rank-k reconstruction with output rows partitioned over workers.
+    ///
+    /// Row `i` of `M_k = Σ_{c<k} λ_c v_c v_cᵀ` depends only on the
+    /// decomposition, so rows parallelize freely; each element accumulates
+    /// its `k` terms in the same ascending-`c` order as the serial loop,
+    /// making the result bit-for-bit identical at any worker count.
+    pub fn reconstruct_with(&self, k: usize, parallelism: Parallelism) -> Result<Matrix> {
         let n = self.values.len();
         if k > n {
             return Err(Error::InvalidArg(format!("k={k} exceeds dimension {n}")));
         }
-        // M_k = Σ_{c<k} λ_c v_c v_cᵀ, accumulated directly: O(k n²).
         let mut out = Matrix::zeros(n, n);
-        for c in 0..k {
-            let lambda = self.values[c];
-            if lambda == 0.0 {
-                continue;
-            }
-            for i in 0..n {
-                let vi = self.vectors[(i, c)] * lambda;
-                if vi == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    out[(i, j)] += vi * self.vectors[(j, c)];
-                }
-            }
+        if n == 0 {
+            return Ok(out);
         }
+        let band = par::tile_size(n, parallelism);
+        let tasks: Vec<(usize, &mut [f64])> = out
+            .data_mut()
+            .chunks_mut(n * band)
+            .enumerate()
+            .map(|(t, chunk)| (t * band, chunk))
+            .collect();
+        par::for_each_task(parallelism, tasks, |(first_row, chunk)| {
+            for (r, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + r;
+                for c in 0..k {
+                    let lambda = self.values[c];
+                    if lambda == 0.0 {
+                        continue;
+                    }
+                    let vi = self.vectors[(i, c)] * lambda;
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += vi * self.vectors[(j, c)];
+                    }
+                }
+            }
+        });
         Ok(out)
     }
 }
@@ -88,6 +111,140 @@ pub fn eigen_symmetric(m: &Matrix, tol: f64) -> Result<EigenDecomposition> {
         }
     }
     Err(Error::NoConvergence { algorithm: "jacobi", iterations: MAX_SWEEPS })
+}
+
+/// Decompose a symmetric matrix with parallel cyclic-Jacobi sweeps.
+///
+/// Each sweep is ordered as a round-robin tournament: the `n` columns are
+/// paired into `n/2` disjoint `(p, q)` pivots per round, so all rotations in
+/// a round commute and can be applied concurrently. Rotation angles are
+/// computed from the matrix state at the start of the round (the classic
+/// parallel-Jacobi formulation), which changes the rotation *trajectory*
+/// relative to the serial element-by-element sweep — eigenvalues agree to
+/// the convergence tolerance, not bit-for-bit. With
+/// [`Parallelism::is_serial`] this dispatches to [`eigen_symmetric`], the
+/// exact legacy path.
+pub fn eigen_symmetric_with(
+    m: &Matrix,
+    tol: f64,
+    parallelism: Parallelism,
+) -> Result<EigenDecomposition> {
+    if parallelism.is_serial() {
+        return eigen_symmetric(m, tol);
+    }
+    let n = m.rows();
+    if n != m.cols() {
+        return Err(Error::InvalidArg(format!(
+            "eigendecomposition needs a square matrix, got {}x{}",
+            n,
+            m.cols()
+        )));
+    }
+    let scale = m.frobenius().max(1.0);
+    m.require_symmetric(scale * 1e-9)?;
+
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+    let threshold = tol * scale;
+    // Round-robin tournament over the columns, padded to an even count: in
+    // each of the `players − 1` rounds every column meets exactly one other,
+    // so the round's pivot pairs are pairwise disjoint.
+    let players = n + (n & 1);
+
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        if off_diagonal_norm(&a) <= threshold {
+            return Ok(sorted_decomposition(a, v));
+        }
+        for round in 0..players.saturating_sub(1) {
+            let rotations: Vec<(usize, usize, f64, f64)> = tournament_round(n, players, round)
+                .into_iter()
+                .filter_map(|(p, q)| {
+                    let apq = a[(p, q)];
+                    if apq.abs() <= threshold / (n as f64) {
+                        return None;
+                    }
+                    let (c, s) = rotation(a[(p, p)], a[(q, q)], apq);
+                    Some((p, q, c, s))
+                })
+                .collect();
+            if !rotations.is_empty() {
+                apply_rotation_batch(&mut a, &mut v, &rotations, parallelism);
+            }
+        }
+    }
+    Err(Error::NoConvergence { algorithm: "jacobi", iterations: MAX_SWEEPS })
+}
+
+/// Pivot pairs of one tournament round: the circle method fixes player 0 and
+/// rotates the rest, pairing opposite seats. Pairs involving the padding
+/// player (when `n` is odd) are dropped; all returned `(p, q)` have `p < q`
+/// and are pairwise disjoint.
+fn tournament_round(n: usize, players: usize, round: usize) -> Vec<(usize, usize)> {
+    let m = players - 1; // rotating players
+    let seat = |k: usize| -> usize {
+        if k == 0 {
+            0
+        } else {
+            (k - 1 + round) % m + 1
+        }
+    };
+    (0..players / 2)
+        .filter_map(|i| {
+            let (x, y) = (seat(i), seat(players - 1 - i));
+            let (p, q) = if x < y { (x, y) } else { (y, x) };
+            if q < n {
+                Some((p, q))
+            } else {
+                None // padding player sits this round out
+            }
+        })
+        .collect()
+}
+
+/// Apply one round's disjoint rotations `A ← JᵀAJ`, `V ← VJ` in two
+/// parallel passes: first all column updates (rows of `A` and `V` are
+/// independent tiles), then all row updates (each rotation owns its disjoint
+/// `(p, q)` row pair).
+fn apply_rotation_batch(
+    a: &mut Matrix,
+    v: &mut Matrix,
+    rotations: &[(usize, usize, f64, f64)],
+    parallelism: Parallelism,
+) {
+    let n = a.rows();
+    let band = par::tile_size(n, parallelism);
+    // Pass 1: column rotations, one task per row band of A and of V.
+    let a_tiles = a.data_mut().chunks_mut(n * band);
+    let v_tiles = v.data_mut().chunks_mut(n * band);
+    let tasks: Vec<&mut [f64]> = a_tiles.chain(v_tiles).collect();
+    par::for_each_task(parallelism, tasks, |chunk| {
+        for row in chunk.chunks_mut(n) {
+            for &(p, q, c, s) in rotations {
+                let (rp, rq) = (row[p], row[q]);
+                row[p] = c * rp - s * rq;
+                row[q] = s * rp + c * rq;
+            }
+        }
+    });
+    // Pass 2: row rotations on A. Split A into single-row slices and hand
+    // each rotation its own (p, q) pair — disjoint by tournament order.
+    let mut rows: Vec<Option<&mut [f64]>> = a.data_mut().chunks_mut(n).map(Some).collect();
+    let tasks: Vec<(&mut [f64], &mut [f64], f64, f64)> = rotations
+        .iter()
+        .map(|&(p, q, c, s)| {
+            let rp = rows[p].take().expect("pivot rows are disjoint within a round");
+            let rq = rows[q].take().expect("pivot rows are disjoint within a round");
+            (rp, rq, c, s)
+        })
+        .collect();
+    par::for_each_task(parallelism, tasks, |(rp, rq, c, s)| {
+        for (ap, aq) in rp.iter_mut().zip(rq.iter_mut()) {
+            let (x, y) = (*ap, *aq);
+            *ap = c * x - s * y;
+            *aq = s * x + c * y;
+        }
+    });
 }
 
 /// Frobenius norm of the strictly upper triangle.
@@ -250,6 +407,82 @@ mod tests {
         let d = eigen_symmetric(&m, 1e-12).unwrap();
         assert!(d.reconstruct(3).is_err());
         assert!(d.reconstruct(0).unwrap().abs_sum() == 0.0);
+    }
+
+    #[test]
+    fn tournament_rounds_cover_all_pairs_disjointly() {
+        for n in [2usize, 5, 6, 9] {
+            let players = n + (n & 1);
+            let mut seen = std::collections::HashSet::new();
+            for round in 0..players - 1 {
+                let pairs = tournament_round(n, players, round);
+                let mut touched = std::collections::HashSet::new();
+                for (p, q) in pairs {
+                    assert!(p < q && q < n, "ordered, in-range pivot ({p},{q})");
+                    assert!(touched.insert(p) && touched.insert(q), "disjoint within round");
+                    assert!(seen.insert((p, q)), "no pair repeats across rounds");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}: every pair visited once");
+        }
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_serial_within_tolerance() {
+        let n = 24;
+        let mut m = Matrix::zeros(n, n);
+        let mut state = 0xfeedu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        let serial = eigen_symmetric(&m, 1e-10).unwrap();
+        for workers in [2, 4] {
+            let d = eigen_symmetric_with(&m, 1e-10, Parallelism::new(workers)).unwrap();
+            // Same spectrum within tolerance (different rotation trajectory).
+            for (a, b) in serial.values.iter().zip(&d.values) {
+                assert!(close(*a, *b, 1e-7), "eigenvalue {a} vs {b} ({workers} workers)");
+            }
+            // And a faithful decomposition in its own right.
+            let r = d.reconstruct(n).unwrap();
+            let rel = m.sub(&r).unwrap().frobenius() / m.frobenius();
+            assert!(rel < 1e-8, "parallel reconstruction error {rel}");
+        }
+    }
+
+    #[test]
+    fn parallel_jacobi_serial_knob_is_exact_legacy() {
+        let m =
+            Matrix::from_rows(vec![vec![4.0, 1.0, 2.0], vec![1.0, 3.0, 0.0], vec![2.0, 0.0, 5.0]]);
+        let legacy = eigen_symmetric(&m, 1e-12).unwrap();
+        let knob1 = eigen_symmetric_with(&m, 1e-12, Parallelism::serial()).unwrap();
+        assert_eq!(legacy.values, knob1.values, "workers=1 must be bit-for-bit legacy");
+        assert_eq!(legacy.vectors, knob1.vectors);
+    }
+
+    #[test]
+    fn reconstruct_with_is_worker_count_invariant() {
+        let m = Matrix::from_rows(vec![
+            vec![4.0, 1.0, 2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.5],
+            vec![2.0, 0.0, 5.0, 1.0],
+            vec![0.5, 1.5, 1.0, 2.0],
+        ]);
+        let d = eigen_symmetric(&m, 1e-12).unwrap();
+        for k in 0..=4 {
+            let serial = d.reconstruct(k).unwrap();
+            for workers in [2, 3, 8] {
+                let p = d.reconstruct_with(k, Parallelism::new(workers)).unwrap();
+                assert_eq!(p, serial, "k={k}, {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   with whitening + deflationary fixed-point iteration.
 //! * [`quantize`] — the log-scale normalization behind the Figure 4/5
 //!   heatmaps.
+//! * [`par`] — the `std`-only data-parallel scheduler (scoped-thread tile /
+//!   task work queues) and the [`Parallelism`] knob the dense kernels share.
+//! * [`sym`] — [`SymMatrix`], a flat packed-upper-triangular symmetric
+//!   matrix whose contiguous rows give the scheduler disjoint `&mut` tiles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +29,15 @@ pub mod eigen;
 pub mod error;
 pub mod ica;
 pub mod matrix;
+pub mod par;
 pub mod pca;
 pub mod quantize;
+pub mod sym;
 
-pub use eigen::{eigen_symmetric, EigenDecomposition};
+pub use eigen::{eigen_symmetric, eigen_symmetric_with, EigenDecomposition};
 pub use error::{Error, Result};
 pub use ica::{fast_ica, IcaDecomposition};
 pub use matrix::Matrix;
-pub use pca::{pca_sweep, recon_err, sparse_transform, PcaSummary};
+pub use par::Parallelism;
+pub use pca::{pca_sweep, pca_sweep_with, recon_err, sparse_transform, PcaSummary};
+pub use sym::SymMatrix;

@@ -1,0 +1,237 @@
+//! Data-parallel execution primitives shared by the dense kernels.
+//!
+//! Everything here is built on `std` only (scoped threads + atomics), per the
+//! crate-policy ban on external dependencies. Two scheduling shapes cover all
+//! the kernels in this workspace:
+//!
+//! * [`for_each_tile`] — a work queue over an index space: workers pull
+//!   fixed-size tiles of `0..n` off an atomic ticket counter. Use when the
+//!   body only needs shared (`&`) access, e.g. reductions into per-tile
+//!   buffers the caller owns.
+//! * [`for_each_task`] — a work queue over *owned* tasks, typically disjoint
+//!   `&mut` row tiles produced by `chunks_mut`/`split_at_mut`. Workers claim
+//!   tasks by ticket, so load balances dynamically while the borrow checker
+//!   still proves the writes disjoint — no `unsafe` anywhere.
+//!
+//! Determinism contract: the schedulers never change *what* is computed, only
+//! *who* computes it. Every kernel built on them computes each output element
+//! with a fixed, serial-identical operation order, so results are bit-for-bit
+//! identical at any worker count (property-tested in `algos` and the root
+//! crate). The cyclic-Jacobi eigensolver is the one exception — its parallel
+//! batches change the rotation *trajectory* — and therefore dispatches to the
+//! untouched legacy loop when [`Parallelism::is_serial`] holds.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads the dense kernels may use.
+///
+/// The default is [`Parallelism::available`] (one worker per logical core);
+/// [`Parallelism::serial`] (`1`) runs everything inline on the calling thread
+/// and reproduces the exact legacy behaviour of every kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    workers: usize,
+}
+
+impl Parallelism {
+    /// Exactly `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Parallelism { workers: workers.max(1) }
+    }
+
+    /// Single-threaded: run kernels inline, exactly as the legacy code did.
+    pub fn serial() -> Self {
+        Parallelism { workers: 1 }
+    }
+
+    /// One worker per logical core reported by the OS (1 if unknown).
+    pub fn available() -> Self {
+        Parallelism::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True when work runs inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::available()
+    }
+}
+
+/// Tile work queue over the index space `0..n`.
+///
+/// Splits `0..n` into tiles of `tile` indices and lets workers claim tiles
+/// from an atomic ticket counter until the queue drains. `body` must be safe
+/// to run concurrently on disjoint tiles (it only gets `&` access to its
+/// environment; use [`for_each_task`] when tiles need `&mut` state).
+pub fn for_each_tile<F>(par: Parallelism, n: usize, tile: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let tile = tile.max(1);
+    let n_tiles = n.div_ceil(tile);
+    if par.is_serial() || n_tiles <= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + tile).min(n);
+            body(start..end);
+            start = end;
+        }
+        return;
+    }
+    let workers = par.workers().min(n_tiles);
+    let next = AtomicUsize::new(0);
+    let (next, body) = (&next, &body);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= n_tiles {
+                    break;
+                }
+                let start = t * tile;
+                body(start..(start + tile).min(n));
+            });
+        }
+    });
+}
+
+/// Task work queue: run `body` once per task, distributing tasks over
+/// workers via an atomic ticket counter.
+///
+/// Tasks commonly carry disjoint `&mut` row tiles (from `chunks_mut` or
+/// iterated `split_at_mut`), which is what makes mutable parallel fills
+/// expressible without `unsafe`: ownership of each tile moves into exactly
+/// one `body` invocation. Each task slot is locked exactly once, so the
+/// mutexes are uncontended bookkeeping, not a synchronization hot spot.
+pub fn for_each_task<T, F>(par: Parallelism, tasks: Vec<T>, body: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if par.is_serial() || tasks.len() <= 1 {
+        for t in tasks {
+            body(t);
+        }
+        return;
+    }
+    let workers = par.workers().min(tasks.len());
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let (slots, next, body) = (&slots, &next, &body);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let task = slots[i].lock().expect("task slot poisoned").take();
+                if let Some(task) = task {
+                    body(task);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel map preserving input order: `out[i] = f(&items[i])`.
+///
+/// Items are processed in contiguous tiles; each output element is produced
+/// by exactly one invocation of `f`, so the result is identical at any
+/// worker count.
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let tile = tile_size(n, par);
+    let tasks: Vec<(usize, &mut [Option<U>])> = out
+        .chunks_mut(tile)
+        .enumerate()
+        .map(|(t, chunk)| (t * tile, chunk))
+        .collect();
+    for_each_task(par, tasks, |(start, chunk)| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(&items[start + k]));
+        }
+    });
+    out.into_iter().map(|v| v.expect("every slot filled")).collect()
+}
+
+/// A reasonable tile size: enough tiles per worker for dynamic balancing
+/// without drowning in per-task overhead.
+pub fn tile_size(n: usize, par: Parallelism) -> usize {
+    n.div_ceil(par.workers() * 4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn knob_defaults_and_clamps() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(0).workers(), 1);
+        assert!(Parallelism::available().workers() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::available());
+    }
+
+    #[test]
+    fn tiles_cover_index_space_exactly_once() {
+        for workers in [1, 2, 5] {
+            let seen = AtomicU64::new(0);
+            for_each_tile(Parallelism::new(workers), 64, 7, |r| {
+                for i in r {
+                    seen.fetch_add(1 << i, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), u64::MAX, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn tasks_run_exactly_once_with_mut_tiles() {
+        for workers in [1, 2, 8] {
+            let mut data = vec![0u32; 100];
+            let tasks: Vec<(usize, &mut [u32])> =
+                data.chunks_mut(9).enumerate().map(|(t, c)| (t * 9, c)).collect();
+            for_each_task(Parallelism::new(workers), tasks, |(start, chunk)| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + k) as u32;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 16] {
+            assert_eq!(par_map(Parallelism::new(workers), &items, |x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        for_each_tile(Parallelism::new(4), 0, 8, |_| panic!("no tiles"));
+        for_each_task(Parallelism::new(4), Vec::<u8>::new(), |_| panic!("no tasks"));
+        assert!(par_map(Parallelism::new(4), &[] as &[u8], |&b| b).is_empty());
+    }
+}

@@ -6,9 +6,10 @@
 //! `ReconErr(M, M_25) < 0.05` on a > 500-node matrix — because redundancy
 //! (many replicas, same role) makes the matrix low-rank.
 
-use crate::eigen::{eigen_symmetric, EigenDecomposition};
+use crate::eigen::{eigen_symmetric, eigen_symmetric_with, EigenDecomposition};
 use crate::error::{Error, Result};
 use crate::matrix::Matrix;
+use crate::par::{self, Parallelism};
 use serde::Serialize;
 
 /// Reconstruction error as defined in the paper: the normalized absolute sum
@@ -28,6 +29,12 @@ pub fn recon_err(m: &Matrix, mk: &Matrix) -> Result<f64> {
 pub fn sparse_transform(m: &Matrix, k: usize) -> Result<Matrix> {
     let d = eigen_symmetric(m, 1e-10)?;
     d.reconstruct(k)
+}
+
+/// Compute `M_k` with the parallel eigensolver and rank-k reconstruction.
+pub fn sparse_transform_with(m: &Matrix, k: usize, parallelism: Parallelism) -> Result<Matrix> {
+    let d = eigen_symmetric_with(m, 1e-10, parallelism)?;
+    d.reconstruct_with(k, parallelism)
 }
 
 /// Reconstruction error at one value of k.
@@ -99,6 +106,74 @@ pub fn recon_err_profile(d: &EigenDecomposition, m: &Matrix) -> Result<Vec<f64>>
     Ok(profile)
 }
 
+/// Parallel incremental reconstruction-error profile.
+///
+/// Same contract as [`recon_err_profile`], with the rank-1 updates and the
+/// error reduction partitioned over row bands. Each row's `Σ|M − M_k|`
+/// partial is computed in the serial column order and the partials are
+/// folded in ascending row order, so the profile is bit-for-bit identical at
+/// any worker count (including 1). Note the fixed row-wise summation tree
+/// differs from [`recon_err_profile`]'s single running sum, so the two
+/// functions may differ in the last ulp.
+pub fn recon_err_profile_with(
+    d: &EigenDecomposition,
+    m: &Matrix,
+    parallelism: Parallelism,
+) -> Result<Vec<f64>> {
+    let n = m.rows();
+    if d.values.len() != n || m.cols() != n {
+        return Err(Error::InvalidArg(format!(
+            "decomposition of size {} does not match matrix {}x{}",
+            d.values.len(),
+            m.rows(),
+            m.cols()
+        )));
+    }
+    let denom = m.abs_sum();
+    let err_of = |row_err: &[f64]| -> f64 {
+        let diff: f64 = row_err.iter().sum();
+        if denom == 0.0 {
+            if diff == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            diff / denom
+        }
+    };
+    let mut mk = Matrix::zeros(n, n);
+    let mut row_err: Vec<f64> = (0..n).map(|i| m.row(i).iter().map(|v| v.abs()).sum()).collect();
+    let mut profile = Vec::with_capacity(n + 1);
+    profile.push(err_of(&row_err));
+    let band = par::tile_size(n, parallelism);
+    for c in 0..n {
+        let lambda = d.values[c];
+        let tasks: Vec<(usize, &mut [f64], &mut [f64])> = mk
+            .data_mut()
+            .chunks_mut(n * band)
+            .zip(row_err.chunks_mut(band))
+            .enumerate()
+            .map(|(t, (mk_chunk, err_chunk))| (t * band, mk_chunk, err_chunk))
+            .collect();
+        par::for_each_task(parallelism, tasks, |(first_row, mk_chunk, err_chunk)| {
+            for (r, mk_row) in mk_chunk.chunks_mut(n).enumerate() {
+                let i = first_row + r;
+                let vi = d.vectors[(i, c)] * lambda;
+                if vi != 0.0 {
+                    for (j, slot) in mk_row.iter_mut().enumerate() {
+                        *slot += vi * d.vectors[(j, c)];
+                    }
+                }
+                err_chunk[r] =
+                    m.row(i).iter().zip(mk_row.iter()).map(|(a, b)| (a - b).abs()).sum();
+            }
+        });
+        profile.push(err_of(&row_err));
+    }
+    Ok(profile)
+}
+
 /// Sweep reconstruction error across `ks` (decomposing once).
 ///
 /// `ks` values above the dimension are clamped to n. `k_for_5_percent` is
@@ -116,6 +191,16 @@ pub fn recon_err_profile(d: &EigenDecomposition, m: &Matrix) -> Result<Vec<f64>>
 /// assert!(sweep.errors[0].err < 1e-9);
 /// ```
 pub fn pca_sweep(m: &Matrix, ks: &[usize]) -> Result<PcaSummary> {
+    pca_sweep_with(m, ks, Parallelism::serial())
+}
+
+/// [`pca_sweep`] with the decomposition and error profile parallelized.
+///
+/// With a serial knob this uses the legacy eigensolver; the incremental
+/// profile always uses the fixed row-banded summation of
+/// [`recon_err_profile_with`], so sweeps agree bit-for-bit across worker
+/// counts whenever the decomposition does.
+pub fn pca_sweep_with(m: &Matrix, ks: &[usize], parallelism: Parallelism) -> Result<PcaSummary> {
     if m.rows() != m.cols() {
         return Err(Error::InvalidArg(format!(
             "PCA sweep needs a square matrix, got {}x{}",
@@ -124,8 +209,8 @@ pub fn pca_sweep(m: &Matrix, ks: &[usize]) -> Result<PcaSummary> {
         )));
     }
     let n = m.rows();
-    let d = eigen_symmetric(m, 1e-10)?;
-    let profile = recon_err_profile(&d, m)?;
+    let d = eigen_symmetric_with(m, 1e-10, parallelism)?;
+    let profile = recon_err_profile_with(&d, m, parallelism)?;
     let mut errors: Vec<KError> = ks
         .iter()
         .map(|&k| {
@@ -236,6 +321,56 @@ mod tests {
             "unstructured matrix must reconstruct poorly at k=1, got {}",
             sweep.errors[0].err
         );
+    }
+
+    #[test]
+    fn parallel_profile_is_worker_count_invariant() {
+        let m = two_block(6);
+        let d = eigen_symmetric(&m, 1e-10).unwrap();
+        let serial = recon_err_profile_with(&d, &m, Parallelism::serial()).unwrap();
+        for workers in [2, 3, 8] {
+            let p = recon_err_profile_with(&d, &m, Parallelism::new(workers)).unwrap();
+            assert_eq!(p, serial, "bitwise profile equality at {workers} workers");
+        }
+        // And it tracks the legacy running-sum profile to float precision.
+        let legacy = recon_err_profile(&d, &m).unwrap();
+        for (a, b) in legacy.iter().zip(&serial) {
+            assert!((a - b).abs() < 1e-12, "legacy {a} vs banded {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        // Random symmetric matrix: distinct eigenvalues almost surely, so
+        // serial and parallel Jacobi agree on the eigenbasis (a degenerate
+        // spectrum like two_block's would make partial reconstructions
+        // legitimately basis-dependent).
+        let n = 12;
+        let mut m = Matrix::zeros(n, n);
+        let mut state = 31u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f64 / 16_777_216.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let serial = pca_sweep(&m, &[1, 3, 12]).unwrap();
+        let par = pca_sweep_with(&m, &[1, 3, 12], Parallelism::new(4)).unwrap();
+        assert_eq!(serial.n, par.n);
+        assert_eq!(serial.k_for_5_percent, par.k_for_5_percent);
+        // The parallel Jacobi trajectory differs, so errors agree to the
+        // convergence tolerance, not bitwise.
+        for (a, b) in serial.errors.iter().zip(&par.errors) {
+            assert_eq!(a.k, b.k);
+            assert!((a.err - b.err).abs() < 1e-6, "k={}: {} vs {}", a.k, a.err, b.err);
+        }
+        let mk = sparse_transform_with(&m, 12, Parallelism::new(2)).unwrap();
+        assert!(recon_err(&m, &mk).unwrap() < 1e-9);
     }
 
     #[test]

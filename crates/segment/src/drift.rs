@@ -152,9 +152,7 @@ pub fn reconcile(old: &Segmentation, new: &Segmentation) -> DriftReport {
     let ip_rule_updates = affected * fleet.saturating_sub(1) + affected;
     let tag_updates = affected;
 
-    let mut moved = moved;
-    let mut added = added;
-    let mut retired = retired;
+    let (mut moved, mut added, mut retired) = (moved, added, retired);
     moved.sort();
     added.sort();
     retired.sort();
@@ -217,7 +215,7 @@ mod tests {
         assert_eq!(r.stable, 3);
         assert!((r.stability - 0.75).abs() < 1e-12);
         assert_eq!(r.tag_updates, 1, "one re-tag");
-        assert_eq!(r.ip_rule_updates, 1 * 3 + 1, "every other VM + its own list");
+        assert_eq!(r.ip_rule_updates, 3 + 1, "every other VM + its own list");
     }
 
     #[test]

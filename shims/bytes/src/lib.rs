@@ -1,0 +1,255 @@
+//! Offline stand-in for the `bytes` crate covering the subset the workspace
+//! uses: big-endian `BufMut`-style writers on [`BytesMut`], the [`Buf`]
+//! reader trait, and cheap (here: owned) [`Bytes`] handles.
+
+use std::ops::{Bound, Deref, Index, IndexMut, RangeBounds};
+
+/// Read side of a byte cursor, big-endian accessors.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// View of the unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy exactly `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// Write side: big-endian appenders. Blanket surface used via `BytesMut`.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finalize into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self { data: src.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for BytesMut {
+    fn index_mut(&mut self, i: usize) -> &mut u8 {
+        &mut self.data[i]
+    }
+}
+
+/// Immutable byte handle with an internal read cursor (for [`Buf`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Length of the unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether there are no unconsumed bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-range view (copies here; the real crate refcounts).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let view = &self.data[self.pos..];
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => view.len(),
+        };
+        Bytes { data: view[start..end].to_vec(), pos: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Self { data: src.to_vec(), pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end");
+        self.pos += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_be() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_u64(0x0708090a0b0c0d0e);
+        b.put_slice(&[1, 2, 3]);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x03040506);
+        assert_eq!(r.get_u64(), 0x0708090a0b0c0d0e);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(..3);
+        assert_eq!(&s[..], &[1, 2, 3]);
+    }
+}

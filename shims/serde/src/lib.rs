@@ -1,0 +1,386 @@
+//! Offline stand-in for `serde` with the same surface the workspace uses.
+//!
+//! Instead of serde's visitor-based zero-copy model, everything funnels
+//! through an owned JSON-like [`Value`]: `Serialize` lowers a type into a
+//! `Value`, `Deserialize` rebuilds it from one. The derive macros (re-exported
+//! from `serde_derive`) generate those impls for structs and enums, honoring
+//! `#[serde(rename = "...")]` and `#[serde(skip)]`. That is all the fidelity
+//! the workspace needs, and it keeps the build hermetic: no registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod json;
+pub mod value;
+
+pub use json::{parse as parse_json, render, render_pretty};
+pub use value::{Map, Number, Value};
+
+/// Deserialization error: a message plus a breadcrumb path.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// New error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefix the error with the field/element it occurred at.
+    pub fn at(self, ctx: &str) -> Self {
+        DeError { msg: format!("{ctx}: {}", self.msg) }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into an owned [`Value`].
+pub trait Serialize {
+    /// The value-model image of `self`.
+    fn to_content(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the value model.
+    fn from_content(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Map keys must render to/from strings (JSON object keys).
+pub trait JsonKey: Sized {
+    /// Key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Key parsed back from a JSON object key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("{n} out of range")))
+            }
+        }
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::new(format!("bad integer key {s:?}")))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::new(format!("expected number, got {v}")))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new(format!("expected bool, got {v}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::new(format!("expected string, got {v}")))
+    }
+}
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------- std net
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected IPv4 string"))?;
+        s.parse().map_err(|_| DeError::new(format!("bad IPv4 address {s:?}")))
+    }
+}
+impl JsonKey for std::net::Ipv4Addr {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        s.parse().map_err(|_| DeError::new(format!("bad IPv4 key {s:?}")))
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new(format!("expected array, got {v}")))?;
+        arr.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            Some(t) => t.to_content(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_content(v).map(Some)
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let mut it = arr.iter();
+                Ok(($(
+                    $t::from_content(
+                        it.next().ok_or_else(|| DeError::new("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: JsonKey, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_content(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(Map::from_entries(entries))
+    }
+}
+impl<K: JsonKey + std::hash::Hash + Eq, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for std::collections::HashMap<K, V, S>
+{
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new(format!("expected object, got {v}")))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v).map_err(|e| e.at(k))?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Value {
+        Value::Object(Map::from_entries(
+            self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect(),
+        ))
+    }
+}
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new(format!("expected object, got {v}")))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v).map_err(|e| e.at(k))?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashSet<T, S> {
+    fn to_content(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by_key(|v| v.to_string());
+        Value::Array(items)
+    }
+}
+impl<T: Deserialize + std::hash::Hash + Eq, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashSet<T, S>
+{
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        arr.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        T::from_content(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Map {
+    fn to_content(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}

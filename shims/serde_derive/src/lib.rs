@@ -1,0 +1,464 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! syn/quote are not vendored, so the item is parsed directly from the
+//! `proc_macro` token stream: enough structure for plain (non-generic)
+//! structs and enums with named, tuple, or unit shapes, plus the
+//! `#[serde(rename = "...")]` and `#[serde(skip)]` field attributes the
+//! workspace uses. Generated impls target the value model in `serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------- model
+
+struct Field {
+    /// Rust-side field name (named structs/variants) or index (tuple).
+    name: String,
+    /// JSON key (rename honored).
+    key: String,
+    /// `#[serde(skip)]`.
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    key: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct SerdeAttrs {
+    skip: bool,
+    rename: Option<String>,
+}
+
+/// Scan one `#[...]` bracket group for serde attributes.
+fn scan_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.next() else { return };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "rename" => {
+                // rename = "..."
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    attrs.rename = Some(unquote(&lit.to_string()));
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+/// Consume leading attributes, returning collected serde options.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs { skip: false, rename: None };
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        scan_attr(g, &mut attrs);
+        *pos += 2;
+    }
+    attrs
+}
+
+/// Skip `pub`, `pub(crate)`, etc.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let _ = take_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => Item::Struct { name, shape: parse_struct_shape(&tokens, pos) },
+        "enum" => {
+            let TokenTree::Group(body) = &tokens[pos] else {
+                panic!("expected enum body for {name}");
+            };
+            Item::Enum { name, variants: parse_variants(body.stream()) }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], pos: usize) -> Shape {
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_fields(g.stream()))
+        }
+        _ => Shape::Unit,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else { break };
+        let name = id.to_string();
+        pos += 1;
+        // Skip `:` and the type, up to a top-level `,`.
+        let mut angle = 0i32;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        let key = attrs.rename.clone().unwrap_or_else(|| name.clone());
+        fields.push(Field { name, key, skip: attrs.skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    let mut idx = 0usize;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        // Skip the type, up to a top-level `,`.
+        let mut angle = 0i32;
+        let mut saw_type = false;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => saw_type = true,
+                },
+                _ => saw_type = true,
+            }
+            pos += 1;
+        }
+        if !saw_type {
+            break;
+        }
+        fields.push(Field { name: idx.to_string(), key: idx.to_string(), skip: attrs.skip });
+        idx += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else { break };
+        let name = id.to_string();
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the next top-level `,` (covers discriminants).
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        let key = attrs.rename.unwrap_or_else(|| name.clone());
+        variants.push(Variant { name, key, shape });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) => ser_tuple_body(fields, |f| format!("&self.{}", f.name)),
+                Shape::Named(fields) => ser_named_body(fields, |f| format!("&self.{}", f.name)),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let (pat, body) = match &v.shape {
+                    Shape::Unit => (
+                        format!("{name}::{}", v.name),
+                        format!("::serde::Value::String(\"{}\".to_string())", v.key),
+                    ),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        (
+                            format!("{name}::{}({})", v.name, binders.join(", ")),
+                            tag_object(&v.key, &inner),
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_body(fields, |f| f.name.to_string());
+                        (
+                            format!("{name}::{} {{ {} }}", v.name, binders.join(", ")),
+                            tag_object(&v.key, &inner),
+                        )
+                    }
+                };
+                arms.push_str(&format!("{pat} => {body},\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn tag_object(key: &str, inner: &str) -> String {
+    format!(
+        "::serde::Value::Object(::serde::Map::from_entries(vec![(\"{key}\".to_string(), {inner})]))"
+    )
+}
+
+fn ser_named_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "__entries.push((\"{}\".to_string(), ::serde::Serialize::to_content({})));\n",
+            f.key,
+            access(f)
+        ));
+    }
+    format!(
+        "{{ let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+            {pushes}\
+            ::serde::Value::Object(::serde::Map::from_entries(__entries)) }}"
+    )
+}
+
+fn ser_tuple_body(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    if fields.len() == 1 {
+        format!("::serde::Serialize::to_content({})", access(&fields[0]))
+    } else {
+        let items: Vec<String> = fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::to_content({})", access(f)))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(fields) => de_tuple_expr(name, fields, "__v"),
+                Shape::Named(fields) => de_named_expr(name, fields, "__v"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms
+                            .push_str(&format!("\"{}\" => Ok({name}::{}),\n", v.key, v.name));
+                    }
+                    Shape::Tuple(fields) => {
+                        let expr =
+                            de_tuple_expr(&format!("{name}::{}", v.name), fields, "__inner");
+                        tagged_arms.push_str(&format!("\"{}\" => {{ {expr} }},\n", v.key));
+                    }
+                    Shape::Named(fields) => {
+                        let expr =
+                            de_named_expr(&format!("{name}::{}", v.name), fields, "__inner");
+                        tagged_arms.push_str(&format!("\"{}\" => {{ {expr} }},\n", v.key));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__v: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     if let Some(__s) = __v.as_str() {{\n\
+                       return match __s {{ {unit_arms} \
+                         __other => Err(::serde::DeError::new(\
+                             format!(\"unknown variant {{__other:?}} of {name}\"))) }};\n\
+                     }}\n\
+                     let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected enum string or tag object\"))?;\n\
+                     let (__tag, __inner) = __obj.iter().next().ok_or_else(|| \
+                         ::serde::DeError::new(\"empty enum tag object\"))?;\n\
+                     match __tag.as_str() {{ {tagged_arms} \
+                       __other => Err(::serde::DeError::new(\
+                           format!(\"unknown variant {{__other:?}} of {name}\"))) }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_named_expr(ctor: &str, fields: &[Field], src: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{}: match {src}.get(\"{}\") {{\n\
+                     Some(__fv) => ::serde::Deserialize::from_content(__fv)\
+                         .map_err(|e| e.at(\"{}\"))?,\n\
+                     None => return Err(::serde::DeError::new(\
+                         \"missing field `{}`\")),\n\
+                 }},\n",
+                f.name, f.key, f.key, f.key
+            ));
+        }
+    }
+    format!("Ok({ctor} {{ {inits} }})")
+}
+
+fn de_tuple_expr(ctor: &str, fields: &[Field], src: &str) -> String {
+    if fields.len() == 1 {
+        return format!(
+            "Ok({ctor}(::serde::Deserialize::from_content({src})?))"
+        );
+    }
+    let mut args = String::new();
+    for i in 0..fields.len() {
+        args.push_str(&format!(
+            "::serde::Deserialize::from_content(\
+                 __arr.get({i}).ok_or_else(|| ::serde::DeError::new(\"tuple too short\"))?)?,\n"
+        ));
+    }
+    format!(
+        "{{ let __arr = {src}.as_array().ok_or_else(|| \
+               ::serde::DeError::new(\"expected tuple array\"))?;\n\
+           Ok({ctor}({args})) }}"
+    )
+}

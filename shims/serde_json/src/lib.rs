@@ -1,0 +1,191 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's value
+//! model. Provides the workspace's full call surface: `Value`/`Map`,
+//! `to_string{,_pretty}`, `to_value`, `from_str`, and the `json!` macro.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::DeError as Error;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render(&value.to_content()))
+}
+
+/// Serialize to pretty (2-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render_pretty(&value.to_content()))
+}
+
+/// Lower any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse_json(s)?;
+    T::from_content(&v)
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports object/array literals,
+/// `null`/`true`/`false`, and arbitrary serializable expressions — the same
+/// token-munching strategy as the real `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; exported only because macro expansion
+/// crosses crate boundaries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////// array munching ////////////////////////
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*
+        )
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*
+        )
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!($next),] $($rest)*
+        )
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////// object munching ////////////////////////
+    // Done with all entries.
+    (@object $object:ident () () ()) => {};
+    // Insert the current entry (trailing comma follows).
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final entry (no trailing comma).
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Value for the current key is null / true / false.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*
+        );
+    };
+    // Value is an array or object literal.
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    // Value is an arbitrary expression followed by more entries.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    // Value is the final expression.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////////// primary entry points ////////////////////////
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut __object = $crate::Map::new();
+            $crate::json_internal!(@object __object () ($($tt)+) ($($tt)+));
+            __object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = json!({
+            "name": "edge",
+            "bytes": 1024u64,
+            "ratio": 0.5,
+            "tags": ["a", "b"],
+            "nested": { "ok": true, "nothing": null },
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["bytes"].as_u64(), Some(1024));
+        assert_eq!(back["nested"]["ok"].as_bool(), Some(true));
+        assert_eq!(back["tags"].as_array().unwrap().len(), 2);
+        assert!(back["nested"]["nothing"].is_null());
+    }
+
+    #[test]
+    fn expressions_embed_via_serialize() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({ "xs": xs, "n": (xs.len()) });
+        assert_eq!(v["xs"][2].as_u64(), Some(3));
+        assert_eq!(v["n"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn map_insert_and_object_wrap() {
+        let mut m = Map::new();
+        m.insert("k".into(), json!(7u8));
+        let v = Value::Object(m);
+        assert_eq!(v["k"].as_u64(), Some(7));
+    }
+}

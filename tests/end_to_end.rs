@@ -180,6 +180,7 @@ fn pipeline_produces_hourly_sequence() {
         facet: Facet::Ip,
         window_len: 3600,
         monitored: Some(monitored),
+        ..Default::default()
     });
     sim.run(125, |_, batch| pipeline.ingest(batch));
     let out = pipeline.finish().expect("ordered windows");
