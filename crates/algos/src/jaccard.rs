@@ -58,13 +58,16 @@ pub fn jaccard_matrix_of_sets(sets: &[Vec<u32>]) -> SymMatrix {
 /// bit-for-bit identical at any worker count.
 pub fn jaccard_matrix_of_sets_with(sets: &[Vec<u32>], parallelism: Parallelism) -> SymMatrix {
     let mut m = SymMatrix::zeros(sets.len());
-    m.fill_upper(parallelism, |i, j| {
-        if i == j {
-            1.0
-        } else {
-            jaccard_of_sets(&sets[i], &sets[j])
-        }
-    });
+    m.fill_upper(
+        parallelism,
+        |i, j| {
+            if i == j {
+                1.0
+            } else {
+                jaccard_of_sets(&sets[i], &sets[j])
+            }
+        },
+    );
     m
 }
 
@@ -138,13 +141,16 @@ impl MinHasher {
     ) -> SymMatrix {
         let sigs: Vec<Signature> = par::par_map(parallelism, sets, |s| self.signature(s));
         let mut m = SymMatrix::zeros(sets.len());
-        m.fill_upper(parallelism, |i, j| {
-            if i == j {
-                1.0
-            } else {
-                self.estimate(&sigs[i], &sigs[j])
-            }
-        });
+        m.fill_upper(
+            parallelism,
+            |i, j| {
+                if i == j {
+                    1.0
+                } else {
+                    self.estimate(&sigs[i], &sigs[j])
+                }
+            },
+        );
         m
     }
 }

@@ -18,6 +18,7 @@ use crate::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use crate::wgraph::WeightedGraph;
 use commgraph_graph::CommGraph;
 use linalg::par::Parallelism;
+use obs::Obs;
 use serde::Serialize;
 
 /// Which segmentation algorithm to run.
@@ -164,40 +165,75 @@ pub fn infer_roles_with(
     method: &SegmentationMethod,
     parallelism: Parallelism,
 ) -> RoleInference {
+    infer_roles_obs(g, method, parallelism, &Obs::noop())
+}
+
+/// [`infer_roles_with`], with the similarity-scoring and clustering stages
+/// timed into `o`'s `commgraph_stage_seconds{stage="similarity"|"cluster"}`
+/// histograms. A noop handle makes this identical to [`infer_roles_with`] —
+/// instrumentation never changes what is computed.
+pub fn infer_roles_obs(
+    g: &CommGraph,
+    method: &SegmentationMethod,
+    parallelism: Parallelism,
+    o: &Obs,
+) -> RoleInference {
     // Unweighted structure view, shared by the SimRank methods.
     let structure = WeightedGraph::from_comm_graph(g, |_| 1.0);
     // Similarity cliques are clustered hierarchically (Figure 1's
     // "hierarchical louvain"): top-level Louvain finds role *kinds*, the
     // recursion separates same-kind roles that only share hub neighbors.
     let hier = HierarchicalConfig::default();
+    let cluster_scored = |scores, min_score: f64| {
+        let _span = o.stage_span("cluster");
+        hierarchical_louvain(&WeightedGraph::from_similarity(&scores, min_score), hier)
+    };
     let result: LouvainResult = match method {
         SegmentationMethod::JaccardLouvain { min_score } => {
-            let scores = jaccard_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism);
-            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+            let scores = {
+                let _span = o.stage_span("similarity");
+                jaccard_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism)
+            };
+            cluster_scored(scores, *min_score)
         }
         SegmentationMethod::MinHashLouvain { hashes, min_score, seed } => {
-            let mh = MinHasher::new(*hashes, *seed);
-            let scores =
-                mh.similarity_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism);
-            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+            let scores = {
+                let _span = o.stage_span("similarity");
+                let mh = MinHasher::new(*hashes, *seed);
+                mh.similarity_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism)
+            };
+            cluster_scored(scores, *min_score)
         }
         SegmentationMethod::SimRank { config, min_score } => {
-            let scores = simrank_with(&structure, *config, parallelism);
-            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+            let scores = {
+                let _span = o.stage_span("similarity");
+                simrank_with(&structure, *config, parallelism)
+            };
+            cluster_scored(scores, *min_score)
         }
         SegmentationMethod::SimRankPP { config, min_score } => {
-            let weighted = WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64);
-            let scores = simrank_pp_with(&weighted, *config, parallelism);
-            hierarchical_louvain(&WeightedGraph::from_similarity(&scores, *min_score), hier)
+            let scores = {
+                let _span = o.stage_span("similarity");
+                let weighted = WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64);
+                simrank_pp_with(&weighted, *config, parallelism)
+            };
+            cluster_scored(scores, *min_score)
         }
         SegmentationMethod::ModularityConns => {
+            let _span = o.stage_span("cluster");
             louvain(&WeightedGraph::from_comm_graph(g, |e| e.conns as f64))
         }
         SegmentationMethod::ModularityBytes => {
+            let _span = o.stage_span("cluster");
             louvain(&WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64))
         }
         SegmentationMethod::FeatureKMeans { k, k_max, seed } => {
-            let feats = crate::features::node_features(g);
+            // Feature extraction plays the similarity-scoring part here.
+            let feats = {
+                let _span = o.stage_span("similarity");
+                crate::features::node_features(g)
+            };
+            let _span = o.stage_span("cluster");
             let km = match k {
                 Some(k) => crate::kmeans::kmeans(&feats, *k, *seed, 200),
                 None => crate::kmeans::kmeans_auto(&feats, *k_max, *seed),

@@ -145,7 +145,8 @@ mod tests {
     #[test]
     fn similarity_clique_thresholds() {
         let mut scores = SymMatrix::zeros(3);
-        for (i, j, v) in [(0, 0, 1.0), (0, 1, 0.9), (0, 2, 0.05), (1, 1, 1.0), (1, 2, 0.5), (2, 2, 1.0)]
+        for (i, j, v) in
+            [(0, 0, 1.0), (0, 1, 0.9), (0, 2, 0.05), (1, 1, 1.0), (1, 2, 0.5), (2, 2, 1.0)]
         {
             scores.set(i, j, v);
         }

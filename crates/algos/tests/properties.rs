@@ -1,7 +1,9 @@
 //! Property-based tests for the graph algorithms.
 #![allow(clippy::needless_range_loop)] // index pairs are clearest for symmetry checks
 
-use algos::jaccard::{jaccard_matrix_of_sets, jaccard_matrix_of_sets_with, jaccard_of_sets, MinHasher};
+use algos::jaccard::{
+    jaccard_matrix_of_sets, jaccard_matrix_of_sets_with, jaccard_of_sets, MinHasher,
+};
 use algos::louvain::{hierarchical_louvain, louvain, modularity, HierarchicalConfig};
 use algos::metrics::{adjusted_rand_index, normalized_mutual_information, purity};
 use algos::simrank::{simrank_pp_with, simrank_with, SimRankConfig};

@@ -13,6 +13,8 @@ use commgraph_graph::{CommGraph, EdgeStats, Facet, NodeId};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
+use obs::{Histogram, Level, Obs, SpanGuard};
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::thread::JoinHandle;
@@ -31,6 +33,9 @@ pub struct EngineConfig {
     pub monitored: Option<HashSet<Ipv4Addr>>,
     /// Channel depth per worker, in batches — the backpressure bound.
     pub queue_depth: usize,
+    /// Observability handle; the default noop handle records nothing and
+    /// costs nothing. Metrics never change what the engine computes.
+    pub obs: Obs,
 }
 
 impl Default for EngineConfig {
@@ -41,12 +46,13 @@ impl Default for EngineConfig {
             window_len: 3600,
             monitored: None,
             queue_depth: 8,
+            obs: Obs::noop(),
         }
     }
 }
 
 /// Counters describing one engine run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct EngineStats {
     /// Records offered to `ingest`.
     pub records_in: u64,
@@ -62,12 +68,14 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Ingest throughput in records per second.
+    /// Ingest throughput: **raw records offered per wall-clock second**,
+    /// measured from first ingest to `finish`. This is a machine-speed
+    /// number ("how fast did we chew through the stream"), *not* the
+    /// telemetry arrival rate — for the per-active-minute arrival rate see
+    /// `PipelineOutput::mean_records_per_minute` in the core crate. Both
+    /// divide through [`obs::rate`], which guards zero durations.
     pub fn records_per_sec(&self) -> f64 {
-        if self.elapsed_secs == 0.0 {
-            return 0.0;
-        }
-        self.records_in as f64 / self.elapsed_secs
+        obs::rate::per_second(self.records_in, self.elapsed_secs)
     }
 }
 
@@ -83,6 +91,48 @@ struct Worker {
     handle: JoinHandle<(ShardMap, u64)>,
 }
 
+/// Metric handles of one engine instance, resolved once at construction.
+/// All noop (and therefore free) when the config carried no registry.
+struct EngineMetrics {
+    records_in: obs::Counter,
+    records_kept: obs::Counter,
+    batches: obs::Counter,
+    batch_records: Histogram,
+    ingest_seconds: Histogram,
+}
+
+impl EngineMetrics {
+    fn resolve(o: &Obs) -> EngineMetrics {
+        EngineMetrics {
+            records_in: o.counter(
+                "commgraph_engine_records_in_total",
+                "Records offered to StreamEngine::ingest.",
+                &[],
+            ),
+            records_kept: o.counter(
+                "commgraph_engine_records_kept_total",
+                "Records surviving vantage dedup (aggregated into shards).",
+                &[],
+            ),
+            batches: o.counter(
+                "commgraph_engine_batches_total",
+                "Batches offered to StreamEngine::ingest.",
+                &[],
+            ),
+            batch_records: o.histogram(
+                "commgraph_engine_batch_records",
+                "Records per ingested batch.",
+                &[],
+            ),
+            ingest_seconds: o.histogram(
+                "commgraph_engine_ingest_seconds",
+                "Wall-clock seconds per ingest call (shard + enqueue, including backpressure).",
+                &[],
+            ),
+        }
+    }
+}
+
 /// The running engine. Create, `ingest` batches, then `finish`.
 pub struct StreamEngine {
     cfg: EngineConfig,
@@ -90,6 +140,7 @@ pub struct StreamEngine {
     records_in: u64,
     started: Option<Instant>,
     closed: bool,
+    metrics: EngineMetrics,
 }
 
 impl StreamEngine {
@@ -101,16 +152,23 @@ impl StreamEngine {
         if cfg.window_len == 0 {
             return Err(Error::InvalidConfig("window length must be positive".into()));
         }
+        let metrics = EngineMetrics::resolve(&cfg.obs);
         let mut workers = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
+        for i in 0..cfg.workers {
             let (tx, rx) = bounded::<Msg>(cfg.queue_depth.max(1));
             let facet = cfg.facet.clone();
             let monitored = cfg.monitored.clone();
             let window_len = cfg.window_len;
-            let handle = std::thread::spawn(move || worker_loop(rx, facet, monitored, window_len));
+            let busy = cfg.obs.histogram(
+                "commgraph_engine_worker_busy_seconds",
+                "Per-worker time spent aggregating batches over the engine's lifetime.",
+                &[("worker", &i.to_string())],
+            );
+            let handle =
+                std::thread::spawn(move || worker_loop(rx, facet, monitored, window_len, busy));
             workers.push(Worker { tx, handle });
         }
-        Ok(StreamEngine { cfg, workers, records_in: 0, started: None, closed: false })
+        Ok(StreamEngine { cfg, workers, records_in: 0, started: None, closed: false, metrics })
     }
 
     /// Offer a batch; blocks when worker queues are full (backpressure).
@@ -118,6 +176,10 @@ impl StreamEngine {
         if self.closed {
             return Err(Error::EngineClosed);
         }
+        let _span = SpanGuard::start(self.metrics.ingest_seconds.clone());
+        self.metrics.records_in.add(records.len() as u64);
+        self.metrics.batches.inc();
+        self.metrics.batch_records.record(records.len() as f64);
         self.started.get_or_insert_with(Instant::now);
         self.records_in += records.len() as u64;
         let n = self.workers.len();
@@ -145,12 +207,20 @@ impl StreamEngine {
         self.closed = true;
         let mut per_window: HashMap<u64, HashMap<(NodeId, NodeId), EdgeStats>> = HashMap::new();
         let mut records_kept = 0u64;
-        for w in self.workers.drain(..) {
+        for (i, w) in self.workers.drain(..).enumerate() {
             w.tx.send(Msg::Finish)
                 .map_err(|_| Error::WorkerFailed("worker channel closed".into()))?;
             let (shard, kept) =
                 w.handle.join().map_err(|_| Error::WorkerFailed("worker panicked".into()))?;
             records_kept += kept;
+            self.cfg
+                .obs
+                .gauge(
+                    "commgraph_engine_shard_edge_entries",
+                    "Distinct edge entries held by one shard at finish.",
+                    &[("shard", &i.to_string())],
+                )
+                .set(shard.values().map(|m| m.len()).sum::<usize>() as f64);
             for (window, edges) in shard {
                 let target = per_window.entry(window).or_default();
                 // Shards are disjoint by construction; extend is a merge.
@@ -159,6 +229,7 @@ impl StreamEngine {
                 }
             }
         }
+        self.metrics.records_kept.add(records_kept);
         let elapsed = self.started.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
         let edge_entries: usize = per_window.values().map(|m| m.len()).sum();
         let mut windows: Vec<u64> = per_window.keys().copied().collect();
@@ -181,6 +252,20 @@ impl StreamEngine {
             elapsed_secs: elapsed,
             workers: self.cfg.workers,
         };
+        if self.cfg.obs.logs(Level::Info) {
+            self.cfg.obs.event(
+                Level::Info,
+                "engine",
+                "finish",
+                &[
+                    ("records_in", stats.records_in.to_string()),
+                    ("records_kept", stats.records_kept.to_string()),
+                    ("windows", graphs.len().to_string()),
+                    ("edge_entries", stats.edge_entries.to_string()),
+                    ("records_per_sec", format!("{:.0}", stats.records_per_sec())),
+                ],
+            );
+        }
         Ok((graphs, stats))
     }
 }
@@ -206,13 +291,17 @@ fn worker_loop(
     facet: Facet,
     monitored: Option<HashSet<Ipv4Addr>>,
     window_len: u64,
+    busy: Histogram,
 ) -> (ShardMap, u64) {
     let mut shard: ShardMap = HashMap::new();
     let mut kept = 0u64;
+    // Busy time counts aggregation work only, not blocking on the channel.
+    let mut busy_secs = 0.0f64;
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Finish => break,
             Msg::Batch(records) => {
+                let t0 = busy.is_enabled().then(Instant::now);
                 for r in &records {
                     if !keep(&monitored, r) {
                         continue;
@@ -232,8 +321,14 @@ fn worker_loop(
                     e.pkts_rev = e.pkts_rev.saturating_add(pr);
                     e.conns += 1;
                 }
+                if let Some(t0) = t0 {
+                    busy_secs += t0.elapsed().as_secs_f64();
+                }
             }
         }
+    }
+    if busy.is_enabled() {
+        busy.record(busy_secs);
     }
     (shard, kept)
 }
@@ -356,6 +451,43 @@ mod tests {
     fn invalid_configs_rejected() {
         assert!(StreamEngine::new(EngineConfig { workers: 0, ..Default::default() }).is_err());
         assert!(StreamEngine::new(EngineConfig { window_len: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn metrics_agree_with_returned_stats() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let recs = records(300);
+        let mut e = StreamEngine::new(EngineConfig {
+            workers: 2,
+            obs: Obs::new(registry.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        for chunk in recs.chunks(100) {
+            e.ingest(chunk).unwrap();
+        }
+        let (_, stats) = e.finish().unwrap();
+
+        let records_in = registry.counter("commgraph_engine_records_in_total", "", &[]).get();
+        let kept = registry.counter("commgraph_engine_records_kept_total", "", &[]).get();
+        let batches = registry.counter("commgraph_engine_batches_total", "", &[]).get();
+        assert_eq!(records_in, stats.records_in);
+        assert_eq!(kept, stats.records_kept);
+        assert_eq!(batches, 3);
+        assert_eq!(registry.histogram("commgraph_engine_batch_records", "", &[]).count(), 3);
+        assert!(
+            registry.histogram("commgraph_engine_ingest_seconds", "", &[]).count() == 3,
+            "one span per ingest call"
+        );
+        // Every worker reports its busy time exactly once at shutdown.
+        for w in 0..2 {
+            let busy = registry.histogram(
+                "commgraph_engine_worker_busy_seconds",
+                "",
+                &[("worker", &w.to_string())],
+            );
+            assert_eq!(busy.count(), 1, "worker {w}");
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ proptest! {
             window_len: 3600,
             monitored: None,
             queue_depth: 2,
+            ..Default::default()
         })
         .expect("valid");
         for batch in records.chunks(chunk) {

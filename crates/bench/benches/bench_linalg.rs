@@ -69,11 +69,11 @@ fn bench_linalg_parallel(c: &mut Criterion) {
     let m = block_matrix(128, 16);
     let mut group = c.benchmark_group("linalg_parallel");
     group.sample_size(10);
-    for (label, par) in
-        [("serial", Parallelism::serial()), ("parallel", Parallelism::default())]
-    {
+    for (label, par) in [("serial", Parallelism::serial()), ("parallel", Parallelism::default())] {
         group.bench_function(format!("eigen_128/{label}"), |b| {
-            b.iter(|| black_box(eigen_symmetric_with(black_box(&m), 1e-10, par).expect("symmetric")))
+            b.iter(|| {
+                black_box(eigen_symmetric_with(black_box(&m), 1e-10, par).expect("symmetric"))
+            })
         });
         group.bench_function(format!("pca_sweep_128/{label}"), |b| {
             b.iter(|| {

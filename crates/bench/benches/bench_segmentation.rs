@@ -45,16 +45,12 @@ fn bench_similarity_parallel(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("similarity_parallel");
     group.sample_size(20);
-    for (label, par) in
-        [("serial", Parallelism::serial()), ("parallel", Parallelism::default())]
-    {
+    for (label, par) in [("serial", Parallelism::serial()), ("parallel", Parallelism::default())] {
         group.bench_function(format!("jaccard_exact/{label}"), |b| {
             b.iter(|| black_box(jaccard_matrix_of_sets_with(black_box(&sets), par)))
         });
         group.bench_function(format!("simrank_5_iters/{label}"), |b| {
-            b.iter(|| {
-                black_box(simrank_with(black_box(&structure), SimRankConfig::default(), par))
-            })
+            b.iter(|| black_box(simrank_with(black_box(&structure), SimRankConfig::default(), par)))
         });
     }
     group.finish();

@@ -1,26 +1,40 @@
-//! Serial-vs-parallel baseline report for the `commgraph-algos::par` kernels.
+//! Performance + observability report for the workspace: kernel speedups
+//! and a fully instrumented pipeline run, written to `BENCH_PR2.json`.
 //!
-//! Times each ported kernel — exact Jaccard, MinHash, SimRank, the Jacobi
-//! eigensolver, and the PCA sweep — once under `Parallelism::serial()` and
-//! once under a multi-worker knob, on fixed-seed inputs, and writes
-//! `BENCH_PR1.json` at the repository root: one entry per kernel with
-//! `{n, serial_ms, parallel_ms, speedup}` plus the core count the run
-//! actually had (speedups are only meaningful on multi-core hosts).
+//! Two sections:
+//!
+//! 1. **Kernels** — each ported kernel (exact Jaccard, MinHash, SimRank,
+//!    the Jacobi eigensolver, the PCA sweep) timed once under
+//!    `Parallelism::serial()` and once under a multi-worker knob on
+//!    fixed-seed inputs: `{n, serial_ms, parallel_ms, speedup}`.
+//! 2. **Stages** — a simulated cluster is pushed through the instrumented
+//!    pipeline (`StreamEngine` → `Pipeline` → `Workbench`) with a live
+//!    `obs::Registry`, and the per-stage wall-time breakdown
+//!    (ingest/build/similarity/cluster/policy/pca) is read back from the
+//!    registry's `commgraph_stage_seconds` histograms, alongside the
+//!    serialized `EngineStats`, the pipeline summary, and the full metrics
+//!    snapshot.
 //!
 //! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
 //! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
-//! `--reps 3` (best-of-N timing).
+//! `--reps 3` (best-of-N timing), `--scale 0.3` (topology scale for the
+//! stage run), `--minutes 30` (simulated span for the stage run).
 
 use algos::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
 use algos::simrank::{simrank_with, SimRankConfig};
 use algos::wgraph::WeightedGraph;
 use algos::Parallelism;
-use benchkit::{arg, arg_u64};
+use analytics::engine::{EngineConfig, StreamEngine};
+use benchkit::{arg, arg_f64, arg_u64, simulate};
+use cloudsim::ClusterPreset;
+use commgraph::pipeline::{Pipeline, PipelineConfig};
+use commgraph::Workbench;
 use linalg::eigen::eigen_symmetric_with;
 use linalg::pca::pca_sweep_with;
 use linalg::Matrix;
 use serde_json::json;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock milliseconds for `f`.
@@ -74,10 +88,94 @@ fn fixture_symmetric(n: usize) -> Matrix {
     m
 }
 
+/// Run the instrumented pipeline end to end and report the per-stage
+/// breakdown read back from the registry.
+fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
+    let registry = Arc::new(obs::Registry::new());
+    let o = obs::Obs::new(registry.clone());
+    let run = simulate(ClusterPreset::MicroserviceBench, scale, minutes);
+
+    // Streaming aggregation: wall-clock throughput + dedup accounting.
+    let mut engine = StreamEngine::new(EngineConfig {
+        workers,
+        monitored: Some(run.monitored.clone()),
+        obs: o.clone(),
+        ..Default::default()
+    })
+    .expect("valid engine config");
+    for chunk in run.records.chunks(65_536) {
+        engine.ingest(chunk).expect("engine accepts batches");
+    }
+    let (_graphs, stats) = engine.finish().expect("engine drains");
+
+    // Windowed pipeline: the `ingest` stage span.
+    let mut p = Pipeline::new(PipelineConfig {
+        monitored: Some(run.monitored.clone()),
+        parallelism: Parallelism::new(workers),
+        obs: o.clone(),
+        ..Default::default()
+    });
+    for chunk in run.records.chunks(65_536) {
+        p.ingest(chunk);
+    }
+    let out = p.finish().expect("windows are contiguous");
+
+    // Workbench: build/similarity/cluster/policy/pca stage spans.
+    let mut wb = Workbench::new(run.records.clone(), run.monitored.clone())
+        .with_parallelism(Parallelism::new(workers))
+        .with_obs(o.clone());
+    wb.policy();
+    wb.pca_summary(&[1, 4, 16]).expect("byte matrix is square");
+
+    let mut stages = serde_json::Map::new();
+    println!();
+    for stage in obs::STAGES {
+        let snap = registry.histogram(obs::STAGE_SECONDS, "", &[("stage", stage)]).snapshot();
+        println!(
+            "stage {stage:<12} count {:<3} total {:9.2} ms  p95 {:9.2} ms",
+            snap.count,
+            snap.sum * 1e3,
+            snap.p95 * 1e3
+        );
+        stages.insert(
+            stage.to_string(),
+            json!({
+                "count": snap.count,
+                "total_ms": snap.sum * 1e3,
+                "p50_ms": snap.p50 * 1e3,
+                "p95_ms": snap.p95 * 1e3,
+                "p99_ms": snap.p99 * 1e3,
+                "max_ms": snap.max * 1e3,
+            }),
+        );
+    }
+
+    json!({
+        "scale": scale,
+        "minutes": minutes,
+        "records": run.records.len(),
+        "stages": serde_json::Value::Object(stages),
+        "engine": {
+            "stats": serde_json::to_value(&stats).expect("EngineStats serializes"),
+            // Wall-clock machine rate (obs::rate::per_second semantics).
+            "records_per_sec": stats.records_per_sec(),
+        },
+        // Per-occupied-minute mean (obs::rate::per_bucket semantics) —
+        // intentionally a different number than records_per_sec above.
+        "pipeline": serde_json::to_value(out.summary()).expect("summary serializes"),
+        "metrics": serde_json::from_str::<serde_json::Value>(&obs::export::json_snapshot(
+            &registry
+        ))
+        .expect("obs snapshot is valid JSON"),
+    })
+}
+
 fn main() {
     let n: usize = arg("n", "500").parse().unwrap_or(500);
     let workers: usize = arg("workers", "4").parse().unwrap_or(4);
     let reps = arg_u64("reps", 3);
+    let scale = arg_f64("scale", 0.3);
+    let minutes = arg_u64("minutes", 30);
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let serial = Parallelism::serial();
     let parallel = Parallelism::new(workers);
@@ -111,9 +209,7 @@ fn main() {
     // SimRank is O(n³) per iteration — a smaller graph keeps the run short.
     let sr_n = (n / 3).max(16);
     let edges: Vec<(u32, u32, f64)> = (0..sr_n as u32)
-        .flat_map(|u| {
-            (1..4u32).map(move |k| (u, (u + k * 7) % sr_n as u32, 1.0 + (u % 5) as f64))
-        })
+        .flat_map(|u| (1..4u32).map(move |k| (u, (u + k * 7) % sr_n as u32, 1.0 + (u % 5) as f64)))
         .filter(|&(u, v, _)| u != v)
         .collect();
     let g = WeightedGraph::from_edges(sr_n, &edges);
@@ -144,13 +240,16 @@ fn main() {
         time_ms(reps, || pca_sweep_with(&mp, &ks, parallel).expect("square")),
     );
 
+    let pipeline = stage_report(workers, scale, minutes);
+
     let out = json!({
         "cores": cores,
         "workers": workers,
         "reps": reps,
         "kernels": serde_json::Value::Object(report),
+        "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR1.json";
+    let path = "BENCH_PR2.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
     println!("\nwrote {path} (host has {cores} core(s); speedups need multi-core hardware)");

@@ -21,8 +21,8 @@ use cloudsim::load::{LoadSchedule, LoadShape};
 use cloudsim::{ClusterPreset, Simulator};
 use commgraph::workbench::Workbench;
 use segment::churn_cost::churn_cost_report;
-use segment::drift::reconcile;
 use segment::compile::{compile, PAPER_VM_RULE_LIMIT};
+use segment::drift::reconcile;
 use segment::higher_order::{proportionality_assess, similarity_assess};
 use serde_json::json;
 

@@ -173,4 +173,46 @@ mod tests {
         let _ = p.fwd_dist();
         let _ = p.rev_dist();
     }
+
+    #[test]
+    fn proto_override_applies() {
+        let p = TrafficProfile::rpc(1.0, 100.0, 100.0).with_proto(Protocol::Udp);
+        assert_eq!(p.proto, Protocol::Udp);
+        assert_eq!(TrafficProfile::bulk(1.0, 1e6, 1e4).proto, Protocol::Tcp);
+    }
+
+    #[test]
+    fn non_all_fanouts_are_per_connection_policies() {
+        // Sticky and Zipf shape *which* destination is picked, not how many
+        // connections exist — expected_conns must ignore the replica count.
+        for fanout in [Fanout::Uniform, Fanout::Sticky, Fanout::Zipf(1.2)] {
+            let p = TrafficProfile::rpc(7.0, 100.0, 100.0).with_fanout(fanout);
+            assert_eq!(p.expected_conns(1), 7.0);
+            assert_eq!(p.expected_conns(64), 7.0);
+        }
+    }
+
+    #[test]
+    fn packet_derivation_is_monotone() {
+        let mut last = 0;
+        for bytes in [0u64, 1, 899, 900, 901, 9000, 1 << 20, 1 << 30] {
+            let pkts = packets_for_bytes(bytes);
+            assert!(pkts >= last, "packets must not decrease as bytes grow");
+            last = pkts;
+        }
+        // A full packet's worth of bytes is never more than one packet off
+        // the exact ratio.
+        let pkts = packets_for_bytes(90_000);
+        assert_eq!(pkts, 100);
+    }
+
+    #[test]
+    fn profiles_round_trip_through_serde() {
+        let p = TrafficProfile::bulk(3.0, 5e5, 2e4)
+            .with_fanout(Fanout::Zipf(1.01))
+            .with_proto(Protocol::Udp);
+        let json = serde_json::to_string_pretty(&p).expect("serializes");
+        let back: TrafficProfile = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, p);
+    }
 }

@@ -159,11 +159,7 @@ fn churned_in_replicas_get_fresh_addresses() {
     let truth_after = sim.ground_truth().ip_roles.len();
     assert_eq!(truth_after, truth_before + 6, "every new replica is a new IP");
     // And the new addresses live in the dynamic range.
-    let dynamic: Vec<_> = sim
-        .ground_truth()
-        .ip_roles
-        .keys()
-        .filter(|ip| ip.octets()[2] >= 240)
-        .collect();
+    let dynamic: Vec<_> =
+        sim.ground_truth().ip_roles.keys().filter(|ip| ip.octets()[2] >= 240).collect();
     assert_eq!(dynamic.len(), 6);
 }

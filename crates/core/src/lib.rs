@@ -23,8 +23,10 @@
 //!
 //! The substrate crates are re-exported under their natural names
 //! ([`flowlog`], [`cloudsim`], [`graph`], [`linalg`], [`algos`],
-//! [`segment`], [`analytics`]) so downstream users depend on this crate
-//! alone.
+//! [`segment`], [`analytics`], [`obs`]) so downstream users depend on this
+//! crate alone. Every stage accepts an [`obs::Obs`] handle (default: noop)
+//! and reports wall-time spans, counters, and events through it — see the
+//! `obs` crate docs for the observability model.
 //!
 //! # Quickstart
 //!
@@ -69,5 +71,6 @@ pub use ::analytics;
 pub use ::cloudsim;
 pub use ::flowlog;
 pub use ::linalg;
+pub use ::obs;
 pub use ::segment;
 pub use commgraph_graph as graph;

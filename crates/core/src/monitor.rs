@@ -22,6 +22,7 @@ use commgraph_graph::diff::diff;
 use commgraph_graph::{CommGraph, Facet, GraphBuilder};
 use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
+use obs::{Counter, Gauge, Histogram, Level, Obs};
 use segment::{SegmentPolicy, Segmentation, Violation, ViolationDetector};
 use serde::Serialize;
 use std::collections::HashSet;
@@ -104,6 +105,71 @@ struct Baseline {
     previous_window: Option<CommGraph>,
 }
 
+/// Monitor-level metrics, resolved once at construction. With a noop [`Obs`]
+/// every handle is inert and each update costs one branch.
+struct MonitorMetrics {
+    /// `commgraph_monitor_windows_total{phase}` — windows closed per phase.
+    windows_learning: Counter,
+    windows_enforcing: Counter,
+    /// `commgraph_monitor_violations_total` — policy violations detected
+    /// (full count, not capped like the emitted events).
+    violations: Counter,
+    /// `commgraph_monitor_anomaly_score` — per-window anomaly scores.
+    anomaly_score: Histogram,
+    /// `commgraph_monitor_anomalous_windows_total` — windows over threshold.
+    anomalous_windows: Counter,
+    /// Baseline shape, set once when learning completes.
+    baseline_segments: Gauge,
+    baseline_allow_rules: Gauge,
+    baseline_threshold: Gauge,
+}
+
+impl MonitorMetrics {
+    fn resolve(o: &Obs) -> MonitorMetrics {
+        let windows = |phase| {
+            o.counter(
+                "commgraph_monitor_windows_total",
+                "Windows closed by the security monitor, by lifecycle phase.",
+                &[("phase", phase)],
+            )
+        };
+        MonitorMetrics {
+            windows_learning: windows("learning"),
+            windows_enforcing: windows("enforcing"),
+            violations: o.counter(
+                "commgraph_monitor_violations_total",
+                "Policy violations detected in enforced windows (uncapped).",
+                &[],
+            ),
+            anomaly_score: o.histogram(
+                "commgraph_monitor_anomaly_score",
+                "Per-window anomaly score (ratio over the baseline noise floor).",
+                &[],
+            ),
+            anomalous_windows: o.counter(
+                "commgraph_monitor_anomalous_windows_total",
+                "Enforced windows whose anomaly score exceeded the threshold.",
+                &[],
+            ),
+            baseline_segments: o.gauge(
+                "commgraph_monitor_baseline_segments",
+                "µsegments in the learned baseline.",
+                &[],
+            ),
+            baseline_allow_rules: o.gauge(
+                "commgraph_monitor_baseline_allow_rules",
+                "Allow rules in the learned baseline policy.",
+                &[],
+            ),
+            baseline_threshold: o.gauge(
+                "commgraph_monitor_baseline_anomaly_threshold",
+                "Calibrated anomaly threshold of the learned baseline.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// The continuous monitor. See module docs for the lifecycle.
 pub struct SecurityMonitor {
     cfg: MonitorConfig,
@@ -111,6 +177,8 @@ pub struct SecurityMonitor {
     phase: Phase,
     current_window_start: Option<u64>,
     current_records: Vec<ConnSummary>,
+    obs: Obs,
+    metrics: MonitorMetrics,
     /// Cap on per-window violation events (summaries always carry the full
     /// count); keeps a port scan from emitting a million events.
     pub max_violation_events: usize,
@@ -122,13 +190,25 @@ impl SecurityMonitor {
     /// # Panics
     /// Panics if `learn_windows < 2` (one to fit, one to calibrate).
     pub fn new(cfg: MonitorConfig, monitored: HashSet<Ipv4Addr>) -> Self {
+        SecurityMonitor::with_obs(cfg, monitored, Obs::noop())
+    }
+
+    /// Like [`SecurityMonitor::new`] with an observability handle: every
+    /// emitted [`MonitorEvent`] is mirrored to the event log (baselines and
+    /// summaries at `info`, violations and anomalous windows at `warn`),
+    /// and window/violation/anomaly tallies feed `commgraph_monitor_*`
+    /// metrics. Events returned to the caller are identical either way.
+    pub fn with_obs(cfg: MonitorConfig, monitored: HashSet<Ipv4Addr>, obs: Obs) -> Self {
         assert!(cfg.learn_windows >= 2, "need >= 2 learning windows");
+        let metrics = MonitorMetrics::resolve(&obs);
         SecurityMonitor {
             cfg,
             monitored,
             phase: Phase::Learning { windows_done: 0, records: Vec::new() },
             current_window_start: None,
             current_records: Vec::new(),
+            obs,
+            metrics,
             max_violation_events: 64,
         }
     }
@@ -172,10 +252,27 @@ impl SecurityMonitor {
             Phase::Learning { windows_done, records: learned } => {
                 learned.extend_from_slice(&records);
                 *windows_done += 1;
+                self.metrics.windows_learning.inc();
                 if *windows_done >= self.cfg.learn_windows {
                     let learned = std::mem::take(learned);
                     let done = *windows_done;
                     let baseline = self.build_baseline(learned, done);
+                    self.metrics.baseline_segments.set(baseline.segmentation.len() as f64);
+                    self.metrics.baseline_allow_rules.set(baseline.policy.rule_count() as f64);
+                    self.metrics.baseline_threshold.set(baseline.threshold);
+                    if self.obs.logs(Level::Info) {
+                        self.obs.event(
+                            Level::Info,
+                            "monitor",
+                            "baseline ready",
+                            &[
+                                ("windows", done.to_string()),
+                                ("segments", baseline.segmentation.len().to_string()),
+                                ("allow_rules", baseline.policy.rule_count().to_string()),
+                                ("anomaly_threshold", format!("{:.4}", baseline.threshold)),
+                            ],
+                        );
+                    }
                     events.push(MonitorEvent::BaselineReady {
                         windows: done,
                         segments: baseline.segmentation.len(),
@@ -211,6 +308,30 @@ impl SecurityMonitor {
                 };
                 baseline.previous_window = Some(graph);
 
+                self.metrics.windows_enforcing.inc();
+                self.metrics.violations.add(violations.len() as u64);
+                self.metrics.anomaly_score.record(score);
+                if anomalous {
+                    self.metrics.anomalous_windows.inc();
+                }
+                let summary_level = if anomalous { Level::Warn } else { Level::Info };
+                if self.obs.logs(summary_level) {
+                    self.obs.event(
+                        summary_level,
+                        "monitor",
+                        "window summary",
+                        &[
+                            ("window_start", window_start.to_string()),
+                            ("records", records.len().to_string()),
+                            ("violations", violations.len().to_string()),
+                            ("anomaly_score", format!("{score:.4}")),
+                            ("anomalous", anomalous.to_string()),
+                            ("new_edges", new_edges.to_string()),
+                            ("gone_edges", gone_edges.to_string()),
+                        ],
+                    );
+                }
+
                 events.push(MonitorEvent::WindowSummary {
                     window_start,
                     records: records.len(),
@@ -221,6 +342,17 @@ impl SecurityMonitor {
                     gone_edges,
                 });
                 for v in violations.into_iter().take(self.max_violation_events) {
+                    if self.obs.logs(Level::Warn) {
+                        self.obs.event(
+                            Level::Warn,
+                            "monitor",
+                            "policy violation",
+                            &[
+                                ("window_start", window_start.to_string()),
+                                ("violation", format!("{v:?}")),
+                            ],
+                        );
+                    }
                     events.push(MonitorEvent::PolicyViolation(v));
                 }
             }
@@ -231,7 +363,8 @@ impl SecurityMonitor {
         // Split the learning records by window: the first window fits the
         // pattern model, the rest calibrate the threshold; segmentation and
         // policy learn from everything.
-        let mut wb = Workbench::new(records.clone(), self.monitored.clone());
+        let mut wb =
+            Workbench::new(records.clone(), self.monitored.clone()).with_obs(self.obs.clone());
         let segmentation = wb.segmentation().clone();
         let policy = wb.policy().clone();
 
@@ -349,6 +482,94 @@ mod tests {
         let windows =
             events.iter().filter(|e| matches!(e, MonitorEvent::WindowSummary { .. })).count();
         assert!(violation_events <= windows * 64);
+    }
+
+    #[test]
+    fn metrics_and_event_log_agree_with_returned_events() {
+        let preset = ClusterPreset::MicroserviceBench;
+        let topo = preset.topology_scaled(0.3);
+        let breached =
+            topo.ip_of(topo.role_named("frontend").expect("role").id, 0).expect("slot 0");
+        let sim_cfg = SimConfig {
+            attacks: vec![AttackScenario {
+                kind: AttackKind::LateralMovement,
+                start_min: 25,
+                duration_min: 15,
+                breached,
+                intensity: 6,
+            }],
+            ..preset.default_sim_config()
+        };
+        let mut sim = Simulator::new(topo, sim_cfg).unwrap();
+        let monitored = monitored_of(&sim);
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let mut monitor =
+            SecurityMonitor::with_obs(cfg(), monitored, obs::Obs::new(registry.clone()));
+
+        let mut events = Vec::new();
+        sim.run(45, |_, batch| events.extend(monitor.ingest(batch)));
+        events.extend(monitor.flush());
+
+        let summaries: Vec<(usize, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::WindowSummary { violations, anomaly_score, .. } => {
+                    Some((*violations, *anomaly_score))
+                }
+                _ => None,
+            })
+            .collect();
+        let violation_events =
+            events.iter().filter(|e| matches!(e, MonitorEvent::PolicyViolation(_))).count();
+
+        // Counters track the events the caller saw.
+        let learning =
+            registry.counter("commgraph_monitor_windows_total", "", &[("phase", "learning")]).get();
+        assert_eq!(learning, cfg().learn_windows as u64);
+        let enforcing = registry
+            .counter("commgraph_monitor_windows_total", "", &[("phase", "enforcing")])
+            .get();
+        assert_eq!(enforcing, summaries.len() as u64);
+        let violations = registry.counter("commgraph_monitor_violations_total", "", &[]).get();
+        assert_eq!(violations, summaries.iter().map(|(v, _)| *v as u64).sum::<u64>());
+        assert!(violations > 0, "the attack must trip the policy");
+
+        // The anomaly-score histogram saw one sample per enforced window.
+        let scores = registry.histogram("commgraph_monitor_anomaly_score", "", &[]);
+        assert_eq!(scores.count(), summaries.len() as u64);
+
+        // Baseline gauges mirror the BaselineReady event.
+        let (segments, threshold) = events
+            .iter()
+            .find_map(|e| match e {
+                MonitorEvent::BaselineReady { segments, anomaly_threshold, .. } => {
+                    Some((*segments, *anomaly_threshold))
+                }
+                _ => None,
+            })
+            .expect("baseline event emitted");
+        let g = registry.gauge("commgraph_monitor_baseline_segments", "", &[]);
+        assert_eq!(g.get(), segments as f64);
+        let t = registry.gauge("commgraph_monitor_baseline_anomaly_threshold", "", &[]);
+        assert_eq!(t.get(), threshold);
+
+        // The event log mirrors what was returned.
+        let log = registry.events();
+        assert_eq!(
+            log.iter().filter(|e| e.message == "baseline ready").count(),
+            1,
+            "one baseline event logged"
+        );
+        assert_eq!(log.iter().filter(|e| e.message == "window summary").count(), summaries.len());
+        assert_eq!(
+            log.iter().filter(|e| e.message == "policy violation").count(),
+            violation_events,
+            "each emitted violation event is mirrored at warn"
+        );
+        assert!(log
+            .iter()
+            .filter(|e| e.message == "policy violation")
+            .all(|e| e.level == obs::Level::Warn));
     }
 
     #[test]

@@ -5,13 +5,14 @@
 //! owns the records once and memoizes each stage, so callers write three
 //! lines instead of thirty and never recompute an eigendecomposition.
 
-use algos::roles::{infer_roles_with, RoleInference, SegmentationMethod};
+use algos::roles::{infer_roles_obs, RoleInference, SegmentationMethod};
 use algos::stats::{byte_ccdf, CcdfPoint};
 use commgraph_graph::collapse::collapse;
 use commgraph_graph::{CommGraph, Facet, GraphBuilder};
 use flowlog::record::ConnSummary;
 use linalg::pca::{pca_sweep_with, PcaSummary};
 use linalg::{Matrix, Parallelism};
+use obs::Obs;
 use segment::blast::{fleet_blast_report, FleetBlastReport};
 use segment::{SegmentPolicy, Segmentation, Violation, ViolationDetector};
 use std::collections::HashSet;
@@ -28,6 +29,7 @@ pub struct Workbench {
     collapse_threshold: f64,
     method: SegmentationMethod,
     parallelism: Parallelism,
+    obs: Obs,
     ip_graph: Option<CommGraph>,
     roles: Option<RoleInference>,
     segmentation: Option<Segmentation>,
@@ -43,6 +45,7 @@ impl Workbench {
             collapse_threshold: DEFAULT_COLLAPSE,
             method: SegmentationMethod::paper_default(),
             parallelism: Parallelism::default(),
+            obs: Obs::noop(),
             ip_graph: None,
             roles: None,
             segmentation: None,
@@ -72,6 +75,17 @@ impl Workbench {
         self
     }
 
+    /// Attach an observability handle (builder style). Each memoized stage
+    /// reports a wall-time span on `commgraph_stage_seconds{stage=...}` the
+    /// first time it is computed: `build` (graph construction + collapse),
+    /// `similarity`/`cluster` (role inference), `policy` (segmentation +
+    /// rule learning), `pca` (low-rank sweeps). The default noop handle
+    /// skips everything, including the clock reads.
+    pub fn with_obs(mut self, o: Obs) -> Self {
+        self.obs = o;
+        self
+    }
+
     /// The records this session analyzes.
     pub fn records(&self) -> &[ConnSummary] {
         &self.records
@@ -88,6 +102,7 @@ impl Workbench {
     /// subscription's own resources are always visible.
     pub fn ip_graph(&mut self) -> &CommGraph {
         if self.ip_graph.is_none() {
+            let _span = self.obs.stage_span("build");
             let mut b = GraphBuilder::new(
                 Facet::Ip,
                 window_start(&self.records),
@@ -121,7 +136,7 @@ impl Workbench {
             let method = self.method.clone();
             let parallelism = self.parallelism;
             let g = self.ip_graph().clone();
-            self.roles = Some(infer_roles_with(&g, &method, parallelism));
+            self.roles = Some(infer_roles_obs(&g, &method, parallelism, &self.obs));
         }
         self.roles.as_ref().expect("just set")
     }
@@ -144,6 +159,7 @@ impl Workbench {
     pub fn policy(&mut self) -> &SegmentPolicy {
         if self.policy.is_none() {
             self.segmentation();
+            let _span = self.obs.stage_span("policy");
             let seg = self.segmentation.as_ref().expect("memoized above");
             self.policy = Some(SegmentPolicy::learn(&self.records, seg, true));
         }
@@ -177,6 +193,7 @@ impl Workbench {
     /// PCA reconstruction-error sweep on the byte matrix (§2.2).
     pub fn pca_summary(&mut self, ks: &[usize]) -> linalg::Result<PcaSummary> {
         let m = self.byte_matrix()?;
+        let _span = self.obs.stage_span("pca");
         pca_sweep_with(&m, ks, self.parallelism)
     }
 
@@ -248,6 +265,23 @@ mod tests {
             "the learning window can never violate its own policy: {} hits",
             violations.len()
         );
+    }
+
+    #[test]
+    fn stage_spans_cover_the_full_arc() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let mut wb = session().with_obs(Obs::new(registry.clone()));
+        wb.policy();
+        wb.pca_summary(&[2]).unwrap();
+        for stage in ["build", "similarity", "cluster", "policy", "pca"] {
+            let h = registry.histogram(obs::STAGE_SECONDS, "", &[("stage", stage)]);
+            assert_eq!(h.count(), 1, "stage {stage} timed exactly once (memoized)");
+        }
+        // Memoized reuse must not add new samples.
+        wb.roles();
+        wb.policy();
+        let h = registry.histogram(obs::STAGE_SECONDS, "", &[("stage", "cluster")]);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

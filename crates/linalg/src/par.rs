@@ -1,8 +1,11 @@
 //! Data-parallel execution primitives shared by the dense kernels.
 //!
 //! Everything here is built on `std` only (scoped threads + atomics), per the
-//! crate-policy ban on external dependencies. Two scheduling shapes cover all
-//! the kernels in this workspace:
+//! crate-policy ban on external dependencies. The only other ingredient is
+//! the workspace's own zero-dep `obs` crate: when a process-global registry
+//! is installed (`obs::install_global`), each scheduler invocation reports
+//! tiles scheduled and per-worker busy time; without one the hooks are inert
+//! branches. Two scheduling shapes cover all the kernels in this workspace:
 //!
 //! * [`for_each_tile`] — a work queue over an index space: workers pull
 //!   fixed-size tiles of `0..n` off an atomic ticket counter. Use when the
@@ -24,6 +27,36 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scheduler-level metrics, resolved from the process-global observability
+/// registry (noop until `obs::install_global`). Handles are looked up once
+/// per kernel invocation, never per tile.
+struct SchedObs {
+    /// `commgraph_par_tiles_total{shape}` — tiles/tasks scheduled.
+    tiles: obs::Counter,
+    /// `commgraph_par_worker_busy_seconds{shape}` — one sample per worker
+    /// per invocation; `sum / (workers × wall)` is the utilization.
+    busy: obs::Histogram,
+}
+
+impl SchedObs {
+    fn resolve(shape: &'static str) -> SchedObs {
+        let o = obs::global();
+        SchedObs {
+            tiles: o.counter(
+                "commgraph_par_tiles_total",
+                "Tiles/tasks scheduled by the data-parallel work queues.",
+                &[("shape", shape)],
+            ),
+            busy: o.histogram(
+                "commgraph_par_worker_busy_seconds",
+                "Per-worker busy time of one scheduler invocation.",
+                &[("shape", shape)],
+            ),
+        }
+    }
+}
 
 /// How many worker threads the dense kernels may use.
 ///
@@ -80,27 +113,39 @@ where
 {
     let tile = tile.max(1);
     let n_tiles = n.div_ceil(tile);
+    let sched = SchedObs::resolve("tile");
+    sched.tiles.add(n_tiles as u64);
     if par.is_serial() || n_tiles <= 1 {
+        let t0 = sched.busy.is_enabled().then(Instant::now);
         let mut start = 0;
         while start < n {
             let end = (start + tile).min(n);
             body(start..end);
             start = end;
         }
+        if let Some(t0) = t0 {
+            sched.busy.record(t0.elapsed().as_secs_f64());
+        }
         return;
     }
     let workers = par.workers().min(n_tiles);
     let next = AtomicUsize::new(0);
-    let (next, body) = (&next, &body);
+    let (next, body, sched) = (&next, &body, &sched);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(move || loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= n_tiles {
-                    break;
+            s.spawn(move || {
+                let t0 = sched.busy.is_enabled().then(Instant::now);
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n_tiles {
+                        break;
+                    }
+                    let start = t * tile;
+                    body(start..(start + tile).min(n));
                 }
-                let start = t * tile;
-                body(start..(start + tile).min(n));
+                if let Some(t0) = t0 {
+                    sched.busy.record(t0.elapsed().as_secs_f64());
+                }
             });
         }
     });
@@ -119,26 +164,38 @@ where
     T: Send,
     F: Fn(T) + Sync,
 {
+    let sched = SchedObs::resolve("task");
+    sched.tiles.add(tasks.len() as u64);
     if par.is_serial() || tasks.len() <= 1 {
+        let t0 = sched.busy.is_enabled().then(Instant::now);
         for t in tasks {
             body(t);
+        }
+        if let Some(t0) = t0 {
+            sched.busy.record(t0.elapsed().as_secs_f64());
         }
         return;
     }
     let workers = par.workers().min(tasks.len());
     let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
-    let (slots, next, body) = (&slots, &next, &body);
+    let (slots, next, body, sched) = (&slots, &next, &body, &sched);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            s.spawn(move || {
+                let t0 = sched.busy.is_enabled().then(Instant::now);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let task = slots[i].lock().expect("task slot poisoned").take();
+                    if let Some(task) = task {
+                        body(task);
+                    }
                 }
-                let task = slots[i].lock().expect("task slot poisoned").take();
-                if let Some(task) = task {
-                    body(task);
+                if let Some(t0) = t0 {
+                    sched.busy.record(t0.elapsed().as_secs_f64());
                 }
             });
         }
@@ -159,11 +216,8 @@ where
     let n = items.len();
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let tile = tile_size(n, par);
-    let tasks: Vec<(usize, &mut [Option<U>])> = out
-        .chunks_mut(tile)
-        .enumerate()
-        .map(|(t, chunk)| (t * tile, chunk))
-        .collect();
+    let tasks: Vec<(usize, &mut [Option<U>])> =
+        out.chunks_mut(tile).enumerate().map(|(t, chunk)| (t * tile, chunk)).collect();
     for_each_task(par, tasks, |(start, chunk)| {
         for (k, slot) in chunk.iter_mut().enumerate() {
             *slot = Some(f(&items[start + k]));
@@ -225,6 +279,20 @@ mod tests {
         let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
         for workers in [1, 2, 3, 16] {
             assert_eq!(par_map(Parallelism::new(workers), &items, |x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn scheduler_reports_to_a_global_registry() {
+        let r = std::sync::Arc::new(obs::Registry::new());
+        // First install wins process-wide; either way `r` only observes the
+        // scheduler when this test's install succeeded.
+        if obs::install_global(r.clone()) {
+            for_each_tile(Parallelism::new(2), 64, 8, |_| {});
+            let tiles = r.counter("commgraph_par_tiles_total", "", &[("shape", "tile")]);
+            assert!(tiles.get() >= 8, "8 tiles scheduled");
+            let busy = r.histogram("commgraph_par_worker_busy_seconds", "", &[("shape", "tile")]);
+            assert!(busy.count() >= 1, "worker busy time recorded");
         }
     }
 

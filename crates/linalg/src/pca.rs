@@ -165,8 +165,7 @@ pub fn recon_err_profile_with(
                         *slot += vi * d.vectors[(j, c)];
                     }
                 }
-                err_chunk[r] =
-                    m.row(i).iter().zip(mk_row.iter()).map(|(a, b)| (a - b).abs()).sum();
+                err_chunk[r] = m.row(i).iter().zip(mk_row.iter()).map(|(a, b)| (a - b).abs()).sum();
             }
         });
         profile.push(err_of(&row_err));

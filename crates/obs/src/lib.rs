@@ -1,0 +1,218 @@
+//! `commgraph-obs` — zero-dependency observability for the streaming stack.
+//!
+//! The paper's systems claim is about *cost* (§3.2): graph analytics must
+//! run cheaply alongside the cloud it watches. This crate is how the
+//! workspace measures that claim on itself, without pulling `tracing` or
+//! `prometheus` into an offline build:
+//!
+//! * [`metrics`] — atomic [`Counter`]/[`Gauge`] and a log-linear-bucket
+//!   [`Histogram`] (lock-free record path, p50/p95/p99/max).
+//! * [`registry`] — a [`Registry`] of labeled metric families plus a
+//!   bounded structured-event buffer.
+//! * [`span`] — RAII [`SpanGuard`] timers that feed histograms.
+//! * [`log`] — leveled structured [`Event`]s with `COMMGRAPH_LOG`
+//!   env-filtered stderr mirroring.
+//! * [`export`] — Prometheus text exposition and a JSON snapshot.
+//! * [`rate`] — the shared rate-from-counter-and-duration helpers.
+//!
+//! # The `Obs` handle
+//!
+//! Instrumented components take an [`Obs`] handle — either
+//! [`Obs::noop`] (the `Default`) or [`Obs::new`] around an
+//! `Arc<Registry>`. Every metric lookup on a noop handle returns a noop
+//! metric; every span on a noop handle never reads the clock; no path
+//! allocates. Results are bit-for-bit identical either way: observability
+//! only ever *times* work, it never reroutes it.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(obs::Registry::new());
+//! let o = obs::Obs::new(registry.clone());
+//! let records = o.counter("demo_records_total", "Records seen.", &[]);
+//! {
+//!     let _span = o.stage_span("build");
+//!     records.add(128);
+//! }
+//! let text = obs::export::prometheus_text(&registry);
+//! assert!(text.contains("demo_records_total 128"));
+//! assert!(text.contains("commgraph_stage_seconds_count{stage=\"build\"} 1"));
+//! ```
+//!
+//! Deep library code (the `linalg::par` scheduler) cannot practically
+//! thread a handle through every call, so a process-global registry can be
+//! [`install_global`]ed once; [`global`] returns a noop handle until then.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod rate;
+pub mod registry;
+pub mod span;
+
+pub use crate::log::{Event, Level, LogFilter};
+pub use crate::metrics::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use crate::registry::{MetricKind, MetricSnapshot, Registry, SnapshotValue};
+pub use crate::span::SpanGuard;
+
+use std::sync::{Arc, OnceLock};
+
+/// Name of the shared per-stage wall-time histogram family. Every pipeline
+/// stage records into `commgraph_stage_seconds{stage="..."}`; `bench_report`
+/// and the exporters read the breakdown back out by this name.
+pub const STAGE_SECONDS: &str = "commgraph_stage_seconds";
+
+/// The canonical stage labels of the streaming arc, in execution order.
+pub const STAGES: [&str; 6] = ["ingest", "build", "similarity", "cluster", "policy", "pca"];
+
+/// A cheap, cloneable observability handle: either inert or backed by a
+/// shared [`Registry`]. See the crate docs for the cost model.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// A handle backed by `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Obs { registry: Some(registry) }
+    }
+
+    /// The inert handle (same as `Obs::default()`).
+    pub fn noop() -> Self {
+        Obs { registry: None }
+    }
+
+    /// True when a registry is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The backing registry, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Resolve (or create) a counter; noop when disabled.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.registry {
+            Some(r) => r.counter(name, help, labels),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Resolve (or create) a gauge; noop when disabled.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.registry {
+            Some(r) => r.gauge(name, help, labels),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Resolve (or create) a histogram; noop when disabled.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match &self.registry {
+            Some(r) => r.histogram(name, help, labels),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Start a span into an arbitrary histogram family.
+    pub fn span(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> SpanGuard {
+        SpanGuard::start(self.histogram(name, help, labels))
+    }
+
+    /// Start a span into the shared [`STAGE_SECONDS`] family for one of the
+    /// pipeline stages (any label value is accepted; the canonical set is
+    /// [`STAGES`]).
+    pub fn stage_span(&self, stage: &str) -> SpanGuard {
+        self.span(
+            STAGE_SECONDS,
+            "Wall-clock seconds spent per streaming-pipeline stage.",
+            &[("stage", stage)],
+        )
+    }
+
+    /// True when an event at `level` would be observable at all — buffered
+    /// (registry attached) or printed (`COMMGRAPH_LOG` allows it). Callers
+    /// use this to skip building field strings on disabled paths.
+    #[inline]
+    pub fn logs(&self, level: Level) -> bool {
+        self.registry.is_some() || crate::log::stderr_enabled(level)
+    }
+
+    /// Emit a structured event: buffered in the registry (when attached)
+    /// and mirrored to stderr under `COMMGRAPH_LOG`. Does nothing — and
+    /// allocates nothing beyond what the caller already built — when
+    /// [`Obs::logs`] is false for `level`.
+    pub fn event(&self, level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+        if !self.logs(level) {
+            return;
+        }
+        let event = Event {
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        match &self.registry {
+            Some(r) => r.push_event(event),
+            None => crate::log::emit_stderr(&event),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Install a process-global registry for code that cannot take an [`Obs`]
+/// parameter (the `linalg` scheduler). First caller wins; returns whether
+/// this call installed it.
+pub fn install_global(registry: Arc<Registry>) -> bool {
+    GLOBAL.set(registry).is_ok()
+}
+
+/// The handle onto the global registry — noop until [`install_global`].
+pub fn global() -> Obs {
+    match GLOBAL.get() {
+        Some(r) => Obs::new(r.clone()),
+        None => Obs::noop(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_obs_yields_noop_metrics() {
+        let o = Obs::noop();
+        assert!(!o.is_enabled());
+        assert!(!o.counter("c_total", "h", &[]).is_enabled());
+        assert!(!o.histogram("h_seconds", "h", &[]).is_enabled());
+        let _ = o.stage_span("build"); // inert
+        o.event(Level::Error, "t", "m", &[]); // best effort, must not panic
+    }
+
+    #[test]
+    fn backed_obs_resolves_shared_metrics() {
+        let r = Arc::new(Registry::new());
+        let o = Obs::new(r.clone());
+        o.counter("c_total", "h", &[]).add(2);
+        assert_eq!(r.counter("c_total", "h", &[]).get(), 2);
+        o.event(Level::Info, "t", "hello", &[("k", "v".to_string())]);
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn stage_span_lands_in_the_shared_family() {
+        let r = Arc::new(Registry::new());
+        let o = Obs::new(r.clone());
+        o.stage_span("pca").stop();
+        let h = r.histogram(STAGE_SECONDS, "", &[("stage", "pca")]);
+        assert_eq!(h.count(), 1);
+    }
+}

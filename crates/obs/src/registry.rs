@@ -1,0 +1,284 @@
+//! The metric registry: named families of labeled counters, gauges, and
+//! histograms, plus the bounded structured-event buffer.
+//!
+//! A family is identified by metric name and holds one metric per distinct
+//! label-value combination. Families and metrics live in `BTreeMap`s so
+//! every snapshot and exporter walks them in a deterministic order — the
+//! golden-output tests depend on that.
+//!
+//! Lookup takes a mutex; the returned handles do not. Instrumented code is
+//! expected to resolve its handles once (at construction / before a kernel
+//! runs) and then update them lock-free on the hot path.
+
+use crate::log::{emit_stderr, Event, Level};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Maximum buffered events; older events are dropped first.
+pub const EVENT_BUFFER_CAP: usize = 4096;
+
+/// Kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-linear histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum MetricCore {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by label pairs (name, value) in caller order.
+    metrics: BTreeMap<Vec<(String, String)>, MetricCore>,
+}
+
+/// A point-in-time view of one metric (one label combination of a family).
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Family name.
+    pub name: String,
+    /// Family help text.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SnapshotValue,
+}
+
+/// Snapshot payload per metric kind.
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// The registry. Create one per process (or per test), share it via `Arc`,
+/// and hand [`crate::Obs`] handles to the components you want instrumented.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.families.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("families", &families.keys().collect::<Vec<_>>())
+            .field("events", &self.events.lock().expect("registry poisoned").len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.metric(name, help, MetricKind::Counter, labels, || {
+            MetricCore::Counter(Counter::real())
+        }) {
+            MetricCore::Counter(c) => c,
+            _ => unreachable!("kind checked in metric()"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.metric(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            || MetricCore::Gauge(Gauge::real()),
+        ) {
+            MetricCore::Gauge(g) => g,
+            _ => unreachable!("kind checked in metric()"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.metric(name, help, MetricKind::Histogram, labels, || {
+            MetricCore::Histogram(Histogram::real())
+        }) {
+            MetricCore::Histogram(h) => h,
+            _ => unreachable!("kind checked in metric()"),
+        }
+    }
+
+    fn metric(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricCore,
+    ) -> MetricCore {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            metrics: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {} but requested as {}",
+            family.kind.name(),
+            kind.name()
+        );
+        let key: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let core = family.metrics.entry(key).or_insert_with(make);
+        match core {
+            MetricCore::Counter(c) => MetricCore::Counter(c.clone()),
+            MetricCore::Gauge(g) => MetricCore::Gauge(g.clone()),
+            MetricCore::Histogram(h) => MetricCore::Histogram(h.clone()),
+        }
+    }
+
+    /// Snapshot every metric, in deterministic (name, labels) order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, core) in family.metrics.iter() {
+                let value = match core {
+                    MetricCore::Counter(c) => SnapshotValue::Counter(c.get()),
+                    MetricCore::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    MetricCore::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                };
+                out.push(MetricSnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
+    }
+
+    /// Append an event to the buffer (dropping the oldest beyond
+    /// [`EVENT_BUFFER_CAP`]) and mirror it to stderr when `COMMGRAPH_LOG`
+    /// enables its level.
+    pub fn push_event(&self, event: Event) {
+        emit_stderr(&event);
+        let mut events = self.events.lock().expect("registry poisoned");
+        if events.len() >= EVENT_BUFFER_CAP {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// All buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("registry poisoned").iter().cloned().collect()
+    }
+
+    /// Buffered events at or above `level` severity.
+    pub fn events_at_least(&self, level: Level) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .filter(|e| e.level <= level)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_state() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[("shard", "0")]);
+        let b = r.counter("x_total", "help", &[("shard", "0")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let other = r.counter("x_total", "help", &[("shard", "1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x", "h", &[]);
+        r.gauge("x", "h", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let r = Registry::new();
+        r.counter("b_total", "h", &[]).inc();
+        r.counter("a_total", "h", &[("z", "1")]).inc();
+        r.counter("a_total", "h", &[("a", "1")]).inc();
+        let names: Vec<String> =
+            r.snapshot().iter().map(|m| format!("{}{:?}", m.name, m.labels)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let r = Registry::new();
+        for i in 0..(EVENT_BUFFER_CAP + 10) {
+            r.push_event(Event {
+                level: Level::Debug,
+                target: "t".into(),
+                message: format!("m{i}"),
+                fields: vec![],
+            });
+        }
+        let events = r.events();
+        assert_eq!(events.len(), EVENT_BUFFER_CAP);
+        assert_eq!(events[0].message, "m10", "oldest dropped first");
+        assert_eq!(r.events_at_least(Level::Info).len(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! RAII span timers that feed histograms.
+//!
+//! A [`SpanGuard`] reads the clock at most twice — on creation and on drop —
+//! and only when its histogram is actually backed by a registry. The noop
+//! form never touches the clock, so wrapping a stage in a span costs one
+//! `Option` branch when observability is disabled.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Times a region of code and records the elapsed seconds into a histogram
+/// when dropped (or explicitly [`SpanGuard::stop`]ped).
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Start timing into `hist`. Noop histograms produce inert guards.
+    pub fn start(hist: Histogram) -> Self {
+        let start = hist.is_enabled().then(Instant::now);
+        SpanGuard { hist, start }
+    }
+
+    /// An inert guard (for default-constructed holders).
+    pub fn noop() -> Self {
+        SpanGuard { hist: Histogram::noop(), start: None }
+    }
+
+    /// Stop now and return the elapsed seconds (0.0 for an inert guard).
+    /// The observation is recorded exactly once.
+    pub fn stop(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        match self.start.take() {
+            Some(t0) => {
+                let secs = t0.elapsed().as_secs_f64();
+                self.hist.record(secs);
+                secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_once_on_drop() {
+        let h = Histogram(Some(std::sync::Arc::new(Default::default())));
+        {
+            let _guard = SpanGuard::start(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.002);
+    }
+
+    #[test]
+    fn stop_returns_elapsed_and_drop_does_not_double_record() {
+        let h = Histogram(Some(std::sync::Arc::new(Default::default())));
+        let guard = SpanGuard::start(h.clone());
+        let secs = guard.stop();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn noop_guard_never_touches_the_clock_state() {
+        let g = SpanGuard::start(Histogram::noop());
+        assert_eq!(g.stop(), 0.0);
+        assert_eq!(SpanGuard::noop().stop(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the observability crate: golden exposition output,
+//! correctness under thread contention, and histogram quantile accuracy
+//! against an exact sorted baseline.
+
+use obs::export::{json_snapshot, prometheus_text};
+use obs::{Level, Obs, Registry};
+use std::sync::Arc;
+
+#[test]
+fn prometheus_text_golden() {
+    let r = Registry::new();
+    let h = r.histogram("demo_latency_seconds", "Request latency.", &[("stage", "build")]);
+    h.record(1.0); // falls in [1.0, 1.2)
+    h.record(3.0); // falls in [3.0, 3.2)
+    r.gauge("demo_queue_depth", "Queue depth.", &[]).set(3.0);
+    r.counter("demo_requests_total", "Requests served.", &[("route", "a")]).add(7);
+    r.counter("demo_requests_total", "Requests served.", &[("route", "b")]);
+
+    let expected = "\
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{stage=\"build\",le=\"1.2\"} 1
+demo_latency_seconds_bucket{stage=\"build\",le=\"3.2\"} 2
+demo_latency_seconds_bucket{stage=\"build\",le=\"+Inf\"} 2
+demo_latency_seconds_sum{stage=\"build\"} 4
+demo_latency_seconds_count{stage=\"build\"} 2
+# HELP demo_queue_depth Queue depth.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 3
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{route=\"a\"} 7
+demo_requests_total{route=\"b\"} 0
+";
+    assert_eq!(prometheus_text(&r), expected);
+}
+
+#[test]
+fn json_snapshot_is_parseable_and_complete() {
+    let r = Registry::new();
+    r.counter("a_total", "Help with \"quotes\".", &[("k", "v")]).add(5);
+    r.histogram("b_seconds", "h", &[]).record(0.5);
+    let o = Obs::new(Arc::new(Registry::new())); // separate: events on r directly
+    drop(o);
+    r.push_event(obs::Event {
+        level: Level::Warn,
+        target: "test".into(),
+        message: "line\nbreak".into(),
+        fields: vec![("x".into(), "1".into())],
+    });
+
+    let json = json_snapshot(&r);
+    // Parse with the workspace's serde_json shim to prove well-formedness.
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let metrics = v.get("metrics").and_then(|m| m.as_array()).expect("metrics array");
+    assert_eq!(metrics.len(), 2);
+    assert_eq!(metrics[0].get("name").unwrap().as_str().unwrap(), "a_total");
+    assert_eq!(metrics[0].get("value").unwrap().as_u64().unwrap(), 5);
+    assert_eq!(metrics[1].get("kind").unwrap().as_str().unwrap(), "histogram");
+    assert_eq!(metrics[1].get("count").unwrap().as_u64().unwrap(), 1);
+    let events = v.get("events").and_then(|e| e.as_array()).expect("events array");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].get("level").unwrap().as_str().unwrap(), "warn");
+}
+
+#[test]
+fn counters_are_exact_under_contention() {
+    let r = Arc::new(Registry::new());
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = r.clone();
+            s.spawn(move || {
+                // Every thread resolves its own handle — same underlying cell.
+                let c = r.counter("contended_total", "h", &[]);
+                let g = r.gauge("contended_gauge", "h", &[]);
+                let h = r.histogram("contended_seconds", "h", &[]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1.0);
+                    // Integer-valued samples keep the f64 CAS sum exact.
+                    h.record((1 + (t as u64 + i) % 4) as f64);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(r.counter("contended_total", "h", &[]).get(), total);
+    assert_eq!(r.gauge("contended_gauge", "h", &[]).get(), total as f64);
+    let h = r.histogram("contended_seconds", "h", &[]);
+    assert_eq!(h.count(), total);
+    // Values cycle 1,2,3,4 uniformly per thread, so the exact sum is known.
+    assert_eq!(h.sum(), (THREADS as u64 * PER_THREAD / 4 * (1 + 2 + 3 + 4)) as f64);
+    assert_eq!(h.max(), 4.0);
+}
+
+/// Deterministic LCG in (0, 1).
+fn lcg() -> impl FnMut() -> f64 {
+    let mut state = 0x0123_4567_89AB_CDEF_u64;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+#[test]
+fn histogram_quantiles_track_exact_sorted_baseline() {
+    let r = Registry::new();
+    let h = r.histogram("q_seconds", "h", &[]);
+    let mut next = lcg();
+    // Exponential-ish latencies spanning several decades.
+    let values: Vec<f64> = (0..20_000).map(|_| -next().ln() * 0.05).collect();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (q, name) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let exact = sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)];
+        let est = h.quantile(q);
+        let rel = (est - exact).abs() / exact;
+        assert!(
+            rel < 0.25,
+            "{name}: estimate {est} vs exact {exact} (rel err {rel:.3}) exceeds bucket tolerance"
+        );
+    }
+    assert_eq!(h.quantile(1.0), h.max());
+    assert_eq!(h.count(), 20_000);
+}
+
+#[test]
+fn spans_feed_stage_histograms_through_the_handle() {
+    let r = Arc::new(Registry::new());
+    let o = Obs::new(r.clone());
+    for stage in obs::STAGES {
+        o.stage_span(stage).stop();
+    }
+    for stage in obs::STAGES {
+        let h = r.histogram(obs::STAGE_SECONDS, "", &[("stage", stage)]);
+        assert_eq!(h.count(), 1, "stage {stage} recorded");
+    }
+    // The exposition carries every stage label.
+    let text = prometheus_text(&r);
+    for stage in obs::STAGES {
+        assert!(text.contains(&format!("stage=\"{stage}\"")), "{stage} exported");
+    }
+}

@@ -135,11 +135,8 @@ pub fn reconcile(old: &Segmentation, new: &Segmentation) -> DriftReport {
             }
         }
     }
-    let retired: Vec<Ipv4Addr> = old_members
-        .keys()
-        .filter(|ip| !new_members.contains_key(*ip))
-        .copied()
-        .collect();
+    let retired: Vec<Ipv4Addr> =
+        old_members.keys().filter(|ip| !new_members.contains_key(*ip)).copied().collect();
     let common = stable + moved.len();
     let stability = if common == 0 { 1.0 } else { stable as f64 / common as f64 };
 
@@ -156,16 +153,7 @@ pub fn reconcile(old: &Segmentation, new: &Segmentation) -> DriftReport {
     moved.sort();
     added.sort();
     retired.sort();
-    DriftReport {
-        matches,
-        stable,
-        moved,
-        added,
-        retired,
-        stability,
-        ip_rule_updates,
-        tag_updates,
-    }
+    DriftReport { matches, stable, moved, added, retired, stability, ip_rule_updates, tag_updates }
 }
 
 #[cfg(test)]

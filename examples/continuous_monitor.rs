@@ -13,8 +13,7 @@ use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
 fn main() {
     let preset = ClusterPreset::MicroserviceBench;
     let topo = preset.topology_scaled(0.5);
-    let breached =
-        topo.ip_of(topo.role_named("frontend").expect("role").id, 0).expect("slot 0");
+    let breached = topo.ip_of(topo.role_named("frontend").expect("role").id, 0).expect("slot 0");
 
     // Two hours of traffic; an attacker lands in minute 80.
     let sim_cfg = SimConfig {
@@ -28,13 +27,8 @@ fn main() {
         ..preset.default_sim_config()
     };
     let mut sim = Simulator::new(topo, sim_cfg).expect("preset is valid");
-    let monitored = sim
-        .ground_truth()
-        .ip_roles
-        .keys()
-        .copied()
-        .filter(|ip| ip.octets()[0] == 10)
-        .collect();
+    let monitored =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
 
     // 20-minute windows: three to learn, the rest enforced.
     let mut monitor = SecurityMonitor::new(

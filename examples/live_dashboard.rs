@@ -2,10 +2,13 @@
 //! a terminal app. Simulates six hours of the K8s PaaS cluster with a flash
 //! crowd and a tenant scale-out, builds one graph per hour through the
 //! streaming pipeline, and prints an hourly changes digest plus an ASCII
-//! heatmap of the final byte matrix.
+//! heatmap of the final byte matrix. The run is fully instrumented: it ends
+//! with the `/metrics`-style Prometheus text dump a scrape endpoint would
+//! serve (set `COMMGRAPH_LOG=info` to also stream the event log to stderr).
 //!
 //! ```sh
 //! cargo run --release --example live_dashboard
+//! COMMGRAPH_LOG=info cargo run --release --example live_dashboard
 //! ```
 
 use commgraph::cloudsim::churn::ChurnPlan;
@@ -14,7 +17,9 @@ use commgraph::cloudsim::{ClusterPreset, Simulator};
 use commgraph::graph::Facet;
 use commgraph::linalg::quantize::{log_normalize, to_ascii};
 use commgraph::linalg::Matrix;
+use commgraph::obs::{export, Obs, Registry};
 use commgraph::pipeline::{Pipeline, PipelineConfig};
+use std::sync::Arc;
 
 fn main() {
     let preset = ClusterPreset::K8sPaas;
@@ -36,10 +41,13 @@ fn main() {
         .copied()
         .filter(|ip| ip.octets()[0] == 10)
         .collect::<std::collections::HashSet<_>>();
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(registry.clone());
     let mut pipeline = Pipeline::new(PipelineConfig {
         facet: Facet::Ip,
         window_len: 3600,
         monitored: Some(monitored),
+        obs: obs.clone(),
         ..Default::default()
     });
     sim.run(6 * 60, |_, batch| pipeline.ingest(batch));
@@ -101,6 +109,17 @@ fn main() {
     let raw = Matrix::from_rows(last.byte_matrix(4096).expect("collapsed scale"));
     println!("\nfinal-hour byte matrix (log scale, darker = more bytes):");
     print!("{}", to_ascii(&downsample(&log_normalize(&raw, 6.0), 56)));
+
+    obs.event(
+        commgraph::obs::Level::Info,
+        "dashboard",
+        "run complete",
+        &[("records", out.total_records.to_string()), ("windows", seq.len().to_string())],
+    );
+
+    // What a `/metrics` scrape endpoint would serve for this run.
+    println!("\n── /metrics (Prometheus text exposition) ──────────────────────");
+    print!("{}", export::prometheus_text(&registry));
 }
 
 /// Max-pool to at most `target` rows/cols for terminal display.

@@ -23,12 +23,7 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _parent: self,
-            name: name.into(),
-            sample_size: 20,
-            throughput: None,
-        }
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
     }
 
     /// Single stand-alone benchmark.
@@ -60,11 +55,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure under this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         run_benchmark(&self.name, &id.to_string(), self.sample_size, self.throughput, f);
         self
     }
@@ -76,9 +67,7 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&self.name, &id.0, self.sample_size, self.throughput, |b| {
-            f(b, input)
-        });
+        run_benchmark(&self.name, &id.0, self.sample_size, self.throughput, |b| f(b, input));
         self
     }
 

@@ -2,9 +2,9 @@
 //! combinator + macro surface the workspace's property tests use. Failing
 //! inputs are reported verbatim (no shrinking).
 
-pub mod strategy;
 pub mod arbitrary;
 pub mod collection;
+pub mod strategy;
 pub mod test_runner;
 
 /// The glob-import surface, mirroring `proptest::prelude`.

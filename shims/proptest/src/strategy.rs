@@ -47,8 +47,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
 impl Strategy for &str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (lo, hi) = parse_dot_repeat(self)
-            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim handles .{{lo,hi}} only)"));
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim handles .{{lo,hi}} only)")
+        });
         let len = lo + rng.below(hi - lo + 1);
         (0..len)
             .map(|_| {

@@ -209,7 +209,9 @@ impl Parser<'_> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b'}') => return Ok(Value::Object(map)),
-                _ => return Err(DeError::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(DeError::new(format!("expected ',' or '}}' at byte {}", self.pos)))
+                }
             }
         }
     }

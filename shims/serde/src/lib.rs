@@ -145,7 +145,9 @@ impl Serialize for String {
 }
 impl Deserialize for String {
     fn from_content(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| DeError::new(format!("expected string, got {v}")))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v}")))
     }
 }
 impl JsonKey for String {

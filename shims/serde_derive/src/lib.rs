@@ -310,8 +310,7 @@ fn gen_serialize(item: &Item) -> String {
                         )
                     }
                     Shape::Named(fields) => {
-                        let binders: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let inner = ser_named_body(fields, |f| f.name.to_string());
                         (
                             format!("{name}::{} {{ {} }}", v.name, binders.join(", ")),
@@ -385,17 +384,14 @@ fn gen_deserialize(item: &Item) -> String {
             for v in variants {
                 match &v.shape {
                     Shape::Unit => {
-                        unit_arms
-                            .push_str(&format!("\"{}\" => Ok({name}::{}),\n", v.key, v.name));
+                        unit_arms.push_str(&format!("\"{}\" => Ok({name}::{}),\n", v.key, v.name));
                     }
                     Shape::Tuple(fields) => {
-                        let expr =
-                            de_tuple_expr(&format!("{name}::{}", v.name), fields, "__inner");
+                        let expr = de_tuple_expr(&format!("{name}::{}", v.name), fields, "__inner");
                         tagged_arms.push_str(&format!("\"{}\" => {{ {expr} }},\n", v.key));
                     }
                     Shape::Named(fields) => {
-                        let expr =
-                            de_named_expr(&format!("{name}::{}", v.name), fields, "__inner");
+                        let expr = de_named_expr(&format!("{name}::{}", v.name), fields, "__inner");
                         tagged_arms.push_str(&format!("\"{}\" => {{ {expr} }},\n", v.key));
                     }
                 }
@@ -445,9 +441,7 @@ fn de_named_expr(ctor: &str, fields: &[Field], src: &str) -> String {
 
 fn de_tuple_expr(ctor: &str, fields: &[Field], src: &str) -> String {
     if fields.len() == 1 {
-        return format!(
-            "Ok({ctor}(::serde::Deserialize::from_content({src})?))"
-        );
+        return format!("Ok({ctor}(::serde::Deserialize::from_content({src})?))");
     }
     let mut args = String::new();
     for i in 0..fields.len() {

@@ -106,6 +106,7 @@ fn engine_matches_builder_on_simulated_stream() {
         window_len: 3600,
         monitored: Some(monitored.clone()),
         queue_depth: 4,
+        ..Default::default()
     })
     .expect("valid config");
     engine.ingest(&records).expect("ingest");

@@ -1,0 +1,112 @@
+//! Instrumentation must be a pure observer: running the whole pipeline with
+//! a live `obs::Registry` attached must produce results bit-for-bit
+//! identical to the uninstrumented run. Floats are compared via `to_bits`,
+//! so even a last-ulp drift (e.g. from a reordered reduction) fails.
+
+use commgraph::analytics::engine::{EngineConfig, StreamEngine};
+use commgraph::cloudsim::{ClusterPreset, Simulator};
+use commgraph::flowlog::record::ConnSummary;
+use commgraph::obs::{Obs, Registry};
+use commgraph::pipeline::{Pipeline, PipelineConfig};
+use commgraph::Workbench;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn fixture() -> (Vec<ConnSummary>, HashSet<Ipv4Addr>) {
+    let preset = ClusterPreset::MicroserviceBench;
+    let mut sim =
+        Simulator::new(preset.topology_scaled(0.25), preset.default_sim_config()).unwrap();
+    let records = sim.collect(8);
+    let monitored =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+    (records, monitored)
+}
+
+/// Everything the pipeline computes, reduced to exactly comparable form.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    engine_graphs: Vec<(u64, usize, usize, u64, u64)>,
+    engine_kept: u64,
+    pipeline_windows: Vec<(u64, usize, usize, u64)>,
+    rate_bits: u64,
+    role_labels: Vec<usize>,
+    n_roles: usize,
+    segments: usize,
+    policy_rules: usize,
+    pca_err_bits: Vec<u64>,
+}
+
+fn run(obs: Obs, records: &[ConnSummary], monitored: &HashSet<Ipv4Addr>) -> Fingerprint {
+    let mut engine = StreamEngine::new(EngineConfig {
+        workers: 3,
+        monitored: Some(monitored.clone()),
+        obs: obs.clone(),
+        ..Default::default()
+    })
+    .unwrap();
+    for chunk in records.chunks(777) {
+        engine.ingest(chunk).unwrap();
+    }
+    let (graphs, stats) = engine.finish().unwrap();
+    let engine_graphs = graphs
+        .iter()
+        .map(|g| {
+            (g.window_start(), g.node_count(), g.edge_count(), g.totals().bytes(), g.totals().conns)
+        })
+        .collect();
+
+    let mut p = Pipeline::new(PipelineConfig {
+        monitored: Some(monitored.clone()),
+        obs: obs.clone(),
+        ..Default::default()
+    });
+    p.ingest(records);
+    let out = p.finish().unwrap();
+    let pipeline_windows = out
+        .sequence
+        .graphs()
+        .iter()
+        .map(|g| (g.window_start(), g.node_count(), g.edge_count(), g.totals().bytes()))
+        .collect();
+    let rate_bits = out.mean_records_per_minute().to_bits();
+
+    let mut wb = Workbench::new(records.to_vec(), monitored.clone()).with_obs(obs);
+    let roles = wb.roles().clone();
+    let segments = wb.segmentation().len();
+    let policy_rules = wb.policy().rule_count();
+    let pca = wb.pca_summary(&[1, 4, 8]).unwrap();
+    let pca_err_bits = pca.errors.iter().map(|e| e.err.to_bits()).collect();
+
+    Fingerprint {
+        engine_graphs,
+        engine_kept: stats.records_kept,
+        pipeline_windows,
+        rate_bits,
+        role_labels: roles.labels,
+        n_roles: roles.n_roles,
+        segments,
+        policy_rules,
+        pca_err_bits,
+    }
+}
+
+#[test]
+fn instrumented_run_is_bit_for_bit_identical() {
+    let (records, monitored) = fixture();
+
+    let plain = run(Obs::noop(), &records, &monitored);
+
+    let registry = Arc::new(Registry::new());
+    let observed = run(Obs::new(registry.clone()), &records, &monitored);
+
+    assert_eq!(plain, observed, "observability must never change results");
+
+    // And the registry really was live — this is not a vacuous comparison.
+    let ingest = registry.histogram(commgraph::obs::STAGE_SECONDS, "", &[("stage", "ingest")]);
+    assert!(ingest.count() > 0, "instrumented run recorded stage spans");
+    assert!(
+        registry.counter("commgraph_engine_records_in_total", "", &[]).get() > 0,
+        "instrumented run counted engine records"
+    );
+}
