@@ -12,8 +12,27 @@
 //! aggregation of communities into super-nodes, repeated until the gain is
 //! negligible. Deterministic: nodes are visited in index order and ties
 //! break toward the smallest community id.
+//!
+//! # Parallel execution
+//!
+//! [`louvain_with`] runs the local-move phase under a [`Parallelism`] knob
+//! on the `linalg::par` scoped-thread scheduler. The sweep is decomposed
+//! with [`par::independent_runs`] — maximal consecutive runs of pairwise
+//! non-adjacent nodes (a greedy interval coloring) — so the expensive
+//! neighbor-community scans run concurrently while moves are *applied* by a
+//! deterministic serial reduction in index order. Within a run no member is
+//! adjacent to another, so a member's neighbor-community weights computed
+//! at run start are exactly what the serial sweep would see at that
+//! member's turn; across runs, a speculative sweep-start prefetch is reused
+//! unless a neighbor moved first (tracked with dirty flags). The result:
+//! **labels are bit-for-bit identical to the serial path at any worker
+//! count**, and [`Parallelism::serial`] dispatches to the untouched legacy
+//! loop. Sweeps, moves, and levels are reported through the process-global
+//! `obs` registry (`commgraph_louvain_*_total{mode}`), inert until
+//! `obs::install_global`.
 
 use crate::wgraph::WeightedGraph;
+use linalg::par::{self, Parallelism};
 use std::collections::BTreeMap;
 
 /// Result of a Louvain run.
@@ -57,7 +76,7 @@ pub fn modularity(g: &WeightedGraph, labels: &[usize], resolution: f64) -> f64 {
     (0..n_comm).map(|c| w_in[c] / m - resolution * (sigma[c] / two_m) * (sigma[c] / two_m)).sum()
 }
 
-/// Run Louvain at resolution 1.0.
+/// Run Louvain at resolution 1.0 on the exact single-threaded path.
 ///
 /// ```
 /// use algos::louvain::louvain;
@@ -74,44 +93,70 @@ pub fn modularity(g: &WeightedGraph, labels: &[usize], resolution: f64) -> f64 {
 /// assert_ne!(r.labels[0], r.labels[4]);
 /// ```
 pub fn louvain(g: &WeightedGraph) -> LouvainResult {
-    louvain_with_resolution(g, 1.0)
+    louvain_with(g, 1.0, Parallelism::serial())
 }
 
 /// Run Louvain at a custom resolution (γ > 1 yields more, smaller
-/// communities; γ < 1 fewer, larger ones).
+/// communities; γ < 1 fewer, larger ones) on the single-threaded path.
 pub fn louvain_with_resolution(g: &WeightedGraph, resolution: f64) -> LouvainResult {
+    louvain_with(g, resolution, Parallelism::serial())
+}
+
+/// Run Louvain at a custom resolution with an explicit worker count for the
+/// local-move sweeps.
+///
+/// Labels, modularity, and level count are bit-for-bit identical at any
+/// worker count (see the module docs for the batching scheme);
+/// [`Parallelism::serial`] runs the legacy single-threaded loop.
+///
+/// ```
+/// use algos::louvain::louvain_with;
+/// use algos::{Parallelism, WeightedGraph};
+///
+/// let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+/// let serial = louvain_with(&g, 1.0, Parallelism::serial());
+/// let parallel = louvain_with(&g, 1.0, Parallelism::new(4));
+/// assert_eq!(serial.labels, parallel.labels);
+/// ```
+pub fn louvain_with(g: &WeightedGraph, resolution: f64, parallelism: Parallelism) -> LouvainResult {
     assert!(resolution > 0.0, "resolution must be positive");
     let n = g.node_count();
     if n == 0 {
         return LouvainResult { labels: Vec::new(), modularity: 0.0, levels: 0 };
     }
+    let lobs = LouvainObs::resolve(parallelism);
     // labels[i] maps original node -> current community id.
     let mut labels: Vec<usize> = (0..n).collect();
     let mut level_graph = g.clone();
     let mut levels = 0usize;
     const MIN_GAIN: f64 = 1e-9;
 
+    // Q of `level_graph` under its identity labeling, maintained across
+    // levels: aggregation preserves modularity (intra-community weight
+    // becomes self-loops, Σ_tot carries over), so each level's `after` is
+    // the next level's `before` — no need to rebuild the identity label
+    // vector and rescore the whole graph every level.
+    let mut before = modularity(&level_graph, &labels, resolution);
     loop {
-        let (local, improved) = one_level(&level_graph, resolution);
+        let level = one_level_with(&level_graph, resolution, parallelism);
         levels += 1;
+        lobs.sweeps.add(level.sweeps);
+        lobs.moves.add(level.moves);
         // Thread this level's assignment through to original nodes.
         for l in labels.iter_mut() {
-            *l = local[*l];
+            *l = level.comm[*l];
         }
-        if !improved {
+        if !level.improved {
             break;
         }
-        let before = modularity(
-            &level_graph,
-            &(0..level_graph.node_count()).collect::<Vec<_>>(),
-            resolution,
-        );
-        let after = modularity(&level_graph, &local, resolution);
-        level_graph = aggregate(&level_graph, &local);
+        let after = modularity(&level_graph, &level.comm, resolution);
+        level_graph = aggregate(&level_graph, &level.comm);
         if after - before < MIN_GAIN {
             break;
         }
+        before = after;
     }
+    lobs.levels.add(levels as u64);
     let labels = compact(labels);
     let q = modularity(g, &labels, resolution);
     LouvainResult { labels, modularity: q, levels }
@@ -142,9 +187,10 @@ impl Default for HierarchicalConfig {
     }
 }
 
-/// Hierarchical Louvain (the clustering of the paper's Figure 1 caption):
-/// run Louvain, then recursively re-run it on each community's induced
-/// subgraph, accepting a split when the sub-partition has real modularity.
+/// Hierarchical Louvain (the clustering of the paper's Figure 1 caption)
+/// on the single-threaded path: run Louvain, then recursively re-run it on
+/// each community's induced subgraph, accepting a split when the
+/// sub-partition has real modularity.
 ///
 /// Plain Louvain on a similarity clique merges *kinds* of roles — every
 /// web tier of every tenant shares the same control-plane hubs, so weak
@@ -152,7 +198,22 @@ impl Default for HierarchicalConfig {
 /// separates them: within the merged community, intra-tenant similarity is
 /// far stronger than cross-tenant similarity.
 pub fn hierarchical_louvain(g: &WeightedGraph, cfg: HierarchicalConfig) -> LouvainResult {
-    let base = louvain_with_resolution(g, cfg.resolution);
+    hierarchical_louvain_with(g, cfg, Parallelism::serial())
+}
+
+/// [`hierarchical_louvain`] with an explicit worker count threaded into
+/// every Louvain invocation (the base run and each subgraph re-run).
+/// Results are bit-for-bit identical at any worker count.
+///
+/// `levels` counts the base run's aggregation levels plus one per
+/// refinement pass that actually split something; a final pass that finds
+/// nothing to split does not deepen the hierarchy.
+pub fn hierarchical_louvain_with(
+    g: &WeightedGraph,
+    cfg: HierarchicalConfig,
+    parallelism: Parallelism,
+) -> LouvainResult {
+    let base = louvain_with(g, cfg.resolution, parallelism);
     let mut labels = base.labels;
     let mut levels = base.levels;
     let mut next_label = labels.iter().copied().max().map_or(0, |m| m + 1);
@@ -169,7 +230,7 @@ pub fn hierarchical_louvain(g: &WeightedGraph, cfg: HierarchicalConfig) -> Louva
                 continue;
             }
             let sub = induced_subgraph(g, &members);
-            let sub_result = louvain_with_resolution(&sub, cfg.resolution);
+            let sub_result = louvain_with(&sub, cfg.resolution, parallelism);
             let n_sub = sub_result.labels.iter().copied().max().map_or(0, |m| m + 1);
             if n_sub <= 1 || sub_result.modularity < cfg.min_split_modularity {
                 continue;
@@ -184,11 +245,12 @@ pub fn hierarchical_louvain(g: &WeightedGraph, cfg: HierarchicalConfig) -> Louva
             next_label += n_sub - 1;
             any_split = true;
         }
-        levels += 1;
-        depth += 1;
         if !any_split {
+            // The pass refined nothing — it added no hierarchy level.
             break;
         }
+        levels += 1;
+        depth += 1;
     }
     let labels = compact(labels);
     let q = modularity(g, &labels, cfg.resolution);
@@ -216,65 +278,228 @@ fn induced_subgraph(g: &WeightedGraph, members: &[usize]) -> WeightedGraph {
     sub
 }
 
-/// One pass of greedy local moving. Returns (community per node, any move?).
-fn one_level(g: &WeightedGraph, resolution: f64) -> (Vec<usize>, bool) {
+/// Louvain run counters, resolved from the process-global `obs` registry
+/// (noop until `obs::install_global`), labeled by execution mode.
+struct LouvainObs {
+    /// `commgraph_louvain_sweeps_total{mode}` — local-move sweeps executed.
+    sweeps: obs::Counter,
+    /// `commgraph_louvain_moves_total{mode}` — node moves applied.
+    moves: obs::Counter,
+    /// `commgraph_louvain_levels_total{mode}` — aggregation levels run.
+    levels: obs::Counter,
+}
+
+impl LouvainObs {
+    fn resolve(par: Parallelism) -> LouvainObs {
+        let mode = if par.is_serial() { "serial" } else { "parallel" };
+        let o = obs::global();
+        LouvainObs {
+            sweeps: o.counter(
+                "commgraph_louvain_sweeps_total",
+                "Local-move sweeps executed by Louvain clustering.",
+                &[("mode", mode)],
+            ),
+            moves: o.counter(
+                "commgraph_louvain_moves_total",
+                "Node moves applied by Louvain's local-move phase.",
+                &[("mode", mode)],
+            ),
+            levels: o.counter(
+                "commgraph_louvain_levels_total",
+                "Aggregation levels performed by Louvain runs.",
+                &[("mode", mode)],
+            ),
+        }
+    }
+}
+
+/// Outcome of one local-moving pass.
+struct LevelOutcome {
+    /// Community per node, compacted.
+    comm: Vec<usize>,
+    /// Whether any node moved.
+    improved: bool,
+    /// Full sweeps over the node set.
+    sweeps: u64,
+    /// Moves applied.
+    moves: u64,
+}
+
+/// Weights from `u` to each neighboring community (self-loops and internal
+/// orientation excluded — they don't change with a move). The `BTreeMap`
+/// iteration order makes ties deterministic: smallest community id wins.
+fn neighbor_comm_weights(g: &WeightedGraph, u: usize, comm: &[usize]) -> BTreeMap<usize, f64> {
+    let mut to_comm: BTreeMap<usize, f64> = BTreeMap::new();
+    for &(v, w) in g.neighbors(u as u32) {
+        if v as usize != u {
+            *to_comm.entry(comm[v as usize]).or_insert(0.0) += w;
+        }
+    }
+    to_comm
+}
+
+/// Greedy move decision for `u`: remove it from its community, pick the
+/// best neighboring community by modularity gain (ties toward the smallest
+/// id), re-add, and report whether it moved. This is the one copy of the
+/// decision arithmetic — the serial and parallel sweeps both call it, which
+/// is what makes them bit-for-bit comparable.
+#[inline]
+fn apply_best_move(
+    u: usize,
+    to_comm: &BTreeMap<usize, f64>,
+    comm: &mut [usize],
+    sigma_tot: &mut [f64],
+    k: &[f64],
+    resolution: f64,
+    two_m: f64,
+) -> bool {
+    let cu = comm[u];
+    // Remove u from its community.
+    sigma_tot[cu] -= k[u];
+    let w_u_cu = to_comm.get(&cu).copied().unwrap_or(0.0);
+    let base_gain = w_u_cu - resolution * k[u] * sigma_tot[cu] / two_m;
+    let (mut best_c, mut best_gain) = (cu, base_gain);
+    for (&c, &w_uc) in to_comm {
+        if c == cu {
+            continue;
+        }
+        let gain = w_uc - resolution * k[u] * sigma_tot[c] / two_m;
+        if gain > best_gain + 1e-12 {
+            best_gain = gain;
+            best_c = c;
+        }
+    }
+    sigma_tot[best_c] += k[u];
+    if best_c != cu {
+        comm[u] = best_c;
+        true
+    } else {
+        false
+    }
+}
+
+/// One pass of greedy local moving under the given worker count.
+fn one_level_with(g: &WeightedGraph, resolution: f64, par: Parallelism) -> LevelOutcome {
+    if par.is_serial() {
+        one_level_serial(g, resolution)
+    } else {
+        one_level_parallel(g, resolution, par)
+    }
+}
+
+/// The legacy single-threaded sweep: nodes in index order, neighbor scans
+/// against the live community assignment.
+fn one_level_serial(g: &WeightedGraph, resolution: f64) -> LevelOutcome {
     let n = g.node_count();
     let m = g.total_weight();
     let mut comm: Vec<usize> = (0..n).collect();
     if m == 0.0 {
-        return (comm, false);
+        return LevelOutcome { comm, improved: false, sweeps: 0, moves: 0 };
     }
     let k: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
     let mut sigma_tot: Vec<f64> = k.clone();
     let two_m = 2.0 * m;
-    let mut improved_ever = false;
+    let (mut sweeps, mut moves) = (0u64, 0u64);
 
     loop {
         let mut moved = false;
+        sweeps += 1;
         for u in 0..n {
-            let cu = comm[u];
-            // Weights from u to each neighboring community (self-loops and
-            // internal orientation excluded — they don't change with a move).
-            let mut to_comm: BTreeMap<usize, f64> = BTreeMap::new();
-            for &(v, w) in g.neighbors(u as u32) {
-                if v as usize != u {
-                    *to_comm.entry(comm[v as usize]).or_insert(0.0) += w;
-                }
-            }
-            // Remove u from its community.
-            sigma_tot[cu] -= k[u];
-            let w_u_cu = to_comm.get(&cu).copied().unwrap_or(0.0);
-            let base_gain = w_u_cu - resolution * k[u] * sigma_tot[cu] / two_m;
-            // Best candidate (BTreeMap order makes ties deterministic:
-            // smallest community id wins).
-            let (mut best_c, mut best_gain) = (cu, base_gain);
-            for (&c, &w_uc) in &to_comm {
-                if c == cu {
-                    continue;
-                }
-                let gain = w_uc - resolution * k[u] * sigma_tot[c] / two_m;
-                if gain > best_gain + 1e-12 {
-                    best_gain = gain;
-                    best_c = c;
-                }
-            }
-            sigma_tot[best_c] += k[u];
-            if best_c != cu {
-                comm[u] = best_c;
+            let to_comm = neighbor_comm_weights(g, u, &comm);
+            if apply_best_move(u, &to_comm, &mut comm, &mut sigma_tot, &k, resolution, two_m) {
                 moved = true;
-                improved_ever = true;
+                moves += 1;
             }
         }
         if !moved {
             break;
         }
     }
-    (compact(comm), improved_ever)
+    LevelOutcome { comm: compact(comm), improved: moves > 0, sweeps, moves }
+}
+
+/// The parallel sweep: conflict-avoiding batches + deterministic reduction.
+///
+/// Scheduling shape (see the module docs for why this reproduces the serial
+/// sweep exactly):
+///
+/// 1. Partition `0..n` once per level into [`par::independent_runs`] —
+///    consecutive runs of pairwise non-adjacent nodes.
+/// 2. Per sweep, speculatively prefetch every node's neighbor-community
+///    weights against the sweep-start state in parallel (skipped on the
+///    first sweep, where nearly every node moves and the prefetch would be
+///    wasted).
+/// 3. Per run, rebuild in parallel the entries invalidated by earlier moves
+///    (`dirty`), then apply moves serially in index order with the shared
+///    [`apply_best_move`] arithmetic. A run member's weights cannot be
+///    invalidated by the other members — they are not adjacent — so the
+///    state each node sees is exactly the serial sweep's.
+fn one_level_parallel(g: &WeightedGraph, resolution: f64, par: Parallelism) -> LevelOutcome {
+    let n = g.node_count();
+    let m = g.total_weight();
+    let mut comm: Vec<usize> = (0..n).collect();
+    if m == 0.0 {
+        return LevelOutcome { comm, improved: false, sweeps: 0, moves: 0 };
+    }
+    let k: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
+    let mut sigma_tot: Vec<f64> = k.clone();
+    let two_m = 2.0 * m;
+    let (mut sweeps, mut moves) = (0u64, 0u64);
+
+    // The level graph is immutable here, so the coloring is computed once.
+    let runs = par::independent_runs(n, |u| g.neighbors(u as u32).iter().map(|&(v, _)| v as usize));
+    let idx: Vec<usize> = (0..n).collect();
+    let mut first_sweep = true;
+
+    loop {
+        let mut moved = false;
+        sweeps += 1;
+        let mut cache: Vec<Option<BTreeMap<usize, f64>>> = if first_sweep {
+            (0..n).map(|_| None).collect()
+        } else {
+            let comm_ref = &comm;
+            par::par_map(par, &idx, |&u| Some(neighbor_comm_weights(g, u, comm_ref)))
+        };
+        first_sweep = false;
+        let mut dirty = vec![false; n];
+        for run in &runs {
+            let need: Vec<usize> =
+                run.clone().filter(|&u| dirty[u] || cache[u].is_none()).collect();
+            if need.len() == 1 {
+                cache[need[0]] = Some(neighbor_comm_weights(g, need[0], &comm));
+            } else if !need.is_empty() {
+                let comm_ref = &comm;
+                let rebuilt = par::par_map(par, &need, |&u| neighbor_comm_weights(g, u, comm_ref));
+                for (&u, map) in need.iter().zip(rebuilt) {
+                    cache[u] = Some(map);
+                }
+            }
+            for u in run.clone() {
+                let to_comm = cache[u].take().expect("refreshed above");
+                if apply_best_move(u, &to_comm, &mut comm, &mut sigma_tot, &k, resolution, two_m) {
+                    moved = true;
+                    moves += 1;
+                    for &(v, _) in g.neighbors(u as u32) {
+                        // Later nodes must rescan: their cached weights
+                        // were computed before this move.
+                        if v as usize > u {
+                            dirty[v as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    LevelOutcome { comm: compact(comm), improved: moves > 0, sweeps, moves }
 }
 
 /// Build the aggregated graph: one node per community, intra-community
-/// weight becomes a self-loop.
-fn aggregate(g: &WeightedGraph, comm: &[usize]) -> WeightedGraph {
+/// weight becomes a self-loop. Aggregation preserves total edge weight and
+/// the modularity of the induced identity labeling.
+pub fn aggregate(g: &WeightedGraph, comm: &[usize]) -> WeightedGraph {
     let n_comm = comm.iter().copied().max().map_or(0, |x| x + 1);
     let mut edge_acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
     for u in 0..g.node_count() as u32 {
@@ -328,6 +553,45 @@ mod tests {
         WeightedGraph::from_edges(8, &edges)
     }
 
+    /// Four 5-cliques; cliques {0,1} and {2,3} are strongly bridged, with
+    /// one weak edge across the pairs.
+    fn nested_cliques() -> WeightedGraph {
+        let mut edges = Vec::new();
+        let clique = |edges: &mut Vec<(u32, u32, f64)>, base: u32| {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        };
+        for c in 0..4 {
+            clique(&mut edges, c * 5);
+        }
+        for k in 0..5 {
+            edges.push((k, 5 + k, 0.55));
+            edges.push((10 + k, 15 + k, 0.55));
+        }
+        edges.push((0, 10, 0.05));
+        WeightedGraph::from_edges(20, &edges)
+    }
+
+    /// A ring of `k` triangles bridged at weight 1.0 — above ~9 cliques the
+    /// resolution limit makes flat Louvain merge adjacent triangles, so the
+    /// hierarchy has real splitting to do.
+    fn triangle_ring(k: u32) -> WeightedGraph {
+        let mut edges = Vec::new();
+        for c in 0..k {
+            let base = c * 3;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+            edges.push((base, ((c + 1) % k) * 3, 1.0));
+        }
+        WeightedGraph::from_edges(3 * k as usize, &edges)
+    }
+
     #[test]
     fn finds_the_two_cliques() {
         let r = louvain(&two_cliques());
@@ -374,6 +638,84 @@ mod tests {
         assert_eq!(a.modularity, b.modularity);
     }
 
+    /// Pinned against the pre-rework (PR 2) implementation: the convergence
+    /// rework (carry `before` across levels instead of rescoring the
+    /// identity labeling) and the duplicate-edge coalescing must not change
+    /// what the fixtures produce.
+    #[test]
+    fn fixture_results_pinned_against_legacy() {
+        let r = louvain(&two_cliques());
+        assert_eq!(r.labels, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!((r.modularity - 0.49173553719008267).abs() < 1e-12, "Q = {}", r.modularity);
+        assert_eq!(r.levels, 2);
+
+        let r = louvain(&nested_cliques());
+        assert_eq!(r.labels, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3]);
+        assert!((r.modularity - 0.628_155_571_433_907_8).abs() < 1e-12, "Q = {}", r.modularity);
+        assert_eq!(r.levels, 2);
+
+        let h = hierarchical_louvain(&two_cliques(), HierarchicalConfig::default());
+        assert_eq!(h.labels, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!((h.modularity - 0.49173553719008267).abs() < 1e-12, "Q = {}", h.modularity);
+    }
+
+    /// The parallel path must agree with the serial path bit-for-bit at any
+    /// worker count (the property test in `tests/properties.rs` covers
+    /// random graphs; this pins the named fixtures).
+    #[test]
+    fn parallel_matches_serial_on_fixtures() {
+        for g in [two_cliques(), nested_cliques(), triangle_ring(10)] {
+            let serial = louvain_with(&g, 1.0, Parallelism::serial());
+            let hs =
+                hierarchical_louvain_with(&g, HierarchicalConfig::default(), Parallelism::serial());
+            for workers in [2usize, 3, 8] {
+                let p = louvain_with(&g, 1.0, Parallelism::new(workers));
+                assert_eq!(p.labels, serial.labels, "{workers} workers");
+                assert_eq!(p.modularity.to_bits(), serial.modularity.to_bits());
+                assert_eq!(p.levels, serial.levels);
+                let hp = hierarchical_louvain_with(
+                    &g,
+                    HierarchicalConfig::default(),
+                    Parallelism::new(workers),
+                );
+                assert_eq!(hp.labels, hs.labels, "hierarchical, {workers} workers");
+                assert_eq!(hp.modularity.to_bits(), hs.modularity.to_bits());
+                assert_eq!(hp.levels, hs.levels);
+            }
+        }
+    }
+
+    /// Regression (latent duplicate-edge bug): a duplicated edge list must
+    /// produce the same partition and modularity as the coalesced one.
+    #[test]
+    fn duplicate_edge_list_matches_coalesced() {
+        let coalesced = two_cliques();
+        // Rebuild with every clique edge split into two half-weight parallel
+        // edges (halves sum exactly in binary floating point, and every
+        // running total stays a multiple of 0.5, so even `total_weight`'s
+        // sequential accumulation matches bit-for-bit).
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j, 0.5));
+                    edges.push((base + j, base + i, 0.5));
+                }
+            }
+        }
+        edges.push((0, 4, 0.1));
+        let dup = WeightedGraph::from_edges(8, &edges);
+
+        assert_eq!(dup.total_weight(), coalesced.total_weight());
+        for u in 0..8 {
+            assert_eq!(dup.neighbors(u), coalesced.neighbors(u), "node {u} adjacency");
+        }
+        let a = louvain(&dup);
+        let b = louvain(&coalesced);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.modularity.to_bits(), b.modularity.to_bits());
+    }
+
     #[test]
     fn resolution_controls_granularity() {
         // A ring of 4 small cliques: high resolution splits them, very low
@@ -405,6 +747,10 @@ mod tests {
 
         let empty = louvain(&WeightedGraph::new(0));
         assert!(empty.labels.is_empty());
+
+        // The parallel path handles them identically.
+        let rp = louvain_with(&WeightedGraph::new(5), 1.0, Parallelism::new(4));
+        assert_eq!(rp.labels, r.labels);
     }
 
     #[test]
@@ -417,6 +763,8 @@ mod tests {
         let r = louvain(&g);
         assert_eq!(r.labels[0], r.labels[1], "self-loop keeps node in its clique");
         assert_ne!(r.labels[0], r.labels[4], "cliques still separate");
+        let rp = louvain_with(&g, 1.0, Parallelism::new(4));
+        assert_eq!(rp.labels, r.labels, "self-loops don't break the parallel batching");
     }
 
     #[test]
@@ -428,30 +776,51 @@ mod tests {
     }
 
     #[test]
-    fn hierarchical_splits_nested_structure() {
-        // Four 5-cliques; cliques {0,1} and {2,3} are strongly bridged into
-        // two super-communities, with one weak edge across. Plain Louvain
-        // settles for the two super-communities; the hierarchy recovers all
-        // four cliques.
-        let mut edges = Vec::new();
-        let clique = |edges: &mut Vec<(u32, u32, f64)>, base: u32| {
-            for i in 0..5 {
-                for j in (i + 1)..5 {
-                    edges.push((base + i, base + j, 1.0));
-                }
-            }
-        };
-        for c in 0..4 {
-            clique(&mut edges, c * 5);
+    fn hierarchical_splits_merged_structure() {
+        // Ten triangles in a ring: the resolution limit merges adjacent
+        // triangles in the flat run; the hierarchy recovers all ten.
+        let g = triangle_ring(10);
+        let flat = louvain(&g);
+        let n_flat = flat.labels.iter().max().unwrap() + 1;
+        assert_eq!(n_flat, 5, "flat run merges triangle pairs");
+        let cfg = HierarchicalConfig { min_split_size: 3, ..Default::default() };
+        let hier = hierarchical_louvain(&g, cfg);
+        let n_hier = hier.labels.iter().max().unwrap() + 1;
+        assert_eq!(n_hier, 10, "hierarchy recovers every triangle");
+        for c in 0..10usize {
+            let base = c * 3;
+            assert_eq!(hier.labels[base], hier.labels[base + 1], "triangle {c} split");
+            assert_eq!(hier.labels[base], hier.labels[base + 2], "triangle {c} split");
         }
-        // Strong bridges within each pair (many, so plain Louvain merges).
-        for k in 0..5 {
-            edges.push((k, 5 + k, 0.55));
-            edges.push((10 + k, 15 + k, 0.55));
-        }
-        edges.push((0, 10, 0.05));
-        let g = WeightedGraph::from_edges(20, &edges);
+        assert!(hier.modularity >= flat.modularity - 1e-9 || n_hier > n_flat);
+    }
 
+    /// Regression (levels over-count bug): a refinement pass that splits
+    /// nothing used to increment `levels` anyway, overstating the depth by
+    /// one on every hierarchical run.
+    #[test]
+    fn hierarchical_levels_count_only_splitting_passes() {
+        // Nested-cliques fixture: the flat run already finds all four
+        // cliques, so no refinement pass splits — levels must equal flat's.
+        let g = nested_cliques();
+        let flat = louvain(&g);
+        let hier = hierarchical_louvain(&g, HierarchicalConfig::default());
+        assert_eq!(flat.levels, 2);
+        assert_eq!(hier.levels, flat.levels, "no split ⇒ no extra level");
+
+        // Triangle ring: exactly one refinement pass splits (the second
+        // finds nothing), so levels is flat's plus one — not plus two.
+        let g = triangle_ring(10);
+        let flat = louvain(&g);
+        let cfg = HierarchicalConfig { min_split_size: 3, ..Default::default() };
+        let hier = hierarchical_louvain(&g, cfg);
+        assert_eq!(flat.levels, 3);
+        assert_eq!(hier.levels, flat.levels + 1, "one splitting pass ⇒ one extra level");
+    }
+
+    #[test]
+    fn hierarchical_splits_nested_structure() {
+        let g = nested_cliques();
         let flat = louvain(&g);
         let n_flat = flat.labels.iter().max().unwrap() + 1;
         let hier = hierarchical_louvain(&g, HierarchicalConfig::default());
@@ -492,5 +861,33 @@ mod tests {
         // should not leave everything singleton.
         let n_comm = r.labels.iter().max().unwrap() + 1;
         assert!(n_comm < 5, "star must merge, got {n_comm} communities");
+    }
+
+    #[test]
+    fn aggregate_preserves_weight_and_modularity() {
+        let g = nested_cliques();
+        let r = louvain(&g);
+        let agg = aggregate(&g, &r.labels);
+        assert_eq!(agg.node_count(), r.labels.iter().max().unwrap() + 1);
+        assert!((agg.total_weight() - g.total_weight()).abs() < 1e-9);
+        let identity: Vec<usize> = (0..agg.node_count()).collect();
+        let q_agg = modularity(&agg, &identity, 1.0);
+        assert!((q_agg - r.modularity).abs() < 1e-9, "{q_agg} vs {}", r.modularity);
+    }
+
+    #[test]
+    fn sweep_counters_reach_the_global_registry() {
+        let r = std::sync::Arc::new(obs::Registry::new());
+        // First install wins process-wide; only assert when ours landed.
+        if obs::install_global(r.clone()) {
+            louvain(&two_cliques());
+            let sweeps = r.counter("commgraph_louvain_sweeps_total", "", &[("mode", "serial")]);
+            let levels = r.counter("commgraph_louvain_levels_total", "", &[("mode", "serial")]);
+            assert!(sweeps.get() >= 2, "at least one sweep per level");
+            assert!(levels.get() >= 1, "levels counted");
+            louvain_with(&two_cliques(), 1.0, Parallelism::new(2));
+            let psweeps = r.counter("commgraph_louvain_sweeps_total", "", &[("mode", "parallel")]);
+            assert!(psweeps.get() >= 2, "parallel mode labeled separately");
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! replicas may never exchange a byte.
 
 use crate::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
-use crate::louvain::{hierarchical_louvain, louvain, HierarchicalConfig, LouvainResult};
+use crate::louvain::{hierarchical_louvain_with, louvain_with, HierarchicalConfig, LouvainResult};
 use crate::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use crate::wgraph::WeightedGraph;
 use commgraph_graph::CommGraph;
@@ -155,11 +155,14 @@ pub fn infer_roles(g: &CommGraph, method: &SegmentationMethod) -> RoleInference 
     infer_roles_with(g, method, Parallelism::default())
 }
 
-/// Infer roles with an explicit worker count for the similarity kernels.
+/// Infer roles with an explicit worker count for the similarity kernels
+/// and the clustering stage.
 ///
 /// The Jaccard/MinHash/SimRank scoring stages run row-partitioned under
-/// `parallelism`; clustering itself is serial. Scores — and therefore the
-/// inferred roles — are bit-for-bit identical at any worker count.
+/// `parallelism`, and Louvain's local-move sweeps run on the same knob via
+/// conflict-avoiding batches (see [`crate::louvain::louvain_with`]). Scores
+/// and labels — and therefore the inferred roles — are bit-for-bit
+/// identical at any worker count.
 pub fn infer_roles_with(
     g: &CommGraph,
     method: &SegmentationMethod,
@@ -186,7 +189,11 @@ pub fn infer_roles_obs(
     let hier = HierarchicalConfig::default();
     let cluster_scored = |scores, min_score: f64| {
         let _span = o.stage_span("cluster");
-        hierarchical_louvain(&WeightedGraph::from_similarity(&scores, min_score), hier)
+        hierarchical_louvain_with(
+            &WeightedGraph::from_similarity(&scores, min_score),
+            hier,
+            parallelism,
+        )
     };
     let result: LouvainResult = match method {
         SegmentationMethod::JaccardLouvain { min_score } => {
@@ -221,11 +228,11 @@ pub fn infer_roles_obs(
         }
         SegmentationMethod::ModularityConns => {
             let _span = o.stage_span("cluster");
-            louvain(&WeightedGraph::from_comm_graph(g, |e| e.conns as f64))
+            louvain_with(&WeightedGraph::from_comm_graph(g, |e| e.conns as f64), 1.0, parallelism)
         }
         SegmentationMethod::ModularityBytes => {
             let _span = o.stage_span("cluster");
-            louvain(&WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64))
+            louvain_with(&WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64), 1.0, parallelism)
         }
         SegmentationMethod::FeatureKMeans { k, k_max, seed } => {
             // Feature extraction plays the similarity-scoring part here.

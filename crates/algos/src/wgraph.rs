@@ -7,6 +7,12 @@ use linalg::sym::SymMatrix;
 ///
 /// Each edge is stored in both endpoint lists (self-loops once). Weights
 /// must be non-negative; zero-weight edges are dropped at construction.
+///
+/// Adjacency lists are kept sorted by neighbor id with **at most one entry
+/// per neighbor**: re-adding an existing edge coalesces the weights into
+/// the stored entry. (Storing parallel edges separately used to
+/// double-count weight in modularity accumulation and yield the same
+/// neighbor twice in Louvain's neighbor-community scan.)
 #[derive(Debug, Clone)]
 pub struct WeightedGraph {
     adj: Vec<Vec<(u32, f64)>>,
@@ -31,18 +37,32 @@ impl WeightedGraph {
         g
     }
 
-    /// Add an undirected edge. Zero weights are ignored.
+    /// Add an undirected edge. Zero weights are ignored; adding an edge
+    /// that already exists coalesces into the stored entry (weights sum),
+    /// so `(u, v, a)` then `(u, v, b)` is exactly `(u, v, a + b)`.
     pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
         assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
         assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "endpoint range");
         if w == 0.0 {
             return;
         }
-        self.adj[u as usize].push((v, w));
+        Self::coalesce_into(&mut self.adj[u as usize], v, w);
         if u != v {
-            self.adj[v as usize].push((u, w));
+            Self::coalesce_into(&mut self.adj[v as usize], u, w);
         }
         self.total_weight += w;
+    }
+
+    /// Merge `(v, w)` into a sorted adjacency list, keeping it sorted and
+    /// duplicate-free. Appends (the common construction order) are O(1).
+    fn coalesce_into(list: &mut Vec<(u32, f64)>, v: u32, w: f64) {
+        match list.last() {
+            Some(&(last, _)) if last < v => list.push((v, w)),
+            _ => match list.binary_search_by_key(&v, |&(x, _)| x) {
+                Ok(pos) => list[pos].1 += w,
+                Err(pos) => list.insert(pos, (v, w)),
+            },
+        }
     }
 
     /// Number of nodes.
@@ -55,7 +75,8 @@ impl WeightedGraph {
         self.total_weight
     }
 
-    /// Neighbors of `u` with weights. A self-loop appears once.
+    /// Neighbors of `u` with weights, sorted by neighbor id with one entry
+    /// per neighbor. A self-loop appears once.
     pub fn neighbors(&self, u: u32) -> &[(u32, f64)] {
         &self.adj[u as usize]
     }
@@ -66,13 +87,10 @@ impl WeightedGraph {
         self.adj[u as usize].iter().map(|&(v, w)| if v == u { 2.0 * w } else { w }).sum()
     }
 
-    /// Neighbor id set (unweighted), excluding self-loops.
+    /// Neighbor id set (unweighted), excluding self-loops. Sorted and
+    /// duplicate-free by the adjacency invariant.
     pub fn neighbor_set(&self, u: u32) -> Vec<u32> {
-        let mut v: Vec<u32> =
-            self.adj[u as usize].iter().filter(|&&(n, _)| n != u).map(|&(n, _)| n).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+        self.adj[u as usize].iter().filter(|&&(n, _)| n != u).map(|&(n, _)| n).collect()
     }
 
     /// Build from a communication graph, weighting each edge with
@@ -127,6 +145,29 @@ mod tests {
     fn neighbor_set_excludes_self_and_dedups() {
         let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (0, 1, 1.0), (0, 0, 5.0)]);
         assert_eq!(g.neighbor_set(0), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_edges_coalesce() {
+        // Repeated (u, v) in either orientation merges into one entry.
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 0.5), (1, 0, 0.25), (0, 1, 0.25)]);
+        assert_eq!(g.neighbors(0), &[(1, 1.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 1.0)]);
+        assert_eq!(g.total_weight(), 1.0);
+        assert_eq!(g.weighted_degree(0), 1.0);
+
+        // Duplicate self-loops coalesce too, still stored once.
+        let g = WeightedGraph::from_edges(2, &[(1, 1, 2.0), (1, 1, 3.0)]);
+        assert_eq!(g.neighbors(1), &[(1, 5.0)]);
+        assert_eq!(g.total_weight(), 5.0);
+        assert_eq!(g.weighted_degree(1), 10.0, "self-loop counts twice");
+    }
+
+    #[test]
+    fn adjacency_is_sorted_regardless_of_insertion_order() {
+        let g = WeightedGraph::from_edges(5, &[(3, 1, 1.0), (3, 4, 1.0), (3, 0, 1.0), (3, 2, 1.0)]);
+        let ids: Vec<u32> = g.neighbors(3).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4]);
     }
 
     #[test]

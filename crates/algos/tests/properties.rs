@@ -4,7 +4,10 @@
 use algos::jaccard::{
     jaccard_matrix_of_sets, jaccard_matrix_of_sets_with, jaccard_of_sets, MinHasher,
 };
-use algos::louvain::{hierarchical_louvain, louvain, modularity, HierarchicalConfig};
+use algos::louvain::{
+    aggregate, hierarchical_louvain, hierarchical_louvain_with, louvain, louvain_with, modularity,
+    HierarchicalConfig,
+};
 use algos::metrics::{adjusted_rand_index, normalized_mutual_information, purity};
 use algos::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use algos::wgraph::WeightedGraph;
@@ -162,6 +165,63 @@ proptest! {
         let n_flat = flat.labels.iter().copied().max().map_or(0, |m| m + 1);
         let n_hier = hier.labels.iter().copied().max().map_or(0, |m| m + 1);
         prop_assert!(n_hier >= n_flat, "refinement only splits");
+    }
+
+    /// Parallel Louvain is bit-for-bit identical to the serial path at 1, 2,
+    /// and NCPU workers — labels, modularity bits, and level count — for both
+    /// the flat and the hierarchical variants.
+    #[test]
+    fn parallel_louvain_matches_serial_bitwise(g in arb_graph()) {
+        let serial = louvain_with(&g, 1.0, Parallelism::serial());
+        let hier_serial =
+            hierarchical_louvain_with(&g, HierarchicalConfig::default(), Parallelism::serial());
+        let ncpu = Parallelism::default().workers();
+        for workers in [1, 2, ncpu] {
+            let p = Parallelism::new(workers);
+            let r = louvain_with(&g, 1.0, p);
+            prop_assert_eq!(&r.labels, &serial.labels, "{} workers", workers);
+            prop_assert_eq!(r.modularity.to_bits(), serial.modularity.to_bits());
+            prop_assert_eq!(r.levels, serial.levels);
+            let h = hierarchical_louvain_with(&g, HierarchicalConfig::default(), p);
+            prop_assert_eq!(&h.labels, &hier_serial.labels, "hier, {} workers", workers);
+            prop_assert_eq!(h.modularity.to_bits(), hier_serial.modularity.to_bits());
+            prop_assert_eq!(h.levels, hier_serial.levels);
+        }
+    }
+
+    /// Modularity is invariant under any relabeling bijection: renaming
+    /// communities cannot change the score.
+    #[test]
+    fn modularity_label_permutation_invariant(
+        (g, labels) in arb_graph().prop_flat_map(|g| {
+            let n = g.node_count();
+            (Just(g), prop::collection::vec(0usize..6, n))
+        })
+    ) {
+        let q = modularity(&g, &labels, 1.0);
+        // `l -> 5 - l` is a bijection on the 0..6 label alphabet.
+        let flipped: Vec<usize> = labels.iter().map(|&l| 5 - l).collect();
+        prop_assert!((q - modularity(&g, &flipped, 1.0)).abs() < 1e-9);
+        // Cyclic shift is another bijection.
+        let shifted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 6).collect();
+        prop_assert!((q - modularity(&g, &shifted, 1.0)).abs() < 1e-9);
+    }
+
+    /// Aggregation conserves mass: the community graph's total edge weight
+    /// equals the original's (intra-community weight becomes self-loops).
+    #[test]
+    fn aggregate_preserves_total_weight(
+        (g, labels) in arb_graph().prop_flat_map(|g| {
+            let n = g.node_count();
+            (Just(g), prop::collection::vec(0usize..5, n))
+        })
+    ) {
+        let agg = aggregate(&g, &labels);
+        let scale = g.total_weight().max(1.0);
+        prop_assert!(
+            (agg.total_weight() - g.total_weight()).abs() <= 1e-9 * scale,
+            "{} vs {}", agg.total_weight(), g.total_weight()
+        );
     }
 
     /// Partition metrics: identical labelings score 1, scores are bounded,

@@ -1,12 +1,13 @@
 //! Performance + observability report for the workspace: kernel speedups
-//! and a fully instrumented pipeline run, written to `BENCH_PR2.json`.
+//! and a fully instrumented pipeline run, written to `BENCH_PR3.json`.
 //!
 //! Two sections:
 //!
 //! 1. **Kernels** — each ported kernel (exact Jaccard, MinHash, SimRank,
-//!    the Jacobi eigensolver, the PCA sweep) timed once under
-//!    `Parallelism::serial()` and once under a multi-worker knob on
-//!    fixed-seed inputs: `{n, serial_ms, parallel_ms, speedup}`.
+//!    flat and hierarchical Louvain, the Jacobi eigensolver, the PCA
+//!    sweep) timed once under `Parallelism::serial()` and once under a
+//!    multi-worker knob on fixed-seed inputs:
+//!    `{n, serial_ms, parallel_ms, speedup}`.
 //! 2. **Stages** — a simulated cluster is pushed through the instrumented
 //!    pipeline (`StreamEngine` → `Pipeline` → `Workbench`) with a live
 //!    `obs::Registry`, and the per-stage wall-time breakdown
@@ -21,6 +22,7 @@
 //! stage run), `--minutes 30` (simulated span for the stage run).
 
 use algos::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
+use algos::louvain::{hierarchical_louvain_with, louvain_with, HierarchicalConfig};
 use algos::simrank::{simrank_with, SimRankConfig};
 use algos::wgraph::WeightedGraph;
 use algos::Parallelism;
@@ -70,6 +72,38 @@ fn fixture_sets(n: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
+/// Deterministic community-structured graph: a ring of 16-node cliques
+/// joined by weak bridges, plus sparse pseudo-random long-range edges —
+/// enough inter-community noise to keep Louvain sweeping for a few rounds.
+fn fixture_community_graph(n: usize) -> WeightedGraph {
+    const CLIQUE: usize = 16;
+    let n = n.max(2 * CLIQUE) / CLIQUE * CLIQUE;
+    let n_cliques = n / CLIQUE;
+    let mut state = 0xD1CEu64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for c in 0..n_cliques {
+        let base = c * CLIQUE;
+        for i in 0..CLIQUE {
+            for j in (i + 1)..CLIQUE {
+                edges.push(((base + i) as u32, (base + j) as u32, 1.0));
+            }
+        }
+        let next_base = ((c + 1) % n_cliques) * CLIQUE;
+        edges.push((base as u32, next_base as u32, 0.25));
+    }
+    for _ in 0..n {
+        let (u, v) = (next() % n, next() % n);
+        if u != v {
+            edges.push((u as u32, v as u32, 0.05));
+        }
+    }
+    WeightedGraph::from_edges(n, &edges)
+}
+
 /// Deterministic dense symmetric matrix with a generic spectrum.
 fn fixture_symmetric(n: usize) -> Matrix {
     let mut state = 0x5EEDu64;
@@ -92,6 +126,10 @@ fn fixture_symmetric(n: usize) -> Matrix {
 /// breakdown read back from the registry.
 fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
     let registry = Arc::new(obs::Registry::new());
+    // Adopt the registry process-wide so code without an `Obs` parameter —
+    // the par scheduler, Louvain's sweep/move/level counters — lands in the
+    // same metrics snapshot (first install wins; this is the only one).
+    obs::install_global(registry.clone());
     let o = obs::Obs::new(registry.clone());
     let run = simulate(ClusterPreset::MicroserviceBench, scale, minutes);
 
@@ -221,6 +259,24 @@ fn main() {
         time_ms(reps, || simrank_with(&g, cfg, parallel)),
     );
 
+    // Louvain clusters a larger graph than SimRank scores — the sweep is
+    // near-linear in edges — so scale the fixture up for a stable timing.
+    let cg = fixture_community_graph(n * 4);
+    let cg_n = cg.node_count();
+    add(
+        "louvain",
+        cg_n,
+        time_ms(reps, || louvain_with(&cg, 1.0, serial)),
+        time_ms(reps, || louvain_with(&cg, 1.0, parallel)),
+    );
+    let hier = HierarchicalConfig::default();
+    add(
+        "hierarchical_louvain",
+        cg_n,
+        time_ms(reps, || hierarchical_louvain_with(&cg, hier, serial)),
+        time_ms(reps, || hierarchical_louvain_with(&cg, hier, parallel)),
+    );
+
     let m = fixture_symmetric(n);
     add(
         "eigen_symmetric",
@@ -249,7 +305,7 @@ fn main() {
         "kernels": serde_json::Value::Object(report),
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR2.json";
+    let path = "BENCH_PR3.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
     println!("\nwrote {path} (host has {cores} core(s); speedups need multi-core hardware)");

@@ -25,7 +25,8 @@ pub struct PipelineConfig {
     /// Monitored inventory for vantage dedup; `None` disables dedup.
     pub monitored: Option<HashSet<Ipv4Addr>>,
     /// Worker count forwarded to downstream per-window analyses (role
-    /// inference, PCA). Ingest itself is serial — it is I/O-bound.
+    /// inference — similarity scoring and Louvain clustering both — and
+    /// PCA). Ingest itself is serial — it is I/O-bound.
     pub parallelism: Parallelism,
     /// Observability handle; every `ingest` call reports a span on the
     /// shared `commgraph_stage_seconds{stage="ingest"}` family. The default

@@ -66,10 +66,11 @@ impl Workbench {
         self
     }
 
-    /// Override the worker count used by the similarity and PCA kernels
-    /// (builder style). `Parallelism::serial()` forces the exact legacy
-    /// serial path; the default uses every available core. Similarity
-    /// scores are bit-for-bit identical at any worker count.
+    /// Override the worker count used by the similarity kernels, the
+    /// Louvain clustering stage, and PCA (builder style).
+    /// `Parallelism::serial()` forces the exact legacy serial path; the
+    /// default uses every available core. Similarity scores and cluster
+    /// labels are bit-for-bit identical at any worker count.
     pub fn with_parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
         self

@@ -16,6 +16,15 @@
 //!   tasks by ticket, so load balances dynamically while the borrow checker
 //!   still proves the writes disjoint — no `unsafe` anywhere.
 //!
+//! For *graph-shaped* work where tiles are not independent — greedy sweeps
+//! whose per-node step reads neighbor state — the module also provides
+//! conflict-avoidance coloring: [`greedy_coloring`] (classic smallest-
+//! available-color classes) and [`independent_runs`] (maximal consecutive
+//! runs of pairwise non-adjacent indices). Runs of the latter preserve the
+//! serial visiting order under a batched schedule, which is how the
+//! parallel Louvain kernel in `commgraph-algos` stays bit-for-bit equal to
+//! its serial sweep.
+//!
 //! Determinism contract: the schedulers never change *what* is computed, only
 //! *who* computes it. Every kernel built on them computes each output element
 //! with a fixed, serial-identical operation order, so results are bit-for-bit
@@ -202,6 +211,89 @@ where
     });
 }
 
+/// Greedy graph coloring in index order: `color[u]` is the smallest color
+/// not used by any already-colored neighbor of `u`.
+///
+/// `neighbors(u)` yields the indices adjacent to `u` (out-of-range and
+/// self entries are ignored). The coloring is proper — adjacent indices
+/// never share a color — and deterministic, so color classes can serve as
+/// conflict-free concurrent move batches (nodes of one class are pairwise
+/// non-adjacent). This is the relaxed-determinism building block; the
+/// Louvain kernel uses the stricter [`independent_runs`] so its reduction
+/// order can match the serial sweep exactly.
+pub fn greedy_coloring<I, F>(n: usize, mut neighbors: F) -> Vec<usize>
+where
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = usize>,
+{
+    let mut color = vec![usize::MAX; n];
+    // stamp[c] == u marks color c as taken by a neighbor of the current u.
+    let mut stamp: Vec<usize> = Vec::new();
+    for u in 0..n {
+        for v in neighbors(u) {
+            if v < n && v != u && color[v] != usize::MAX {
+                let c = color[v];
+                if c >= stamp.len() {
+                    stamp.resize(c + 1, usize::MAX);
+                }
+                stamp[c] = u;
+            }
+        }
+        let mut c = 0;
+        while c < stamp.len() && stamp[c] == u {
+            c += 1;
+        }
+        color[u] = c;
+    }
+    color
+}
+
+/// Greedy *interval* coloring: partition `0..n` into maximal consecutive
+/// runs whose members are pairwise non-adjacent under `neighbors`.
+///
+/// Each run is an independent set, so run members can be processed
+/// concurrently without read/write conflicts on neighbor state — and
+/// because the runs are consecutive index intervals applied in order, a
+/// serial reduction over them visits indices in exactly `0..n` order.
+/// That is what lets a parallel greedy sweep (Louvain's local-move phase)
+/// reproduce the serial sweep bit-for-bit: within a run, no member's
+/// neighborhood is touched by the other members' moves.
+///
+/// Runs cover `0..n` exactly once; self edges and out-of-range entries are
+/// ignored. `independent_runs(0, ..)` is empty.
+pub fn independent_runs<I, F>(n: usize, mut neighbors: F) -> Vec<Range<usize>>
+where
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = usize>,
+{
+    let mut runs = Vec::new();
+    if n == 0 {
+        return runs;
+    }
+    // blocked[v]: v is adjacent to some member of the current run.
+    let mut blocked = vec![false; n];
+    let mut marked: Vec<usize> = Vec::new();
+    let mut start = 0usize;
+    for u in 0..n {
+        if blocked[u] {
+            runs.push(start..u);
+            start = u;
+            for &v in &marked {
+                blocked[v] = false;
+            }
+            marked.clear();
+        }
+        for v in neighbors(u) {
+            if v < n && v != u && !blocked[v] {
+                blocked[v] = true;
+                marked.push(v);
+            }
+        }
+    }
+    runs.push(start..n);
+    runs
+}
+
 /// Parallel map preserving input order: `out[i] = f(&items[i])`.
 ///
 /// Items are processed in contiguous tiles; each output element is produced
@@ -294,6 +386,76 @@ mod tests {
             let busy = r.histogram("commgraph_par_worker_busy_seconds", "", &[("shape", "tile")]);
             assert!(busy.count() >= 1, "worker busy time recorded");
         }
+    }
+
+    /// Deterministic scale-free-ish adjacency for the coloring tests.
+    fn test_adjacency(n: usize) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for u in 0..n {
+            // Ring + a couple of long chords.
+            let peers = [(u + 1) % n, (u + n - 1) % n, (u * 7 + 3) % n, (u / 2)];
+            for &v in &peers {
+                if v != u && !adj[u].contains(&v) {
+                    adj[u].push(v);
+                    adj[v].push(u);
+                }
+            }
+        }
+        adj
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_deterministic() {
+        let adj = test_adjacency(64);
+        let color = greedy_coloring(64, |u| adj[u].iter().copied());
+        for u in 0..64 {
+            for &v in &adj[u] {
+                assert_ne!(color[u], color[v], "edge ({u},{v}) shares a color");
+            }
+        }
+        assert_eq!(color, greedy_coloring(64, |u| adj[u].iter().copied()));
+        // Greedy uses at most max-degree + 1 colors.
+        let max_deg = adj.iter().map(Vec::len).max().unwrap();
+        assert!(color.iter().max().unwrap() <= &max_deg);
+    }
+
+    #[test]
+    fn independent_runs_cover_in_order_and_are_independent() {
+        let adj = test_adjacency(64);
+        let runs = independent_runs(64, |u| adj[u].iter().copied());
+        let flat: Vec<usize> = runs.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>(), "runs cover 0..n in order");
+        for r in &runs {
+            for a in r.clone() {
+                for b in r.clone() {
+                    assert!(a == b || !adj[a].contains(&b), "run members {a},{b} adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_runs_edge_cases() {
+        assert!(independent_runs(0, |_| Vec::new()).is_empty());
+        // Isolated nodes: one run covering everything.
+        assert_eq!(independent_runs(5, |_| Vec::new()), vec![0..5]);
+        // A path graph: greedy runs split at every adjacent pair.
+        let runs = independent_runs(4, |u| {
+            let mut v = Vec::new();
+            if u > 0 {
+                v.push(u - 1);
+            }
+            if u + 1 < 4 {
+                v.push(u + 1);
+            }
+            v
+        });
+        assert_eq!(runs, vec![0..1, 1..2, 2..3, 3..4]);
+        // Self-loops never block a run.
+        assert_eq!(independent_runs(3, |u| vec![u]), vec![0..3]);
+        // A clique degenerates to singleton runs.
+        let clique = independent_runs(3, |u| (0..3).filter(move |&v| v != u));
+        assert_eq!(clique, vec![0..1, 1..2, 2..3]);
     }
 
     #[test]
