@@ -7,23 +7,29 @@
 //! purity for interpretability.
 
 use crate::error::{Error, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+// The tables are BTreeMaps, not HashMaps, on purpose: ARI/NMI accumulate
+// f64 sums over the cells, and float addition is not associative, so the
+// iteration order changes the low bits of the score. BTreeMap iterates in
+// key order and keeps the results bit-identical across processes
+// (`nondet-iter` contract; see crates/lintcheck).
 
 /// Contingency table between two labelings.
-fn contingency(a: &[usize], b: &[usize]) -> Result<HashMap<(usize, usize), u64>> {
+fn contingency(a: &[usize], b: &[usize]) -> Result<BTreeMap<(usize, usize), u64>> {
     if a.len() != b.len() {
         return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
     }
-    let mut t = HashMap::new();
+    let mut t = BTreeMap::new();
     for (&x, &y) in a.iter().zip(b) {
         *t.entry((x, y)).or_insert(0u64) += 1;
     }
     Ok(t)
 }
 
-fn marginals(t: &HashMap<(usize, usize), u64>) -> (HashMap<usize, u64>, HashMap<usize, u64>) {
-    let mut ra = HashMap::new();
-    let mut rb = HashMap::new();
+fn marginals(t: &BTreeMap<(usize, usize), u64>) -> (BTreeMap<usize, u64>, BTreeMap<usize, u64>) {
+    let mut ra = BTreeMap::new();
+    let mut rb = BTreeMap::new();
     for (&(x, y), &c) in t {
         *ra.entry(x).or_insert(0) += c;
         *rb.entry(y).or_insert(0) += c;
@@ -66,7 +72,7 @@ pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> Result<f64> {
         return Ok(1.0);
     }
     let (ra, rb) = marginals(&t);
-    let h = |m: &HashMap<usize, u64>| -> f64 {
+    let h = |m: &BTreeMap<usize, u64>| -> f64 {
         m.values()
             .map(|&c| {
                 let p = c as f64 / n;
@@ -99,7 +105,7 @@ pub fn purity(predicted: &[usize], truth: &[usize]) -> Result<f64> {
         return Ok(1.0);
     }
     let t = contingency(predicted, truth)?;
-    let mut best: HashMap<usize, u64> = HashMap::new();
+    let mut best: BTreeMap<usize, u64> = BTreeMap::new();
     for (&(p, _), &c) in &t {
         let e = best.entry(p).or_insert(0);
         *e = (*e).max(c);
@@ -184,5 +190,71 @@ mod tests {
     fn cluster_count_counts_distinct() {
         assert_eq!(cluster_count(&[0, 0, 2, 2, 5]), 3);
         assert_eq!(cluster_count(&[]), 0);
+    }
+
+    /// NMI sums `pxy * ln(pxy / (px * py))` over contingency cells; float
+    /// addition is order-sensitive in the low bits, so the sum must follow
+    /// sorted key order. Recompute it here with an explicitly sorted
+    /// reference and demand bitwise equality — with a HashMap table this
+    /// fails intermittently across processes.
+    #[test]
+    fn nmi_is_bit_identical_to_sorted_order_reference() {
+        // 3 × 4 clusters, uneven sizes, enough cells that a different
+        // summation order perturbs the low bits.
+        let a: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let b: Vec<usize> = (0..60).map(|i| (i * 7 + i / 9) % 4).collect();
+
+        let got = normalized_mutual_information(&a, &b).unwrap();
+
+        let n = a.len() as f64;
+        let mut cells: Vec<((usize, usize), u64)> = Vec::new();
+        for (&x, &y) in a.iter().zip(&b) {
+            match cells.iter_mut().find(|(k, _)| *k == (x, y)) {
+                Some((_, c)) => *c += 1,
+                None => cells.push(((x, y), 1)),
+            }
+        }
+        cells.sort();
+        let mut ra: Vec<(usize, u64)> = Vec::new();
+        let mut rb: Vec<(usize, u64)> = Vec::new();
+        for &((x, y), c) in &cells {
+            match ra.iter_mut().find(|(k, _)| *k == x) {
+                Some((_, v)) => *v += c,
+                None => ra.push((x, c)),
+            }
+            match rb.iter_mut().find(|(k, _)| *k == y) {
+                Some((_, v)) => *v += c,
+                None => rb.push((y, c)),
+            }
+        }
+        ra.sort();
+        rb.sort();
+        let h = |m: &[(usize, u64)]| -> f64 {
+            m.iter()
+                .map(|&(_, c)| {
+                    let p = c as f64 / n;
+                    -p * p.ln()
+                })
+                .sum()
+        };
+        let (ha, hb) = (h(&ra), h(&rb));
+        let mut mi = 0.0;
+        for &((x, y), c) in &cells {
+            let pxy = c as f64 / n;
+            let px = ra.iter().find(|(k, _)| *k == x).unwrap().1 as f64 / n;
+            let py = rb.iter().find(|(k, _)| *k == y).unwrap().1 as f64 / n;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+        let expected = (2.0 * mi / (ha + hb)).clamp(0.0, 1.0);
+
+        assert_eq!(
+            got.to_bits(),
+            expected.to_bits(),
+            "NMI must sum cells in sorted key order (got {got}, expected {expected})"
+        );
+        // And the ARI path shares the same tables: pin it too.
+        let ari1 = adjusted_rand_index(&a, &b).unwrap();
+        let ari2 = adjusted_rand_index(&a, &b).unwrap();
+        assert_eq!(ari1.to_bits(), ari2.to_bits());
     }
 }

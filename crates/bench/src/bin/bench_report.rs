@@ -1,7 +1,8 @@
-//! Performance + observability report for the workspace: kernel speedups
-//! and a fully instrumented pipeline run, written to `BENCH_PR3.json`.
+//! Performance + observability report for the workspace: kernel speedups,
+//! a fully instrumented pipeline run, and a timed static-analysis sweep,
+//! written to `BENCH_PR4.json`.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! 1. **Kernels** — each ported kernel (exact Jaccard, MinHash, SimRank,
 //!    flat and hierarchical Louvain, the Jacobi eigensolver, the PCA
@@ -15,6 +16,10 @@
 //!    registry's `commgraph_stage_seconds` histograms, alongside the
 //!    serialized `EngineStats`, the pipeline summary, and the full metrics
 //!    snapshot.
+//! 3. **Lintcheck** — one full workspace sweep of the static-analysis
+//!    pass (see `crates/lintcheck`), timed and counted into the same
+//!    registry via `commgraph_lint_sweep_seconds` and
+//!    `commgraph_lint_findings_total{lint}`.
 //!
 //! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
 //! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
@@ -122,6 +127,60 @@ fn fixture_symmetric(n: usize) -> Matrix {
     m
 }
 
+/// Time a full `lintcheck` sweep of the workspace — the static-analysis
+/// pass is part of every CI run, so its runtime is a first-class budget
+/// line next to the kernels. The per-lint finding counts and sweep wall
+/// time land in `registry` under the canonical `commgraph_lint_*` names.
+fn lintcheck_report(registry: &obs::Registry) -> serde_json::Value {
+    let cwd = std::env::current_dir().expect("cwd readable");
+    let Some(root) = lintcheck::walk::find_root_above(&cwd) else {
+        return json!({"skipped": "no workspace root above the current directory"});
+    };
+    let cfg = lintcheck::Config::for_workspace(root.clone());
+    let baseline = match std::fs::read_to_string(root.join("lintcheck.baseline")) {
+        Ok(text) => lintcheck::baseline::Baseline::parse(&text),
+        Err(_) => lintcheck::baseline::Baseline::default(),
+    };
+    let t0 = Instant::now();
+    let report = lintcheck::run(&cfg, &baseline).expect("workspace tree is readable");
+    let secs = t0.elapsed().as_secs_f64();
+
+    registry
+        .histogram(
+            "commgraph_lint_sweep_seconds",
+            "Wall-clock seconds for one full lintcheck workspace sweep.",
+            &[],
+        )
+        .record(secs);
+    for lint in lintcheck::LintId::all() {
+        let count =
+            report.fresh.iter().chain(report.baselined.iter()).filter(|f| f.lint == lint).count();
+        registry
+            .counter(
+                "commgraph_lint_findings_total",
+                "Lint findings per lint id from the latest sweep (baselined + fresh).",
+                &[("lint", lint.name())],
+            )
+            .add(count as u64);
+    }
+
+    println!(
+        "lintcheck sweep               files {:<4} findings {:<3} ({} baselined, {} fresh) in {:7.2} ms",
+        report.files_scanned,
+        report.fresh.len() + report.baselined.len(),
+        report.baselined.len(),
+        report.fresh.len(),
+        secs * 1e3
+    );
+    json!({
+        "files_scanned": report.files_scanned,
+        "findings_total": report.fresh.len() + report.baselined.len(),
+        "baselined": report.baselined.len(),
+        "fresh": report.fresh.len(),
+        "sweep_ms": secs * 1e3,
+    })
+}
+
 /// Run the instrumented pipeline end to end and report the per-stage
 /// breakdown read back from the registry.
 fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
@@ -165,6 +224,10 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
     wb.policy();
     wb.pca_summary(&[1, 4, 16]).expect("byte matrix is square");
 
+    // Static-analysis sweep, timed into the same registry so its metrics
+    // ride the snapshot below.
+    let lint = lintcheck_report(&registry);
+
     let mut stages = serde_json::Map::new();
     println!();
     for stage in obs::STAGES {
@@ -193,6 +256,7 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
         "minutes": minutes,
         "records": run.records.len(),
         "stages": serde_json::Value::Object(stages),
+        "lintcheck": lint,
         "engine": {
             "stats": serde_json::to_value(&stats).expect("EngineStats serializes"),
             // Wall-clock machine rate (obs::rate::per_second semantics).
@@ -305,7 +369,7 @@ fn main() {
         "kernels": serde_json::Value::Object(report),
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR3.json";
+    let path = "BENCH_PR4.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
     println!("\nwrote {path} (host has {cores} core(s); speedups need multi-core hardware)");

@@ -173,17 +173,15 @@ impl WindowedBuilder {
     /// Offer one record, rolling windows as timestamps advance.
     pub fn add(&mut self, r: &ConnSummary) {
         let w = flowlog::time::bucket_start(r.ts, self.window_len);
-        let roll = match &self.current {
-            Some(b) => b.window_start != w,
-            None => true,
-        };
-        if roll {
-            if let Some(b) = self.current.take() {
+        let builder = match self.current.take() {
+            Some(b) if b.window_start == w => b,
+            Some(b) => {
                 self.finished.push(b.finish());
+                self.fresh(w)
             }
-            self.current = Some(self.fresh(w));
-        }
-        self.current.as_mut().expect("window just ensured").add(r);
+            None => self.fresh(w),
+        };
+        self.current.insert(builder).add(r);
     }
 
     /// Offer a batch.

@@ -107,11 +107,8 @@ impl GraphSequence {
         } else {
             edge_jaccard.iter().sum::<f64>() / edge_jaccard.len() as f64
         };
-        let most_changed_transition = edge_jaccard
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("jaccard is never NaN"))
-            .map(|(i, _)| i);
+        let most_changed_transition =
+            edge_jaccard.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
         PersistenceReport { edge_jaccard, node_jaccard, mean_edge_jaccard, most_changed_transition }
     }
 }

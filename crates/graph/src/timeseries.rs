@@ -151,7 +151,7 @@ impl EdgeSeriesBuilder {
             .iter()
             .filter(|(k, s)| *k != edge && s.total() >= min_total)
             .map(|(k, s)| (*k, correlation(base, s)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlations are finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -1,0 +1,155 @@
+//! Baseline support: pre-existing findings recorded for incremental
+//! burn-down.
+//!
+//! The baseline is a plain-text file, one finding per line:
+//!
+//! ```text
+//! lint-name<TAB>workspace/relative/path.rs<TAB>trimmed source excerpt
+//! ```
+//!
+//! Lines starting with `#` are comments. Matching is by `(lint, file,
+//! excerpt)` as a multiset — line numbers are deliberately absent so the
+//! baseline survives unrelated edits above a finding. Regenerate with
+//! `cargo run -p lintcheck -- --write-baseline` (after verifying the new
+//! findings really are acceptable debt).
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: multiset of finding keys.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the text format. Unparseable lines are ignored (a baseline
+    /// must never crash the linter).
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(lint), Some(file), Some(excerpt)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *entries
+                .entry((lint.to_string(), file.to_string(), excerpt.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Render findings into the text format (sorted, deterministic).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.lint.name(), f.file, key_text(f)))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# lintcheck baseline: pre-existing findings tolerated during burn-down.\n\
+             # Format: lint<TAB>file<TAB>trimmed excerpt. Regenerate with\n\
+             # `cargo run -p lintcheck -- --write-baseline`.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Split `findings` into (baselined, fresh), consuming baseline entries
+    /// as a multiset.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut remaining = self.entries.clone();
+        let mut baselined = Vec::new();
+        let mut fresh = Vec::new();
+        for f in findings {
+            let key = (f.lint.name().to_string(), f.file.clone(), key_text(&f).to_string());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (baselined, fresh)
+    }
+
+    /// Number of distinct entries (for reporting).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// True when the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The third key component: the excerpt when present, the message
+/// otherwise — an empty field would be eaten by whitespace-trimming
+/// editors and never match again.
+fn key_text(f: &Finding) -> &str {
+    if f.excerpt.is_empty() {
+        &f.message
+    } else {
+        &f.excerpt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintId;
+
+    fn finding(lint: LintId, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_multiset_matching() {
+        let fs = vec![
+            finding(LintId::PanicPath, "a.rs", "x.unwrap();"),
+            finding(LintId::PanicPath, "a.rs", "x.unwrap();"),
+            finding(LintId::NondetIter, "b.rs", "for k in &m {"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&fs));
+        assert_eq!(b.len(), 3);
+
+        // Same findings: all baselined.
+        let (base, fresh) = b.partition(fs.clone());
+        assert_eq!((base.len(), fresh.len()), (3, 0));
+
+        // A third identical unwrap exceeds the multiset: one fresh.
+        let mut more = fs.clone();
+        more.push(finding(LintId::PanicPath, "a.rs", "x.unwrap();"));
+        let (base, fresh) = b.partition(more);
+        assert_eq!((base.len(), fresh.len()), (3, 1));
+
+        // Different excerpt: fresh.
+        let (_, fresh) = b.partition(vec![finding(LintId::PanicPath, "a.rs", "y.unwrap();")]);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_garbage_are_tolerated() {
+        let b = Baseline::parse("# comment\n\nnot a valid line\npanic-path\tf.rs\tx.unwrap();\n");
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Hand-rolled JSON rendering of a lint report (this crate takes no
+//! external dependencies; same restricted-but-valid subset as
+//! `obs::export`).
+
+use crate::{Finding, Report};
+
+/// Render a [`Report`] as a JSON document:
+///
+/// ```json
+/// {"files_scanned": 140, "total": 3, "baselined": 2, "fresh": 1,
+///  "findings": [{"lint": "panic-path", "file": "crates/x/src/lib.rs",
+///                "line": 10, "col": 13, "baselined": false,
+///                "message": "...", "excerpt": "..."}]}
+/// ```
+pub fn report_json(report: &Report) -> String {
+    let mut out = format!(
+        "{{\"files_scanned\":{},\"total\":{},\"baselined\":{},\"fresh\":{},\"findings\":[",
+        report.files_scanned,
+        report.baselined.len() + report.fresh.len(),
+        report.baselined.len(),
+        report.fresh.len()
+    );
+    let all =
+        report.fresh.iter().map(|f| (f, false)).chain(report.baselined.iter().map(|f| (f, true)));
+    for (i, (f, baselined)) in all.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&finding_json(f, baselined));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn finding_json(f: &Finding, baselined: bool) -> String {
+    format!(
+        "{{\"lint\":{},\"file\":{},\"line\":{},\"col\":{},\"baselined\":{},\
+         \"message\":{},\"excerpt\":{}}}",
+        json_str(f.lint.name()),
+        json_str(&f.file),
+        f.line,
+        f.col,
+        baselined,
+        json_str(&f.message),
+        json_str(&f.excerpt)
+    )
+}
+
+/// Minimal JSON string escaping (mirrors `obs::export`).
+pub fn json_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintId;
+
+    #[test]
+    fn renders_fresh_before_baselined_with_flags() {
+        let f = |lint: LintId, file: &str| Finding {
+            lint,
+            file: file.into(),
+            line: 2,
+            col: 7,
+            message: "msg \"quoted\"".into(),
+            excerpt: "x\ty".into(),
+        };
+        let report = Report {
+            files_scanned: 5,
+            baselined: vec![f(LintId::PanicPath, "a.rs")],
+            fresh: vec![f(LintId::NondetIter, "b.rs")],
+        };
+        let j = report_json(&report);
+        assert!(j.starts_with("{\"files_scanned\":5,\"total\":2,\"baselined\":1,\"fresh\":1,"));
+        assert!(j.contains("\"lint\":\"nondet-iter\",\"file\":\"b.rs\""));
+        assert!(j.contains("\"baselined\":true"));
+        assert!(j.contains("msg \\\"quoted\\\""));
+        assert!(j.contains("x\\ty"));
+        let fresh_pos = j.find("b.rs").expect("fresh present");
+        let base_pos = j.find("a.rs").expect("baselined present");
+        assert!(fresh_pos < base_pos, "fresh findings listed first");
+    }
+}

@@ -1,0 +1,452 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The lexer turns source text into a stream of significant tokens plus a
+//! side list of comments (the lints read allow-markers out of the latter).
+//! It understands everything that would otherwise corrupt a token walk —
+//! nested block comments, raw/byte/raw-byte strings with arbitrary `#`
+//! fences, char literals vs. lifetimes — but deliberately does not build a
+//! syntax tree: the lints pattern-match on the flat token stream.
+
+/// Kind of one significant token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unsafe`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — quote included in the text.
+    Lifetime,
+    /// Character or byte-character literal, quotes included.
+    Char,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes and
+    /// prefixes included; see [`Tok::str_content`].
+    Str,
+    /// Numeric literal (integer or float, any base, suffix included).
+    Num,
+    /// A single punctuation character (`.`, `(`, `::` is two tokens).
+    Punct,
+}
+
+/// One significant token: kind, verbatim text, and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok<'a> {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The verbatim source slice.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// True when the token is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True when the token is the identifier/keyword `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// For [`TokKind::Str`] tokens: the literal's content with prefixes,
+    /// fences, and quotes stripped (escape sequences are left verbatim —
+    /// metric names never contain any).
+    pub fn str_content(&self) -> &'a str {
+        let s = self.text;
+        let body = s.trim_start_matches(['b', 'r', 'c']);
+        let body = body.trim_start_matches('#');
+        let body = body.trim_end_matches('#');
+        body.strip_prefix('"').and_then(|b| b.strip_suffix('"')).unwrap_or(body)
+    }
+}
+
+/// One comment (line or block), with its full text and starting position.
+#[derive(Debug, Clone)]
+pub struct Comment<'a> {
+    /// Verbatim comment including delimiters.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexer's output: significant tokens and comments, both in source
+/// order.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Significant tokens.
+    pub toks: Vec<Tok<'a>>,
+    /// Comments (line and block), for allow-marker parsing.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Lex `src`. The lexer never fails: malformed input (unterminated string,
+/// stray byte) degrades to best-effort tokens, which is the right behavior
+/// for a linter that must not crash on the code it critiques.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment(start, line);
+                }
+                b'"' => {
+                    self.take_string();
+                    self.push(TokKind::Str, start, line, col);
+                }
+                b'\'' => self.take_quote(start, line, col),
+                b'r' | b'b' | b'c' if self.raw_or_byte_string(start, line, col) => {}
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.take_ident();
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.take_number();
+                    self.push(TokKind::Num, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text: &self.src[start..self.pos], line, col });
+    }
+
+    fn take_line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment { text: &self.src[start..self.pos], line });
+    }
+
+    fn take_block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text: &self.src[start..self.pos], line });
+    }
+
+    /// Ordinary (possibly byte) string starting at the current `"`.
+    fn take_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Raw string starting at the current `"` with `fence` trailing hashes.
+    fn take_raw_string(&mut self, fence: usize) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut hashes = 0;
+                while hashes < fence && self.peek(1 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if hashes == fence {
+                    for _ in 0..=fence {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// `'…'` char literal or `'a` lifetime, starting at the `'`.
+    fn take_quote(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                if self.pos < self.bytes.len() {
+                    self.bump(); // the escaped character
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump(); // \u{...} bodies
+                }
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Char, start, line, col);
+            }
+            Some(b) if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 => {
+                let ident_start = self.pos;
+                self.take_ident();
+                let one_char = self.src[ident_start..self.pos].chars().count() == 1;
+                if one_char && self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    self.push(TokKind::Char, start, line, col);
+                } else {
+                    self.push(TokKind::Lifetime, start, line, col);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, start, line, col);
+            }
+            None => self.push(TokKind::Punct, start, line, col),
+        }
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`.
+    /// Returns false when the `r`/`b`/`c` starts a plain identifier.
+    fn raw_or_byte_string(&mut self, start: usize, line: u32, col: u32) -> bool {
+        let mut prefix_len = 1usize;
+        if (self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r'))
+            || (self.peek(0) == Some(b'r') && self.peek(1) == Some(b'b'))
+        {
+            prefix_len = 2;
+        }
+        let raw = self.src[self.pos..self.pos + prefix_len].contains('r');
+        let mut fence = 0usize;
+        while raw && self.peek(prefix_len + fence) == Some(b'#') {
+            fence += 1;
+        }
+        match self.peek(prefix_len + fence) {
+            Some(b'"') if raw || fence == 0 => {
+                for _ in 0..prefix_len + fence {
+                    self.bump();
+                }
+                if raw {
+                    self.take_raw_string(fence);
+                } else {
+                    self.take_string();
+                }
+                self.push(TokKind::Str, start, line, col);
+                true
+            }
+            Some(b'\'') if prefix_len == 1 && fence == 0 && self.peek(0) == Some(b'b') => {
+                self.bump(); // b
+                self.take_quote(start, line, col);
+                // take_quote pushed a token starting at `'`; rewrite it to
+                // cover the `b` prefix and be a char literal.
+                if let Some(t) = self.out.toks.last_mut() {
+                    t.kind = TokKind::Char;
+                    t.text = &self.src[start..self.pos];
+                    t.col = col;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn take_ident(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        let mut seen_dot = false;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Exponent sign: 1e-5 / 2.5E+3.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                self.bump();
+            } else if b == b'.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 1..n;"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Num, "1"),
+                (TokKind::Punct, "."),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "n"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+        assert_eq!(kinds("2.5e-3f64"), vec![(TokKind::Num, "2.5e-3f64")]);
+        assert_eq!(kinds("0xff_u8"), vec![(TokKind::Num, "0xff_u8")]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = '\\n'; let u = '\\u{41}'; }")
+                .iter()
+                .filter(|(k, _)| *k == TokKind::Char || *k == TokKind::Lifetime)
+                .cloned()
+                .collect::<Vec<_>>(),
+            vec![
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Char, "'x'"),
+                (TokKind::Char, "'\\n'"),
+                (TokKind::Char, "'\\u{41}'"),
+            ]
+        );
+        assert_eq!(kinds("'static"), vec![(TokKind::Lifetime, "'static")]);
+        assert_eq!(kinds("'_"), vec![(TokKind::Lifetime, "'_")]);
+        assert_eq!(kinds("'('"), vec![(TokKind::Char, "'('")]);
+    }
+
+    #[test]
+    fn string_flavors() {
+        let l = lex(r####"let a = "plain \" quote"; let b = r#"raw "inner" text"#;"####);
+        let strs: Vec<&str> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text).collect();
+        assert_eq!(strs, vec![r#""plain \" quote""#, r###"r#"raw "inner" text"#"###]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+
+        let l = lex(r####"b"bytes" br##"raw bytes"## r"no fence""####);
+        let strs: Vec<&str> = l.toks.iter().map(|t| t.text).collect();
+        assert_eq!(strs, vec![r#"b"bytes""#, r####"br##"raw bytes"##"####, r#"r"no fence""#]);
+    }
+
+    #[test]
+    fn str_content_strips_all_flavors() {
+        let l = lex(r####""x" r#"y"# b"z" br##"w"##"####);
+        let contents: Vec<&str> = l.toks.iter().map(|t| t.str_content()).collect();
+        assert_eq!(contents, vec!["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn byte_char_is_a_char() {
+        assert_eq!(kinds("b'x'"), vec![(TokKind::Char, "b'x'")]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b // line\nc");
+        let toks: Vec<&str> = l.toks.iter().map(|t| t.text).collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("inner"));
+        assert_eq!(l.comments[1].text, "// line");
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_vice_versa() {
+        let l = lex(r#"let url = "https://example.com"; // real comment"#);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, "// real comment");
+        let l = lex(r#"// commented out: let s = "unterminated"#);
+        assert!(l.toks.is_empty());
+
+        // A quote inside a comment must not open a string.
+        let l = lex("/* it's fine */ x");
+        assert_eq!(l.toks.len(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let l = lex("a\n  b");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        lex("\"never closed");
+        lex("/* never closed");
+        lex("r##\"never closed\"#");
+        lex("'");
+    }
+}

@@ -1,0 +1,294 @@
+//! L3 `metric-registry`: every `commgraph_*` metric literal must match the
+//! canonical table, and every table entry must be used.
+//!
+//! The table lives in `crates/obs/src/names.rs` (see
+//! `obs::names`) and is the single source of truth for
+//! dashboards and exporters. This lint closes the loop from the code side:
+//!
+//! * an unknown `commgraph_*` string literal (typo'd or unregistered name)
+//!   is a finding at the literal;
+//! * a malformed name (not snake_case, missing unit suffix) is a finding
+//!   even if someone added it to the table by hand;
+//! * a registration site whose method kind (`counter` / `gauge` /
+//!   `histogram`) disagrees with the table is a finding;
+//! * a table entry no workspace code references is a finding at its
+//!   definition.
+
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+use crate::{Finding, LintId, MetricSpec};
+use std::collections::BTreeMap;
+
+/// Cross-file state the lint accumulates during a sweep.
+#[derive(Debug, Default)]
+pub struct MetricScan {
+    /// Literal-site findings, ready to emit.
+    pub findings: Vec<Finding>,
+    /// Reference counts per canonical name (references outside the table
+    /// file).
+    pub references: BTreeMap<String, usize>,
+    /// Where each canonical name's literal appears in the table file.
+    pub def_sites: BTreeMap<String, u32>,
+}
+
+/// True when `file` participates (everything but shims; the fixture trees
+/// are already excluded by the walker).
+pub fn in_scope(file: &SourceFile<'_>) -> bool {
+    file.kind != FileKind::Shim
+}
+
+/// Scan one file's string literals, accumulating into `scan`.
+/// `table_file` is the workspace-relative path of the canonical table.
+pub fn check_file(
+    scan: &mut MetricScan,
+    file: &SourceFile<'_>,
+    table: &BTreeMap<String, MetricSpec>,
+    table_file: &str,
+) {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        // `#[cfg(test)]` fixtures fabricate metric-shaped names at will; the
+        // contract governs production emission sites only.
+        if file.in_test_region(i) {
+            continue;
+        }
+        let name = t.str_content();
+        if !looks_like_metric_name(name) {
+            continue;
+        }
+        if file.rel == table_file {
+            scan.def_sites.entry(name.to_string()).or_insert(t.line);
+            continue;
+        }
+        *scan.references.entry(name.to_string()).or_insert(0) += 1;
+        // Suppression happens here rather than in the driver: the scan
+        // outlives the file, so the markers must be consulted now.
+        if file.allowed(LintId::MetricRegistry.name(), t.line) {
+            continue;
+        }
+        let spec = table.get(name);
+        if spec.is_none() {
+            let hint = if obs::names::well_formed(name) {
+                "add it to crates/obs/src/names.rs or fix the typo"
+            } else {
+                "snake_case with a unit suffix, declared in crates/obs/src/names.rs"
+            };
+            scan.findings.push(Finding {
+                lint: LintId::MetricRegistry,
+                file: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!("metric `{name}` is not in the canonical table; {hint}"),
+                excerpt: file.line_text(t.line).to_string(),
+            });
+            continue;
+        }
+        // Kind check: `<recv>.counter("name"` / `.gauge(` / `.histogram(`.
+        if let (Some(spec), Some(site_kind)) = (spec, registration_kind(toks, i)) {
+            if site_kind != spec.kind {
+                scan.findings.push(Finding {
+                    lint: LintId::MetricRegistry,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "metric `{name}` registered as {site_kind} but the canonical table \
+                         declares it a {}",
+                        spec.kind
+                    ),
+                    excerpt: file.line_text(t.line).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// After all files: malformed or unreferenced table entries.
+pub fn finish(scan: &mut MetricScan, table: &BTreeMap<String, MetricSpec>, table_file: &str) {
+    for name in table.keys() {
+        let line = scan.def_sites.get(name).copied().unwrap_or(1);
+        if !obs::names::well_formed(name) {
+            scan.findings.push(Finding {
+                lint: LintId::MetricRegistry,
+                file: table_file.to_string(),
+                line,
+                col: 1,
+                message: format!(
+                    "table entry `{name}` violates the naming contract \
+                     (commgraph_ prefix, snake_case, unit suffix)"
+                ),
+                excerpt: name.clone(),
+            });
+        }
+        if scan.references.get(name).copied().unwrap_or(0) == 0 {
+            scan.findings.push(Finding {
+                lint: LintId::MetricRegistry,
+                file: table_file.to_string(),
+                line,
+                col: 1,
+                message: format!(
+                    "table entry `{name}` is never referenced by workspace code; \
+                     remove it or wire it up"
+                ),
+                excerpt: name.clone(),
+            });
+        }
+    }
+}
+
+/// A literal participates when it is exactly a `commgraph_`-prefixed
+/// metric-shaped name (lowercase/digits/underscores). Literals that merely
+/// embed the prefix (file names, prose) are ignored.
+fn looks_like_metric_name(s: &str) -> bool {
+    s.starts_with("commgraph_")
+        && s.len() > "commgraph_".len()
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// When the literal at `lit_pos` is the first argument of a
+/// `.counter(` / `.gauge(` / `.histogram(` call, return that method name.
+fn registration_kind(toks: &[crate::lexer::Tok<'_>], lit_pos: usize) -> Option<&'static str> {
+    if lit_pos < 3 || !toks[lit_pos - 1].is_punct('(') {
+        return None;
+    }
+    let m = &toks[lit_pos - 2];
+    if !toks[lit_pos - 3].is_punct('.') {
+        return None;
+    }
+    ["counter", "gauge", "histogram"].into_iter().find(|k| m.is_ident(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricSpec;
+
+    fn table() -> BTreeMap<String, MetricSpec> {
+        let mut t = BTreeMap::new();
+        for (name, kind) in [
+            ("commgraph_demo_records_total", "counter"),
+            ("commgraph_demo_wait_seconds", "histogram"),
+            ("commgraph_demo_unused_total", "counter"),
+        ] {
+            t.insert(
+                name.to_string(),
+                MetricSpec { name: name.into(), kind: kind.into(), labels: vec![] },
+            );
+        }
+        t
+    }
+
+    fn sweep(files: &[(&str, &str)]) -> MetricScan {
+        let table = table();
+        let mut scan = MetricScan::default();
+        for (rel, src) in files {
+            let f = SourceFile::parse(rel.to_string(), src);
+            check_file(&mut scan, &f, &table, "crates/obs/src/names.rs");
+        }
+        finish(&mut scan, &table, "crates/obs/src/names.rs");
+        scan
+    }
+
+    #[test]
+    fn known_and_referenced_names_are_clean() {
+        let scan = sweep(&[
+            (
+                "crates/a/src/lib.rs",
+                r#"fn f(o: &Obs) { o.counter("commgraph_demo_records_total", "h", &[]); }"#,
+            ),
+            (
+                "crates/a/src/h.rs",
+                r#"fn g(o: &Obs) { o.histogram("commgraph_demo_wait_seconds", "h", &[]); }"#,
+            ),
+            ("crates/b/src/u.rs", r#"const N: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+
+    #[test]
+    fn unknown_literal_is_flagged() {
+        let scan = sweep(&[
+            ("crates/a/src/lib.rs", r#"fn f() { emit("commgraph_demo_recods_total"); }"#),
+            ("crates/a/src/r.rs", r#"const A: &str = "commgraph_demo_records_total";"#),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+            ("crates/a/src/u.rs", r#"const C: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert_eq!(scan.findings.len(), 1);
+        assert!(scan.findings[0].message.contains("recods"));
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged() {
+        let scan = sweep(&[
+            (
+                "crates/a/src/lib.rs",
+                r#"fn f(o: &Obs) { o.gauge("commgraph_demo_records_total", "h", &[]); }"#,
+            ),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+            ("crates/a/src/u.rs", r#"const C: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert_eq!(scan.findings.len(), 1);
+        assert!(scan.findings[0].message.contains("registered as gauge"));
+    }
+
+    #[test]
+    fn unreferenced_table_entry_is_flagged_at_def_site() {
+        let scan = sweep(&[
+            (
+                "crates/obs/src/names.rs",
+                "const T: &[&str] = &[\n\"commgraph_demo_records_total\",\n\
+                 \"commgraph_demo_wait_seconds\",\n\"commgraph_demo_unused_total\",\n];",
+            ),
+            ("crates/a/src/lib.rs", r#"fn f() { emit("commgraph_demo_records_total"); }"#),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+        ]);
+        assert_eq!(scan.findings.len(), 1);
+        let f = &scan.findings[0];
+        assert!(f.message.contains("commgraph_demo_unused_total"));
+        assert_eq!(f.file, "crates/obs/src/names.rs");
+        assert_eq!(f.line, 4, "reported at the table literal");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_literal_site_findings() {
+        let scan = sweep(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn f() { // lint:allow(metric-registry) fabricated for a demo\n  \
+                 emit(\"commgraph_made_up_total\"); }",
+            ),
+            ("crates/a/src/r.rs", r#"const A: &str = "commgraph_demo_records_total";"#),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+            ("crates/a/src/u.rs", r#"const C: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+
+    #[test]
+    fn test_region_literals_are_exempt() {
+        let scan = sweep(&[
+            (
+                "crates/a/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n  fn t() { emit(\"commgraph_made_up_total\"); }\n}\n",
+            ),
+            ("crates/a/src/r.rs", r#"const A: &str = "commgraph_demo_records_total";"#),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+            ("crates/a/src/u.rs", r#"const C: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+
+    #[test]
+    fn prose_and_filenames_are_ignored() {
+        let scan = sweep(&[
+            ("crates/a/src/lib.rs", r#"const P: &str = "commgraph_security_report.json";"#),
+            ("crates/a/src/r.rs", r#"const A: &str = "commgraph_demo_records_total";"#),
+            ("crates/a/src/w.rs", r#"const B: &str = "commgraph_demo_wait_seconds";"#),
+            ("crates/a/src/u.rs", r#"const C: &str = "commgraph_demo_unused_total";"#),
+        ]);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    }
+}

@@ -1,0 +1,308 @@
+//! L1 `nondet-iter`: iteration over `HashMap`/`HashSet` inside the
+//! determinism-contract crates.
+//!
+//! The parallel kernels in `algos` and `linalg` promise bit-for-bit
+//! serial-identical results. `std`'s hash collections iterate in a
+//! per-process random order, so *any* iteration over them on a path that
+//! feeds scores, labels, or float accumulation silently breaks that
+//! contract. The lint is intraprocedural and name-based: it tracks
+//! identifiers whose declared or constructed type mentions `HashMap` /
+//! `HashSet` in the same file, then flags
+//! `for … in <ident>` and `<ident>.iter()/keys()/values()/drain()/…` sites.
+//!
+//! A site is exempt when the same statement visibly re-establishes order —
+//! a `sort*` call or a `BTreeMap`/`BTreeSet` collection target — or when it
+//! carries a `// lint:allow(nondet-iter) <reason>` marker.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{FileKind, SourceFile};
+use crate::{Finding, LintId};
+use std::collections::BTreeSet;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 7] =
+    ["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_iter"];
+
+/// True when `file` is in scope for this lint (library code of a
+/// determinism-contract crate).
+pub fn in_scope(file: &SourceFile<'_>, nondet_prefixes: &[String]) -> bool {
+    file.kind == FileKind::Lib && nondet_prefixes.iter().any(|p| file.rel.starts_with(p.as_str()))
+}
+
+/// Run the lint over one in-scope file.
+pub fn check(file: &SourceFile<'_>) -> Vec<Finding> {
+    let toks = &file.lexed.toks;
+    let tracked = tracked_hash_names(toks);
+    let mut out = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        // `<recv>.method(` where method is an iteration entry point.
+        if t.kind == TokKind::Ident
+            && ITER_METHODS.contains(&t.text)
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let recv = receiver_name(toks, i - 2);
+            if let Some(name) = recv {
+                if tracked.contains(name) && !statement_restores_order(toks, i) {
+                    out.push(finding(file, t, name, t.text));
+                }
+            }
+        }
+        // `for <pat> in [&mut] <ident> {`.
+        if t.is_ident("for") {
+            if let Some((j, name)) = for_loop_hash_source(toks, i, &tracked) {
+                out.push(finding(file, &toks[j], name, "for-in"));
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers declared or constructed as hash collections anywhere in the
+/// file: `let x: HashMap<..> = ..`, `let x = HashMap::new()`,
+/// `x: &HashMap<..>` (params, struct fields).
+fn tracked_hash_names<'a>(toks: &[Tok<'a>]) -> BTreeSet<&'a str> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text) {
+            continue;
+        }
+        if let Some(name) = binding_for_hash_type(toks, i) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// Walk backwards from a `HashMap`/`HashSet` token to the identifier it
+/// types or initializes, tolerating `std :: collections ::` paths, `&`,
+/// `mut`, lifetimes, and generic openers.
+fn binding_for_hash_type<'a>(toks: &[Tok<'a>], type_pos: usize) -> Option<&'a str> {
+    let mut i = type_pos;
+    // Skip the leading path segments: `std :: collections ::`.
+    while i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        i -= 3; // `seg` `:` `:`  <- move onto the path segment
+    }
+    // Now toks[i] is the head of the type path. Look left for `:` or `=`.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct('&') || t.is_punct('<') || t.kind == TokKind::Lifetime || t.is_ident("mut") {
+            continue; // `&`, `&'a mut`, `Option<HashMap…`
+        }
+        if t.is_punct(':') || t.is_punct('=') {
+            // `name : …HashMap` (param/field/let-annotation) or
+            // `let name = HashMap::new()`.
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                let b = &toks[k];
+                if b.kind == TokKind::Ident && !b.is_ident("mut") && !b.is_ident("let") {
+                    return Some(b.text);
+                }
+                if !(b.is_ident("mut") || b.is_ident("let")) {
+                    return None;
+                }
+            }
+            return None;
+        }
+        return None;
+    }
+    None
+}
+
+/// The receiver name for a `.method(` call at `dot_pos - 1`: `name.iter()`
+/// or `self.name.iter()` both resolve to `name`.
+fn receiver_name<'a>(toks: &[Tok<'a>], recv_pos: usize) -> Option<&'a str> {
+    let t = toks.get(recv_pos)?;
+    if t.kind == TokKind::Ident && !t.is_ident("self") {
+        Some(t.text)
+    } else {
+        None
+    }
+}
+
+/// From a flagged token forward to the end of the statement: does anything
+/// visibly restore a deterministic order (`sort*` call or `BTreeMap` /
+/// `BTreeSet` target)?
+fn statement_restores_order(toks: &[Tok<'_>], from: usize) -> bool {
+    for t in toks.iter().skip(from).take(200) {
+        // `;` ends the statement; `{`/`}` means we left the expression
+        // (tail expressions, block bodies) — scanning past either would
+        // credit sorts belonging to unrelated code.
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.kind == TokKind::Ident
+            && (t.text.starts_with("sort") || t.text == "BTreeMap" || t.text == "BTreeSet")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// For a `for` keyword at `for_pos`: when the loop source expression is a
+/// bare (possibly borrowed) tracked identifier, return its token index and
+/// name. `for (k, v) in &map {` and `for x in set {` match;
+/// `for x in map.keys()` is left to the method rule.
+fn for_loop_hash_source<'a>(
+    toks: &[Tok<'a>],
+    for_pos: usize,
+    tracked: &BTreeSet<&str>,
+) -> Option<(usize, &'a str)> {
+    // Find the matching `in` at pattern depth 0, bounded to the same line
+    // neighborhood (patterns are short).
+    let mut depth = 0i32;
+    let mut i = for_pos + 1;
+    let in_pos = loop {
+        let t = toks.get(i)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            break i;
+        } else if t.is_punct('{') || t.is_punct(';') || i > for_pos + 40 {
+            return None;
+        }
+        i += 1;
+    };
+    // Source expression: tokens between `in` and the body `{`.
+    let mut expr: Vec<&Tok<'a>> = Vec::new();
+    let mut j = in_pos + 1;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('{') {
+            break;
+        }
+        expr.push(t);
+        j += 1;
+        if expr.len() > 12 {
+            return None;
+        }
+    }
+    // Strip leading borrows: `&`, `&mut`.
+    let mut k = 0;
+    while k < expr.len() && (expr[k].is_punct('&') || expr[k].is_ident("mut")) {
+        k += 1;
+    }
+    let rest = &expr[k..];
+    match rest {
+        [only] if only.kind == TokKind::Ident && tracked.contains(only.text) => {
+            Some((in_pos + 1 + k, only.text))
+        }
+        // `self.field` / `obj.field`
+        [obj, dot, field]
+            if obj.kind == TokKind::Ident
+                && dot.is_punct('.')
+                && field.kind == TokKind::Ident
+                && tracked.contains(field.text) =>
+        {
+            Some((in_pos + 1 + k + 2, field.text))
+        }
+        _ => None,
+    }
+}
+
+fn finding(file: &SourceFile<'_>, t: &Tok<'_>, name: &str, how: &str) -> Finding {
+    Finding {
+        lint: LintId::NondetIter,
+        file: file.rel.clone(),
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "iteration over hash collection `{name}` ({how}) in a determinism-contract \
+             crate; use a sorted/BTree collection or justify with \
+             `// lint:allow(nondet-iter) <reason>`"
+        ),
+        excerpt: file.line_text(t.line).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/algos/src/x.rs".into(), src);
+        check(&f)
+    }
+
+    #[test]
+    fn flags_value_iteration_on_let_bound_map() {
+        let src = "fn f() { let mut t = HashMap::new(); let s: f64 = t.values().sum(); }";
+        let hits = check_src(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`t`"));
+    }
+
+    #[test]
+    fn flags_for_in_over_borrowed_map_param() {
+        let src = "fn f(t: &HashMap<u32, u64>) { for (k, v) in t { use_it(k, v); } }";
+        assert_eq!(check_src(src).len(), 1);
+        let src = "fn f(t: &std::collections::HashMap<u32, u64>) { for x in &t { } }";
+        assert_eq!(check_src(src).len(), 1);
+    }
+
+    #[test]
+    fn sorted_sink_in_same_statement_is_exempt() {
+        let src = "fn f(t: &HashMap<u32, u64>) { \
+                   let mut v: Vec<_> = t.keys().copied().collect(); v.sort(); \
+                   let b: BTreeMap<_, _> = t.iter().map(|(k, v)| (k, v)).collect::<BTreeMap<_, _>>(); }";
+        // `t.keys()` statement has no sort (the sort is the *next* statement)
+        // => flagged; `t.iter()…collect::<BTreeMap>` => exempt.
+        let hits = check_src(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("keys"));
+    }
+
+    #[test]
+    fn tail_expression_scan_stops_at_the_function_boundary() {
+        // The flagged call is a brace-less tail expression; the BTreeMap in
+        // the *next* function must not exempt it.
+        let src = "fn f(m: &HashMap<u32, f64>) -> f64 { m.values().product() } \
+                   fn g(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> { \
+                   m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, f64>>() }";
+        let hits = check_src(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("values"));
+    }
+
+    #[test]
+    fn untyped_identifiers_are_not_flagged() {
+        let src = "fn f(v: &[u64]) { for x in v.iter() { } let s: u64 = v.iter().sum(); }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)] mod tests { fn f() { let m = HashMap::new(); \
+                   for x in &m {} } }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_skipped_by_in_scope() {
+        let f = SourceFile::parse("crates/segment/src/policy.rs".into(), "fn x() {}");
+        assert!(!in_scope(&f, &["crates/algos/".into(), "crates/linalg/".into()]));
+        let f = SourceFile::parse("crates/algos/src/metrics.rs".into(), "fn x() {}");
+        assert!(in_scope(&f, &["crates/algos/".into(), "crates/linalg/".into()]));
+        let f = SourceFile::parse("crates/algos/tests/properties.rs".into(), "fn x() {}");
+        assert!(!in_scope(&f, &["crates/algos/".into()]), "tests are out of scope");
+    }
+
+    #[test]
+    fn drain_and_struct_fields_are_tracked() {
+        let src = "struct S { edges: HashMap<u32, u64> } \
+                   impl S { fn f(&mut self) { for e in self.edges.drain() { use_it(e); } } }";
+        let hits = check_src(src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("drain"));
+    }
+}

@@ -1,0 +1,121 @@
+//! L2 `panic-path`: `unwrap()` / `expect()` / `panic!` / `unreachable!` in
+//! non-test, non-bench library code.
+//!
+//! An always-on analytics substrate must degrade, not abort: a panic in a
+//! library path takes down the whole streaming engine (or poisons its
+//! locks). Library code propagates errors; tests, benches, binaries, and
+//! examples may panic freely. Justified sites (lock poisoning, proven
+//! invariants) carry `// lint:allow(panic-path) <reason>`.
+
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+use crate::{Finding, LintId};
+
+/// True when `file` is in scope: library code outside shims.
+pub fn in_scope(file: &SourceFile<'_>) -> bool {
+    file.kind == FileKind::Lib
+}
+
+/// Run the lint over one in-scope file.
+pub fn check(file: &SourceFile<'_>) -> Vec<Finding> {
+    let toks = &file.lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_region(i) {
+            continue;
+        }
+        let what = match t.text {
+            // Method calls: must be `.unwrap(` / `.expect(` so that
+            // definitions (`fn unwrap(`) and fields do not match.
+            "unwrap" | "expect"
+                if i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                format!(".{}()", t.text)
+            }
+            // Macros: `panic!(` / `unreachable!(`.
+            "panic" | "unreachable"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct('(')) =>
+            {
+                format!("{}!", t.text)
+            }
+            _ => continue,
+        };
+        out.push(Finding {
+            lint: LintId::PanicPath,
+            file: file.rel.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "{what} on a library path; propagate an error instead, or justify with \
+                 `// lint:allow(panic-path) <reason>`"
+            ),
+            excerpt: file.line_text(t.line).to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/graph/src/x.rs".into(), src);
+        check(&f)
+    }
+
+    #[test]
+    fn flags_the_four_panic_forms() {
+        let src = "fn f(o: Option<u8>) -> u8 { \
+                   let a = o.unwrap(); let b = o.expect(\"msg\"); \
+                   if a > b { panic!(\"boom\") } else { unreachable!() } }";
+        let whats: Vec<String> = check_src(src).iter().map(|f| f.message.clone()).collect();
+        assert_eq!(whats.len(), 4);
+        assert!(whats[0].contains(".unwrap()"));
+        assert!(whats[1].contains(".expect()"));
+        assert!(whats[2].contains("panic!"));
+        assert!(whats[3].contains("unreachable!"));
+    }
+
+    #[test]
+    fn near_misses_do_not_match() {
+        let src = "fn f(o: Option<u8>) { \
+                   let _ = o.unwrap_or(3); let _ = o.unwrap_or_else(|| 4); \
+                   let _ = o.unwrap_or_default(); expect_fun(); \
+                   let unwrap = 1; let _ = unwrap + 1; }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_match() {
+        let src = "fn f() { let s = \"don't panic!(x) or .unwrap()\"; } \
+                   // old code: x.unwrap()\n/* panic!(no) */ fn g() {}";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn test_mod_and_test_fns_are_exempt() {
+        let src = "#[cfg(test)] mod tests { #[test] fn t() { x.unwrap(); panic!(\"ok\"); } }\n\
+                   #[test] fn standalone() { y.expect(\"fine\"); }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn non_lib_files_are_out_of_scope() {
+        for rel in [
+            "crates/bench/src/bin/exp_fig1.rs",
+            "crates/graph/tests/properties.rs",
+            "crates/bench/benches/bench_linalg.rs",
+            "examples/live_dashboard.rs",
+            "shims/criterion/src/lib.rs",
+        ] {
+            let f = SourceFile::parse(rel.into(), "fn x() {}");
+            assert!(!in_scope(&f), "{rel}");
+        }
+        assert!(in_scope(&SourceFile::parse("crates/graph/src/graph.rs".into(), "")));
+        assert!(in_scope(&SourceFile::parse("src/lib.rs".into(), "")));
+    }
+}

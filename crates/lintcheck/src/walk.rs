@@ -1,0 +1,106 @@
+//! Deterministic workspace tree walk.
+//!
+//! Collects `.rs` sources and `Cargo.toml` manifests under the root,
+//! skipping build output (`target/`), VCS metadata, hidden directories, and
+//! lint fixture trees (any `fixtures` directory under a `tests` directory —
+//! those contain deliberately seeded violations). Results are sorted so
+//! every sweep, baseline, and golden output is reproducible.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The files one sweep looks at.
+#[derive(Debug, Default)]
+pub struct WorkspaceFiles {
+    /// All `.rs` files, workspace-relative, sorted.
+    pub sources: Vec<PathBuf>,
+    /// All `Cargo.toml` files, workspace-relative, sorted.
+    pub manifests: Vec<PathBuf>,
+}
+
+/// Walk `root` and classify files. Paths in the result are relative to
+/// `root` and use `/` separators via [`rel_str`].
+pub fn walk(root: &Path) -> io::Result<WorkspaceFiles> {
+    let mut out = WorkspaceFiles::default();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || is_fixture_dir(root, &path) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" {
+                out.manifests.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+            } else if name.ends_with(".rs") {
+                out.sources.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+            }
+        }
+    }
+    out.sources.sort();
+    out.manifests.sort();
+    Ok(out)
+}
+
+/// Walk upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]` — the root a default sweep should cover.
+pub fn find_root_above(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// A `fixtures` directory directly under a `tests` directory.
+fn is_fixture_dir(root: &Path, path: &Path) -> bool {
+    let rel = rel_str(root, path);
+    rel.ends_with("tests/fixtures") || rel.contains("/tests/fixtures/")
+}
+
+/// `path` relative to `root` as a `/`-separated string.
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_skips_target_hidden_and_fixtures() {
+        let base = std::env::temp_dir().join(format!("lintcheck-walk-{}", std::process::id()));
+        let mk = |p: &str| {
+            let full = base.join(p);
+            if let Some(parent) = full.parent() {
+                fs::create_dir_all(parent).expect("mkdir");
+            }
+            fs::write(&full, "fn x() {}").expect("write");
+        };
+        mk("crates/a/src/lib.rs");
+        mk("crates/a/Cargo.toml");
+        mk("crates/a/tests/fixtures/ws/bad.rs");
+        mk("target/debug/gen.rs");
+        mk(".git/hook.rs");
+        let files = walk(&base).expect("walk");
+        let sources: Vec<String> = files.sources.iter().map(|p| rel_str(&base, p)).collect();
+        assert_eq!(sources, vec!["crates/a/src/lib.rs"]);
+        let manifests: Vec<String> = files.manifests.iter().map(|p| rel_str(&base, p)).collect();
+        assert_eq!(manifests, vec!["crates/a/Cargo.toml"]);
+        fs::remove_dir_all(&base).ok();
+    }
+}

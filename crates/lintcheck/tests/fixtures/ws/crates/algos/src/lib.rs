@@ -1,0 +1,24 @@
+//! Seeded nondet-iter violations: hash iteration feeding float sums.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum_values(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in m {
+        total += v;
+    }
+    total
+}
+
+pub fn product_of_values(m: &HashMap<u32, f64>) -> f64 {
+    m.values().product()
+}
+
+pub fn sorted_pairs(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {
+    // Exempt: the same statement routes the iteration into a BTreeMap.
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, f64>>()
+}
+
+pub fn max_key(m: &HashMap<u32, f64>) -> Option<u32> {
+    // lint:allow(nondet-iter) max over keys is order-insensitive
+    m.keys().copied().max()
+}

@@ -1,0 +1,15 @@
+//! Seeded metric-registry violations against the fixture table
+//! (fx_records_total: counter, fx_wait_seconds: histogram,
+//! fx_unused_total: counter, fx_badsuffix: counter).
+
+pub trait Sink {
+    fn counter(&self, name: &str);
+    fn gauge(&self, name: &str);
+}
+
+pub fn emit(s: &dyn Sink) {
+    s.counter("commgraph_fx_records_total"); // ok: name and kind match
+    s.counter("commgraph_fx_wait_seconds"); // kind mismatch: table says histogram
+    s.counter("commgraph_fx_recods_total"); // typo: not in the table
+    s.counter("commgraph_fx_badsuffix"); // in the table, but the table entry is malformed
+}

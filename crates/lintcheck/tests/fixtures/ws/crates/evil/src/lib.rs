@@ -1,0 +1,7 @@
+//! Seeded `unsafe` violation.
+
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,29 @@
+//! Seeded panic-path violations, one exempt test mod, one allowed site.
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.expect("always some")
+}
+
+pub fn boom(kind: u8) {
+    match kind {
+        0 => panic!("kaboom"),
+        _ => unreachable!("no other kinds"),
+    }
+}
+
+pub fn allowed(o: Option<u32>) -> u32 {
+    // lint:allow(panic-path) fixture demonstrates marker suppression
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

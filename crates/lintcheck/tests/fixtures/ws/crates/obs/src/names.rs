@@ -1,0 +1,8 @@
+//! Fixture stand-in for the canonical table file: literals here are
+//! definition sites, so unreferenced-entry findings anchor to these lines.
+pub const NAMES: &[&str] = &[
+    "commgraph_fx_records_total",
+    "commgraph_fx_wait_seconds",
+    "commgraph_fx_unused_total",
+    "commgraph_fx_badsuffix",
+];

@@ -13,6 +13,8 @@
 //! * [`log`] — leveled structured [`Event`]s with `COMMGRAPH_LOG`
 //!   env-filtered stderr mirroring.
 //! * [`export`] — Prometheus text exposition and a JSON snapshot.
+//! * [`names`] — the canonical `commgraph_*` metric-name table (the single
+//!   source of truth; the `lintcheck` metric-registry lint enforces it).
 //! * [`rate`] — the shared rate-from-counter-and-duration helpers.
 //!
 //! # The `Obs` handle
@@ -49,6 +51,7 @@
 pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod names;
 pub mod rate;
 pub mod registry;
 pub mod span;

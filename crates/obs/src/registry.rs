@@ -90,9 +90,11 @@ pub struct Registry {
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // lint:allow(panic-path) poisoned lock means a panic is already in flight
         let families = self.families.lock().expect("registry poisoned");
         f.debug_struct("Registry")
             .field("families", &families.keys().collect::<Vec<_>>())
+            // lint:allow(panic-path) poisoned lock means a panic is already in flight
             .field("events", &self.events.lock().expect("registry poisoned").len())
             .finish()
     }
@@ -113,6 +115,7 @@ impl Registry {
             MetricCore::Counter(Counter::real())
         }) {
             MetricCore::Counter(c) => c,
+            // lint:allow(panic-path) metric() returns the requested kind by construction
             _ => unreachable!("kind checked in metric()"),
         }
     }
@@ -130,6 +133,7 @@ impl Registry {
             || MetricCore::Gauge(Gauge::real()),
         ) {
             MetricCore::Gauge(g) => g,
+            // lint:allow(panic-path) metric() returns the requested kind by construction
             _ => unreachable!("kind checked in metric()"),
         }
     }
@@ -143,6 +147,7 @@ impl Registry {
             MetricCore::Histogram(Histogram::real())
         }) {
             MetricCore::Histogram(h) => h,
+            // lint:allow(panic-path) metric() returns the requested kind by construction
             _ => unreachable!("kind checked in metric()"),
         }
     }
@@ -155,6 +160,7 @@ impl Registry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> MetricCore,
     ) -> MetricCore {
+        // lint:allow(panic-path) poisoned lock means a panic is already in flight
         let mut families = self.families.lock().expect("registry poisoned");
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
@@ -179,6 +185,7 @@ impl Registry {
 
     /// Snapshot every metric, in deterministic (name, labels) order.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        // lint:allow(panic-path) poisoned lock means a panic is already in flight
         let families = self.families.lock().expect("registry poisoned");
         let mut out = Vec::new();
         for (name, family) in families.iter() {
@@ -205,6 +212,7 @@ impl Registry {
     /// enables its level.
     pub fn push_event(&self, event: Event) {
         emit_stderr(&event);
+        // lint:allow(panic-path) poisoned lock means a panic is already in flight
         let mut events = self.events.lock().expect("registry poisoned");
         if events.len() >= EVENT_BUFFER_CAP {
             events.pop_front();
@@ -214,6 +222,7 @@ impl Registry {
 
     /// All buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
+        // lint:allow(panic-path) poisoned lock means a panic is already in flight
         self.events.lock().expect("registry poisoned").iter().cloned().collect()
     }
 
@@ -221,6 +230,7 @@ impl Registry {
     pub fn events_at_least(&self, level: Level) -> Vec<Event> {
         self.events
             .lock()
+            // lint:allow(panic-path) poisoned lock means a panic is already in flight
             .expect("registry poisoned")
             .iter()
             .filter(|e| e.level <= level)

@@ -1,0 +1,75 @@
+//! Tier-1 gate: the workspace's own static-analysis pass stays clean.
+//!
+//! Runs the full `lintcheck` sweep (see `crates/lintcheck`) against this
+//! repository with the committed `lintcheck.baseline` and fails on any
+//! fresh finding. This is the same check CI runs via
+//! `cargo run -p lintcheck -- --json`; having it in the root test suite
+//! means a plain `cargo test` catches contract violations too.
+
+use lintcheck::baseline::Baseline;
+use lintcheck::{Config, LintId};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_has_no_fresh_lint_findings() {
+    let root = workspace_root();
+    let cfg = Config::for_workspace(root.to_path_buf());
+    let baseline = match std::fs::read_to_string(root.join("lintcheck.baseline")) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+    let report = lintcheck::run(&cfg, &baseline).expect("workspace tree is readable");
+    assert!(
+        report.files_scanned > 100,
+        "sweep looked at suspiciously few files ({}); wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.fresh.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.fresh.is_empty(),
+        "{} fresh lint finding(s):\n{}\nfix the sites, add a justified \
+         `// lint:allow(<lint>) <reason>` marker, or (for accepted debt) \
+         regenerate the baseline with `cargo run -p lintcheck -- --write-baseline`",
+        report.fresh.len(),
+        rendered.join("\n")
+    );
+}
+
+/// The committed baseline only shrinks: it must not accumulate entries the
+/// sweep no longer produces (stale entries hide regressions that happen to
+/// reuse an old excerpt).
+#[test]
+fn baseline_has_no_stale_entries() {
+    let root = workspace_root();
+    let cfg = Config::for_workspace(root.to_path_buf());
+    let baseline = match std::fs::read_to_string(root.join("lintcheck.baseline")) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+    let report = lintcheck::run(&cfg, &baseline).expect("workspace tree is readable");
+    assert_eq!(
+        report.baselined.len(),
+        baseline.len(),
+        "baseline holds {} entries but only {} matched the sweep; \
+         regenerate with `cargo run -p lintcheck -- --write-baseline`",
+        baseline.len(),
+        report.baselined.len()
+    );
+}
+
+/// The determinism contract is wired to the right crates and the canonical
+/// metric table is non-trivial — guards against a future refactor quietly
+/// emptying the default config.
+#[test]
+fn default_config_covers_the_contract_surfaces() {
+    let cfg = Config::for_workspace(workspace_root().to_path_buf());
+    assert!(cfg.nondet_prefixes.contains(&"crates/algos/".to_string()));
+    assert!(cfg.nondet_prefixes.contains(&"crates/linalg/".to_string()));
+    assert!(cfg.metric_table.len() >= 20, "canonical table shrank unexpectedly");
+    assert_eq!(cfg.lints, LintId::all().to_vec());
+    assert!(cfg.unsafe_allowed.is_empty(), "no crate is cleared for unsafe");
+}
