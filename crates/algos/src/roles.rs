@@ -187,8 +187,12 @@ pub fn infer_roles_obs(
     // "hierarchical louvain"): top-level Louvain finds role *kinds*, the
     // recursion separates same-kind roles that only share hub neighbors.
     let hier = HierarchicalConfig::default();
+    let method_name = method.name();
     let cluster_scored = |scores, min_score: f64| {
-        let _span = o.stage_span("cluster");
+        let mut span = o.stage_span("cluster");
+        if span.trace_enabled() {
+            span.trace_attr("method", method_name);
+        }
         hierarchical_louvain_with(
             &WeightedGraph::from_similarity(&scores, min_score),
             hier,
@@ -227,11 +231,19 @@ pub fn infer_roles_obs(
             cluster_scored(scores, *min_score)
         }
         SegmentationMethod::ModularityConns => {
-            let _span = o.stage_span("cluster");
+            let mut span = o.stage_span("cluster");
+            if span.trace_enabled() {
+                span.trace_attr("method", method_name);
+            }
+            let _span = span;
             louvain_with(&WeightedGraph::from_comm_graph(g, |e| e.conns as f64), 1.0, parallelism)
         }
         SegmentationMethod::ModularityBytes => {
-            let _span = o.stage_span("cluster");
+            let mut span = o.stage_span("cluster");
+            if span.trace_enabled() {
+                span.trace_attr("method", method_name);
+            }
+            let _span = span;
             louvain_with(&WeightedGraph::from_comm_graph(g, |e| e.bytes() as f64), 1.0, parallelism)
         }
         SegmentationMethod::FeatureKMeans { k, k_max, seed } => {
@@ -240,7 +252,11 @@ pub fn infer_roles_obs(
                 let _span = o.stage_span("similarity");
                 crate::features::node_features(g)
             };
-            let _span = o.stage_span("cluster");
+            let mut span = o.stage_span("cluster");
+            if span.trace_enabled() {
+                span.trace_attr("method", method_name);
+            }
+            let _span = span;
             let km = match k {
                 Some(k) => crate::kmeans::kmeans(&feats, *k, *seed, 200),
                 None => crate::kmeans::kmeans_auto(&feats, *k_max, *seed),

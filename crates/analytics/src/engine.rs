@@ -96,9 +96,11 @@ struct Worker {
 struct EngineMetrics {
     records_in: obs::Counter,
     records_kept: obs::Counter,
+    dropped: obs::Counter,
     batches: obs::Counter,
     batch_records: Histogram,
     ingest_seconds: Histogram,
+    watermark: obs::Gauge,
 }
 
 impl EngineMetrics {
@@ -112,6 +114,11 @@ impl EngineMetrics {
             records_kept: o.counter(
                 "commgraph_engine_records_kept_total",
                 "Records surviving vantage dedup (aggregated into shards).",
+                &[],
+            ),
+            dropped: o.counter(
+                "commgraph_engine_dropped_records_total",
+                "Records dropped before aggregation (vantage dedup), tallied at engine finish.",
                 &[],
             ),
             batches: o.counter(
@@ -129,6 +136,11 @@ impl EngineMetrics {
                 "Wall-clock seconds per ingest call (shard + enqueue, including backpressure).",
                 &[],
             ),
+            watermark: o.gauge(
+                "commgraph_ingest_watermark_seconds",
+                "High-water record timestamp (seconds since trace start) seen by an ingest path.",
+                &[("source", "engine")],
+            ),
         }
     }
 }
@@ -138,6 +150,8 @@ pub struct StreamEngine {
     cfg: EngineConfig,
     workers: Vec<Worker>,
     records_in: u64,
+    /// Highest record timestamp seen so far (the ingest watermark).
+    watermark: u64,
     started: Option<Instant>,
     closed: bool,
     metrics: EngineMetrics,
@@ -168,7 +182,15 @@ impl StreamEngine {
                 std::thread::spawn(move || worker_loop(rx, facet, monitored, window_len, busy));
             workers.push(Worker { tx, handle });
         }
-        Ok(StreamEngine { cfg, workers, records_in: 0, started: None, closed: false, metrics })
+        Ok(StreamEngine {
+            cfg,
+            workers,
+            records_in: 0,
+            watermark: 0,
+            started: None,
+            closed: false,
+            metrics,
+        })
     }
 
     /// Offer a batch; blocks when worker queues are full (backpressure).
@@ -176,7 +198,13 @@ impl StreamEngine {
         if self.closed {
             return Err(Error::EngineClosed);
         }
-        let _span = SpanGuard::start(self.metrics.ingest_seconds.clone());
+        let mut span = SpanGuard::traced(
+            self.metrics.ingest_seconds.clone(),
+            self.cfg.obs.trace_span("engine_ingest"),
+        );
+        if span.trace_enabled() {
+            span.trace_attr("records", &records.len().to_string());
+        }
         self.metrics.records_in.add(records.len() as u64);
         self.metrics.batches.inc();
         self.metrics.batch_records.record(records.len() as f64);
@@ -187,9 +215,11 @@ impl StreamEngine {
         // edges regardless of which vantage reported the record.
         let mut shards: Vec<Vec<ConnSummary>> = vec![Vec::new(); n];
         for r in records {
+            self.watermark = self.watermark.max(r.ts);
             let shard = (edge_hash(&self.cfg.facet, r) % n as u64) as usize;
             shards[shard].push(*r);
         }
+        self.metrics.watermark.set(self.watermark as f64);
         for (i, batch) in shards.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
@@ -205,6 +235,7 @@ impl StreamEngine {
     /// Drain workers and assemble one graph per window, in time order.
     pub fn finish(mut self) -> Result<(Vec<CommGraph>, EngineStats)> {
         self.closed = true;
+        let mut tspan = self.cfg.obs.trace_span("engine_finish");
         let mut per_window: HashMap<u64, HashMap<(NodeId, NodeId), EdgeStats>> = HashMap::new();
         let mut records_kept = 0u64;
         for (i, w) in self.workers.drain(..).enumerate() {
@@ -230,6 +261,7 @@ impl StreamEngine {
             }
         }
         self.metrics.records_kept.add(records_kept);
+        self.metrics.dropped.add(self.records_in.saturating_sub(records_kept));
         let elapsed = self.started.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
         let edge_entries: usize = per_window.values().map(|m| m.len()).sum();
         let mut windows: Vec<u64> = per_window.keys().copied().collect();
@@ -252,6 +284,12 @@ impl StreamEngine {
             elapsed_secs: elapsed,
             workers: self.cfg.workers,
         };
+        if tspan.is_enabled() {
+            tspan.attr("windows", &graphs.len().to_string());
+            tspan.attr("records_in", &stats.records_in.to_string());
+            tspan.attr("records_kept", &stats.records_kept.to_string());
+            tspan.attr("edge_entries", &stats.edge_entries.to_string());
+        }
         if self.cfg.obs.logs(Level::Info) {
             self.cfg.obs.event(
                 Level::Info,
@@ -488,6 +526,50 @@ mod tests {
             );
             assert_eq!(busy.count(), 1, "worker {w}");
         }
+        // No dedup configured → nothing dropped; watermark is the max ts.
+        let dropped = registry.counter("commgraph_engine_dropped_records_total", "", &[]).get();
+        assert_eq!(dropped, stats.records_in - stats.records_kept);
+        let max_ts = recs.iter().map(|r| r.ts).max().unwrap() as f64;
+        let watermark =
+            registry.gauge("commgraph_ingest_watermark_seconds", "", &[("source", "engine")]).get();
+        assert_eq!(watermark, max_ts);
+    }
+
+    #[test]
+    fn dedup_drops_are_counted() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let base = records(100);
+        let mut recs = base.clone();
+        recs.extend(base.iter().map(|r| r.mirrored()));
+        let monitored: HashSet<Ipv4Addr> =
+            recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+        let mut e = StreamEngine::new(EngineConfig {
+            workers: 2,
+            monitored: Some(monitored),
+            obs: Obs::new(registry.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        e.ingest(&recs).unwrap();
+        let (_, stats) = e.finish().unwrap();
+        assert_eq!(stats.records_kept, 100);
+        let dropped = registry.counter("commgraph_engine_dropped_records_total", "", &[]).get();
+        assert_eq!(dropped, 100, "every mirrored duplicate counted as dropped");
+    }
+
+    /// A run whose clock never advanced (or was never started) must report
+    /// zero throughput, not inf/NaN.
+    #[test]
+    fn zero_duration_stats_report_zero_rates() {
+        let stats = EngineStats { records_in: 1_000, elapsed_secs: 0.0, ..EngineStats::default() };
+        assert_eq!(stats.records_per_sec(), 0.0);
+        let nan = EngineStats { records_in: 5, elapsed_secs: f64::NAN, ..EngineStats::default() };
+        assert_eq!(nan.records_per_sec(), 0.0);
+        // A never-ingested engine reports elapsed 0.0 end to end.
+        let engine = StreamEngine::new(EngineConfig::default()).unwrap();
+        let (_, s) = engine.finish().unwrap();
+        assert_eq!(s.elapsed_secs, 0.0);
+        assert_eq!(s.records_per_sec(), 0.0);
     }
 
     #[test]

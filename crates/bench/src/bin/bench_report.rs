@@ -1,8 +1,11 @@
 //! Performance + observability report for the workspace: kernel speedups,
-//! a fully instrumented pipeline run, and a timed static-analysis sweep,
-//! written to `BENCH_PR4.json`.
+//! a fully instrumented + traced pipeline run, a continuous-monitor run, a
+//! timed static-analysis sweep, and a live self-scrape of the introspection
+//! server — written to `BENCH_PR5.json`, with the run's span timeline
+//! exported to `TRACE_PR5.json` (Chrome trace-event format; open it in
+//! Perfetto or `about:tracing`).
 //!
-//! Three sections:
+//! Sections:
 //!
 //! 1. **Kernels** — each ported kernel (exact Jaccard, MinHash, SimRank,
 //!    flat and hierarchical Louvain, the Jacobi eigensolver, the PCA
@@ -11,15 +14,22 @@
 //!    `{n, serial_ms, parallel_ms, speedup}`.
 //! 2. **Stages** — a simulated cluster is pushed through the instrumented
 //!    pipeline (`StreamEngine` → `Pipeline` → `Workbench`) with a live
-//!    `obs::Registry`, and the per-stage wall-time breakdown
+//!    `obs::Registry` and `obs::Tracer` (every stage nests under a
+//!    `pipeline_run` root span), and the per-stage wall-time breakdown
 //!    (ingest/build/similarity/cluster/policy/pca) is read back from the
 //!    registry's `commgraph_stage_seconds` histograms, alongside the
 //!    serialized `EngineStats`, the pipeline summary, and the full metrics
 //!    snapshot.
-//! 3. **Lintcheck** — one full workspace sweep of the static-analysis
+//! 3. **Monitor** — a `SecurityMonitor` learns a baseline and enforces
+//!    against a lateral-movement attack under a `monitor_run` root span,
+//!    so the `commgraph_monitor_*` families carry real values.
+//! 4. **Lintcheck** — one full workspace sweep of the static-analysis
 //!    pass (see `crates/lintcheck`), timed and counted into the same
 //!    registry via `commgraph_lint_sweep_seconds` and
 //!    `commgraph_lint_findings_total{lint}`.
+//! 5. **Serve** — an `obs::IntrospectionServer` boots on port 0 and the
+//!    report scrapes its own `/metrics` and `/healthz` over real HTTP,
+//!    verifying every canonical `obs::names` family appears in one scrape.
 //!
 //! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
 //! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
@@ -33,7 +43,9 @@ use algos::wgraph::WeightedGraph;
 use algos::Parallelism;
 use analytics::engine::{EngineConfig, StreamEngine};
 use benchkit::{arg, arg_f64, arg_u64, simulate};
-use cloudsim::ClusterPreset;
+use cloudsim::attack::{AttackKind, AttackScenario};
+use cloudsim::{ClusterPreset, SimConfig, Simulator};
+use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
 use commgraph::pipeline::{Pipeline, PipelineConfig};
 use commgraph::Workbench;
 use linalg::eigen::eigen_symmetric_with;
@@ -41,6 +53,7 @@ use linalg::pca::pca_sweep_with;
 use linalg::Matrix;
 use serde_json::json;
 use std::hint::black_box;
+use std::io::{Read as _, Write as _};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -181,16 +194,128 @@ fn lintcheck_report(registry: &obs::Registry) -> serde_json::Value {
     })
 }
 
+/// Feed a simulated lateral-movement attack through the continuous monitor
+/// under a `monitor_run` root span, so every `commgraph_monitor_*` family
+/// carries real values in the snapshot below.
+fn monitor_report(o: &obs::Obs) -> serde_json::Value {
+    let preset = ClusterPreset::MicroserviceBench;
+    let topo = preset.topology_scaled(0.3);
+    let breached = topo
+        .ip_of(topo.role_named("frontend").expect("preset has a frontend").id, 0)
+        .expect("slot 0 exists");
+    let sim_cfg = SimConfig {
+        attacks: vec![AttackScenario {
+            kind: AttackKind::LateralMovement,
+            // Starts after two 10-minute learning windows.
+            start_min: 25,
+            duration_min: 15,
+            breached,
+            intensity: 6,
+        }],
+        ..preset.default_sim_config()
+    };
+    let mut sim = Simulator::new(topo, sim_cfg).expect("sim config is valid");
+    let monitored =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+    let cfg = MonitorConfig {
+        window_len: 600,
+        learn_windows: 2,
+        anomaly_k: 10,
+        ..MonitorConfig::default()
+    };
+    let mut span = o.trace_root("monitor_run");
+    let mut monitor = SecurityMonitor::with_obs(cfg, monitored, o.clone());
+    let mut events = Vec::new();
+    sim.run(45, |_, batch| events.extend(monitor.ingest(batch)));
+    events.extend(monitor.flush());
+    let windows = events.iter().filter(|e| matches!(e, MonitorEvent::WindowSummary { .. })).count();
+    let violations: usize = events
+        .iter()
+        .filter_map(|e| match e {
+            MonitorEvent::WindowSummary { violations, .. } => Some(*violations),
+            _ => None,
+        })
+        .sum();
+    if span.is_enabled() {
+        span.attr("windows", &windows.to_string());
+        span.attr("violations", &violations.to_string());
+    }
+    let secs = span.finish();
+    println!(
+        "monitor run                   windows {windows:<3} violations {violations:<5} in {:7.2} ms",
+        secs * 1e3
+    );
+    json!({"enforced_windows": windows, "violations": violations, "events": events.len()})
+}
+
+/// Minimal HTTP/1.0 GET against the local introspection server; returns the
+/// response body (panics on transport errors — this is a bench binary
+/// scraping itself).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("introspection server reachable");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Boot the introspection server on port 0, scrape `/metrics` + `/healthz`
+/// over real HTTP, and verify every canonical `obs::names` family appears
+/// in the one scrape.
+fn serve_report(registry: &Arc<obs::Registry>, tracer: &Arc<obs::Tracer>) -> serde_json::Value {
+    let server = obs::IntrospectionServer::new(registry.clone())
+        .with_tracer(tracer.clone())
+        .start("127.0.0.1:0")
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    let healthz_ok = http_get(addr, "/healthz").trim() == "ok";
+    let metrics = http_get(addr, "/metrics");
+    let missing: Vec<&str> = obs::names::METRICS
+        .iter()
+        .map(|def| def.name)
+        .filter(|name| !metrics.contains(&format!("# TYPE {name} ")))
+        .collect();
+    let trace_body = http_get(addr, "/trace");
+    let trace_ok = trace_body.starts_with("{\"displayTimeUnit\"");
+    server.shutdown();
+    println!(
+        "introspection scrape          {}/{} canonical families present, healthz {}",
+        obs::names::METRICS.len() - missing.len(),
+        obs::names::METRICS.len(),
+        if healthz_ok { "ok" } else { "FAILED" }
+    );
+    json!({
+        "addr": addr.to_string(),
+        "healthz_ok": healthz_ok,
+        "trace_endpoint_ok": trace_ok,
+        "families_total": obs::names::METRICS.len(),
+        "families_present": obs::names::METRICS.len() - missing.len(),
+        "missing": missing,
+    })
+}
+
 /// Run the instrumented pipeline end to end and report the per-stage
-/// breakdown read back from the registry.
-fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
+/// breakdown read back from the registry. Returns the JSON section plus the
+/// run's Chrome trace-event timeline.
+fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value, String) {
     let registry = Arc::new(obs::Registry::new());
     // Adopt the registry process-wide so code without an `Obs` parameter —
     // the par scheduler, Louvain's sweep/move/level counters — lands in the
     // same metrics snapshot (first install wins; this is the only one).
     obs::install_global(registry.clone());
-    let o = obs::Obs::new(registry.clone());
+    let tracer = Arc::new(obs::Tracer::new(4096));
+    let o = obs::Obs::new(registry.clone()).with_tracer(tracer.clone());
     let run = simulate(ClusterPreset::MicroserviceBench, scale, minutes);
+
+    // The per-run root span: every engine/pipeline/workbench stage below
+    // nests under it on the timeline.
+    let mut run_span = o.trace_root("pipeline_run");
+    run_span.attr("scale", &scale.to_string());
+    run_span.attr("minutes", &minutes.to_string());
+    run_span.attr("records", &run.records.len().to_string());
 
     // Streaming aggregation: wall-clock throughput + dedup accounting.
     let mut engine = StreamEngine::new(EngineConfig {
@@ -223,10 +348,17 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
         .with_obs(o.clone());
     wb.policy();
     wb.pca_summary(&[1, 4, 16]).expect("byte matrix is square");
+    run_span.finish();
+
+    // Continuous monitor under its own root span.
+    let monitor = monitor_report(&o);
 
     // Static-analysis sweep, timed into the same registry so its metrics
     // ride the snapshot below.
     let lint = lintcheck_report(&registry);
+
+    // Live self-scrape over HTTP.
+    let serve = serve_report(&registry, &tracer);
 
     let mut stages = serde_json::Map::new();
     println!();
@@ -251,12 +383,26 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
         );
     }
 
-    json!({
+    let dump = tracer.dump();
+    println!(
+        "flight recorder               {} span(s) retained, {} dropped (capacity {})",
+        dump.spans.len(),
+        dump.dropped,
+        dump.capacity
+    );
+    let section = json!({
         "scale": scale,
         "minutes": minutes,
         "records": run.records.len(),
         "stages": serde_json::Value::Object(stages),
+        "monitor": monitor,
         "lintcheck": lint,
+        "serve": serve,
+        "trace": {
+            "spans_retained": dump.spans.len(),
+            "spans_dropped": dump.dropped,
+            "capacity": dump.capacity,
+        },
         "engine": {
             "stats": serde_json::to_value(&stats).expect("EngineStats serializes"),
             // Wall-clock machine rate (obs::rate::per_second semantics).
@@ -269,7 +415,8 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> serde_json::Value {
             &registry
         ))
         .expect("obs snapshot is valid JSON"),
-    })
+    });
+    (section, obs::trace::chrome_trace_json(&dump))
 }
 
 fn main() {
@@ -360,7 +507,7 @@ fn main() {
         time_ms(reps, || pca_sweep_with(&mp, &ks, parallel).expect("square")),
     );
 
-    let pipeline = stage_report(workers, scale, minutes);
+    let (pipeline, trace_json) = stage_report(workers, scale, minutes);
 
     let out = json!({
         "cores": cores,
@@ -369,8 +516,13 @@ fn main() {
         "kernels": serde_json::Value::Object(report),
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR4.json";
+    let path = "BENCH_PR5.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
-    println!("\nwrote {path} (host has {cores} core(s); speedups need multi-core hardware)");
+    let trace_path = "TRACE_PR5.json";
+    std::fs::write(trace_path, trace_json).expect("write trace");
+    println!(
+        "\nwrote {path} and {trace_path} (host has {cores} core(s); speedups need \
+         multi-core hardware; open {trace_path} in Perfetto)"
+    );
 }

@@ -47,7 +47,8 @@ fn main() {
         }
         let (graphs, stats) = engine.finish().expect("engine drains");
         let elapsed = t0.elapsed().as_secs_f64();
-        let rps = records.len() as f64 / elapsed;
+        // Guarded rate: a sub-tick elapsed must report 0, not inf/NaN.
+        let rps = obs::rate::per_second(records.len() as u64, elapsed);
         best_rps = best_rps.max(rps);
         println!("{:>9} {:>14.0} {:>11.2}s", workers, rps, elapsed);
         throughputs.push(json!({"workers": workers, "records_per_sec": rps}));

@@ -122,6 +122,9 @@ struct MonitorMetrics {
     baseline_segments: Gauge,
     baseline_allow_rules: Gauge,
     baseline_threshold: Gauge,
+    /// `commgraph_window_roll_lag_seconds{source="monitor"}` — how far into
+    /// a new window its opening record landed.
+    roll_lag: Histogram,
 }
 
 impl MonitorMetrics {
@@ -165,6 +168,11 @@ impl MonitorMetrics {
                 "commgraph_monitor_baseline_anomaly_threshold",
                 "Calibrated anomaly threshold of the learned baseline.",
                 &[],
+            ),
+            roll_lag: o.histogram(
+                "commgraph_window_roll_lag_seconds",
+                "Lag between a window's nominal start and the record that rolled it open.",
+                &[("source", "monitor")],
             ),
         }
     }
@@ -228,6 +236,7 @@ impl SecurityMonitor {
                 None => self.current_window_start = Some(w),
                 Some(current) if w != current => {
                     self.close_window(current, &mut events);
+                    self.metrics.roll_lag.record(r.ts.saturating_sub(w) as f64);
                     self.current_window_start = Some(w);
                 }
                 _ => {}
@@ -248,11 +257,21 @@ impl SecurityMonitor {
 
     fn close_window(&mut self, window_start: u64, events: &mut Vec<MonitorEvent>) {
         let records = std::mem::take(&mut self.current_records);
+        // The per-window trace span: baseline building and all per-window
+        // analysis below nest under it on the run timeline.
+        let mut tspan = self.obs.trace_span("monitor_window");
+        if tspan.is_enabled() {
+            tspan.attr("window_start", &window_start.to_string());
+            tspan.attr("records", &records.len().to_string());
+        }
         match &mut self.phase {
             Phase::Learning { windows_done, records: learned } => {
                 learned.extend_from_slice(&records);
                 *windows_done += 1;
                 self.metrics.windows_learning.inc();
+                if tspan.is_enabled() {
+                    tspan.attr("phase", "learning");
+                }
                 if *windows_done >= self.cfg.learn_windows {
                     let learned = std::mem::take(learned);
                     let done = *windows_done;
@@ -313,6 +332,21 @@ impl SecurityMonitor {
                 self.metrics.anomaly_score.record(score);
                 if anomalous {
                     self.metrics.anomalous_windows.inc();
+                }
+                if tspan.is_enabled() {
+                    tspan.attr("phase", "enforcing");
+                    tspan.attr("violations", &violations.len().to_string());
+                    tspan.attr("anomaly_score", &format!("{score:.4}"));
+                    tspan.attr("anomalous", &anomalous.to_string());
+                    if anomalous {
+                        tspan.add_event(
+                            "anomaly",
+                            &[
+                                ("score", format!("{score:.4}")),
+                                ("threshold", format!("{:.4}", baseline.threshold)),
+                            ],
+                        );
+                    }
                 }
                 let summary_level = if anomalous { Level::Warn } else { Level::Info };
                 if self.obs.logs(summary_level) {

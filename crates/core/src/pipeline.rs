@@ -95,6 +95,37 @@ pub struct PipelineSummary {
     pub mean_records_per_minute: f64,
 }
 
+/// Streaming-health metric handles, resolved once at pipeline construction
+/// (all noop — and free — without a registry).
+#[derive(Debug)]
+struct PipelineMetrics {
+    watermark: obs::Gauge,
+    roll_lag: obs::Histogram,
+    late: obs::Counter,
+}
+
+impl PipelineMetrics {
+    fn resolve(o: &Obs) -> PipelineMetrics {
+        PipelineMetrics {
+            watermark: o.gauge(
+                "commgraph_ingest_watermark_seconds",
+                "High-water record timestamp (seconds since trace start) seen by an ingest path.",
+                &[("source", "pipeline")],
+            ),
+            roll_lag: o.histogram(
+                "commgraph_window_roll_lag_seconds",
+                "Lag between a window's nominal start and the record that rolled it open.",
+                &[("source", "pipeline")],
+            ),
+            late: o.counter(
+                "commgraph_pipeline_late_records_total",
+                "Records arriving behind the pipeline's ingest watermark (out-of-order input).",
+                &[],
+            ),
+        }
+    }
+}
+
 /// The streaming pipeline. Feed batches with [`Pipeline::ingest`], then call
 /// [`Pipeline::finish`].
 #[derive(Debug)]
@@ -102,8 +133,14 @@ pub struct Pipeline {
     builder: WindowedBuilder,
     per_minute: HashMap<u64, u64>,
     total: u64,
+    window_len: u64,
+    /// Highest record timestamp seen so far (the ingest watermark).
+    watermark: u64,
+    /// Start of the window currently open, once any record arrived.
+    current_window: Option<u64>,
     parallelism: Parallelism,
     obs: Obs,
+    metrics: PipelineMetrics,
 }
 
 impl Pipeline {
@@ -113,12 +150,17 @@ impl Pipeline {
         if let Some(m) = cfg.monitored {
             builder = builder.with_monitored(m);
         }
+        let metrics = PipelineMetrics::resolve(&cfg.obs);
         Pipeline {
             builder,
             per_minute: HashMap::new(),
             total: 0,
+            window_len: cfg.window_len,
+            watermark: 0,
+            current_window: None,
             parallelism: cfg.parallelism,
             obs: cfg.obs,
+            metrics,
         }
     }
 
@@ -130,20 +172,42 @@ impl Pipeline {
 
     /// Ingest a batch of records (non-decreasing timestamps across calls).
     pub fn ingest(&mut self, records: &[ConnSummary]) {
-        let _span = self.obs.stage_span("ingest");
+        let mut span = self.obs.stage_span("ingest");
+        if span.trace_enabled() {
+            span.trace_attr("records", &records.len().to_string());
+        }
         for r in records {
+            if self.total > 0 && r.ts < self.watermark {
+                self.metrics.late.inc();
+            }
+            self.watermark = self.watermark.max(r.ts);
+            let window = bucket_start(r.ts, self.window_len);
+            if self.current_window.is_some_and(|cur| window > cur) {
+                // Roll lag: how far into the new window its first record
+                // lands — the freshness bound of the previous window's graph.
+                self.metrics.roll_lag.record((r.ts - window) as f64);
+            }
+            if self.current_window.is_none_or(|cur| window > cur) {
+                self.current_window = Some(window);
+            }
             *self.per_minute.entry(bucket_start(r.ts, 60)).or_insert(0) += 1;
             self.total += 1;
             self.builder.add(r);
         }
+        self.metrics.watermark.set(self.watermark as f64);
     }
 
     /// Close the stream and produce the graph sequence.
     pub fn finish(self) -> GraphResult<PipelineOutput> {
+        let mut tspan = self.obs.trace_span("pipeline_finish");
         let graphs = self.builder.finish();
         let sequence = GraphSequence::from_graphs(graphs)?;
         let mut records_per_minute: Vec<(u64, u64)> = self.per_minute.into_iter().collect();
         records_per_minute.sort_unstable();
+        if tspan.is_enabled() {
+            tspan.attr("windows", &sequence.len().to_string());
+            tspan.attr("total_records", &self.total.to_string());
+        }
         Ok(PipelineOutput { sequence, records_per_minute, total_records: self.total })
     }
 }
@@ -209,6 +273,29 @@ mod tests {
         assert_eq!(summary.minutes_occupied, 2);
         let json = serde_json::to_string(&summary).unwrap();
         assert!(json.contains("\"mean_records_per_minute\""), "{json}");
+    }
+
+    #[test]
+    fn streaming_health_metrics_track_watermark_lag_and_lateness() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let mut p =
+            Pipeline::new(PipelineConfig { obs: Obs::new(registry.clone()), ..Default::default() });
+        // First window opens at ts 100; second window's first record lands
+        // 7 s into the hour; one record then arrives behind the watermark
+        // (still inside the open window, as dedup'd vantage copies do).
+        p.ingest(&[rec(100, 1), rec(3607, 2), rec(3603, 3)]);
+        let watermark = registry
+            .gauge("commgraph_ingest_watermark_seconds", "", &[("source", "pipeline")])
+            .get();
+        assert_eq!(watermark, 3607.0);
+        let lag =
+            registry.histogram("commgraph_window_roll_lag_seconds", "", &[("source", "pipeline")]);
+        assert_eq!(lag.count(), 1, "only the roll into window 3600 counts");
+        assert_eq!(lag.sum(), 7.0);
+        let late = registry.counter("commgraph_pipeline_late_records_total", "", &[]).get();
+        assert_eq!(late, 1, "ts 3603 arrived behind the 3607 watermark");
+        let out = p.finish().unwrap();
+        assert_eq!(out.total_records, 3, "metrics never change what is computed");
     }
 
     #[test]

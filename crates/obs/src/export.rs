@@ -83,7 +83,23 @@ pub fn json_snapshot(registry: &Registry) -> String {
         }
         out.push_str(&metric_json(m));
     }
-    out.push_str("],\"events\":[");
+    out.push_str("],\"events\":");
+    write_events_array(&mut out, registry);
+    out.push('}');
+    out
+}
+
+/// Render only the buffered structured events as `{"events":[...]}` — the
+/// body of the introspection server's `/events` endpoint.
+pub fn events_json(registry: &Registry) -> String {
+    let mut out = String::from("{\"events\":");
+    write_events_array(&mut out, registry);
+    out.push('}');
+    out
+}
+
+fn write_events_array(out: &mut String, registry: &Registry) {
+    out.push('[');
     for (i, e) in registry.events().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -103,8 +119,7 @@ pub fn json_snapshot(registry: &Registry) -> String {
         }
         out.push_str("}}");
     }
-    out.push_str("]}");
-    out
+    out.push(']');
 }
 
 /// Help text for a family: the canonical [`crate::names`] table wins for
@@ -200,8 +215,8 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
+/// Minimal JSON string escaping (shared with the trace exporter).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

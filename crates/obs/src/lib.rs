@@ -10,6 +10,10 @@
 //! * [`registry`] — a [`Registry`] of labeled metric families plus a
 //!   bounded structured-event buffer.
 //! * [`span`] — RAII [`SpanGuard`] timers that feed histograms.
+//! * [`trace`] — hierarchical [`TraceSpan`]s with a bounded flight-recorder
+//!   ring, a Chrome-trace-event exporter, and a text tree renderer.
+//! * [`serve`] — a zero-dependency HTTP/1.0 introspection server exposing
+//!   `/metrics`, `/metrics.json`, `/healthz`, `/trace`, and `/events`.
 //! * [`log`] — leveled structured [`Event`]s with `COMMGRAPH_LOG`
 //!   env-filtered stderr mirroring.
 //! * [`export`] — Prometheus text exposition and a JSON snapshot.
@@ -54,12 +58,16 @@ pub mod metrics;
 pub mod names;
 pub mod rate;
 pub mod registry;
+pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use crate::log::{Event, Level, LogFilter};
 pub use crate::metrics::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use crate::registry::{MetricKind, MetricSnapshot, Registry, SnapshotValue};
+pub use crate::serve::{IntrospectionServer, ServerHandle};
 pub use crate::span::SpanGuard;
+pub use crate::trace::{FlightDump, SpanEvent, SpanRecord, TraceSpan, Tracer};
 
 use std::sync::{Arc, OnceLock};
 
@@ -72,21 +80,32 @@ pub const STAGE_SECONDS: &str = "commgraph_stage_seconds";
 pub const STAGES: [&str; 6] = ["ingest", "build", "similarity", "cluster", "policy", "pca"];
 
 /// A cheap, cloneable observability handle: either inert or backed by a
-/// shared [`Registry`]. See the crate docs for the cost model.
+/// shared [`Registry`], optionally carrying a [`Tracer`] so spans minted
+/// through it also land on the run timeline. See the crate docs for the
+/// cost model.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     registry: Option<Arc<Registry>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Obs {
-    /// A handle backed by `registry`.
+    /// A handle backed by `registry` (no tracer; see [`Obs::with_tracer`]).
     pub fn new(registry: Arc<Registry>) -> Self {
-        Obs { registry: Some(registry) }
+        Obs { registry: Some(registry), tracer: None }
     }
 
     /// The inert handle (same as `Obs::default()`).
     pub fn noop() -> Self {
-        Obs { registry: None }
+        Obs { registry: None, tracer: None }
+    }
+
+    /// Attach a tracer: [`Obs::span`]/[`Obs::stage_span`] guards gain a
+    /// hierarchical [`TraceSpan`] alongside their histogram, and
+    /// [`Obs::trace_span`] mints standalone spans.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// True when a registry is attached.
@@ -98,6 +117,29 @@ impl Obs {
     /// The backing registry, if any.
     pub fn registry(&self) -> Option<&Arc<Registry>> {
         self.registry.as_ref()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Open a hierarchical trace span named `name` (noop — one `Option`
+    /// branch, no clock read — when no tracer is attached).
+    pub fn trace_span(&self, name: &str) -> TraceSpan {
+        match &self.tracer {
+            Some(t) => t.span(name),
+            None => TraceSpan::noop(),
+        }
+    }
+
+    /// Open a parentless trace span for a per-run root (`pipeline_run`,
+    /// `monitor_run`); noop without a tracer.
+    pub fn trace_root(&self, name: &str) -> TraceSpan {
+        match &self.tracer {
+            Some(t) => t.root_span(name),
+            None => TraceSpan::noop(),
+        }
     }
 
     /// Resolve (or create) a counter; noop when disabled.
@@ -124,19 +166,25 @@ impl Obs {
         }
     }
 
-    /// Start a span into an arbitrary histogram family.
+    /// Start a span into an arbitrary histogram family. With a tracer
+    /// attached, the guard also opens a hierarchical trace span named
+    /// `name`, parented on the innermost open span.
     pub fn span(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> SpanGuard {
-        SpanGuard::start(self.histogram(name, help, labels))
+        SpanGuard::traced(self.histogram(name, help, labels), self.trace_span(name))
     }
 
     /// Start a span into the shared [`STAGE_SECONDS`] family for one of the
     /// pipeline stages (any label value is accepted; the canonical set is
-    /// [`STAGES`]).
+    /// [`STAGES`]). With a tracer attached, the trace span is named after
+    /// the stage so stage children nest under the per-run root.
     pub fn stage_span(&self, stage: &str) -> SpanGuard {
-        self.span(
-            STAGE_SECONDS,
-            "Wall-clock seconds spent per streaming-pipeline stage.",
-            &[("stage", stage)],
+        SpanGuard::traced(
+            self.histogram(
+                STAGE_SECONDS,
+                "Wall-clock seconds spent per streaming-pipeline stage.",
+                &[("stage", stage)],
+            ),
+            self.trace_span(stage),
         )
     }
 

@@ -57,6 +57,12 @@ pub const METRICS: &[MetricDef] = &[
         labels: &[],
     },
     MetricDef {
+        name: "commgraph_engine_dropped_records_total",
+        kind: MetricKind::Counter,
+        help: "Records dropped before aggregation (vantage dedup), tallied at engine finish.",
+        labels: &[],
+    },
+    MetricDef {
         name: "commgraph_engine_ingest_seconds",
         kind: MetricKind::Histogram,
         help: "Wall-clock seconds per ingest call (shard + enqueue, including backpressure).",
@@ -85,6 +91,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         help: "Per-worker time spent aggregating batches over the engine's lifetime.",
         labels: &["worker"],
+    },
+    MetricDef {
+        name: "commgraph_ingest_watermark_seconds",
+        kind: MetricKind::Gauge,
+        help: "High-water record timestamp (seconds since trace start) seen by an ingest path.",
+        labels: &["source"],
     },
     MetricDef {
         name: "commgraph_lint_findings_total",
@@ -171,10 +183,28 @@ pub const METRICS: &[MetricDef] = &[
         labels: &["shape"],
     },
     MetricDef {
+        name: "commgraph_pipeline_late_records_total",
+        kind: MetricKind::Counter,
+        help: "Records arriving behind the pipeline's ingest watermark (out-of-order input).",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_serve_requests_total",
+        kind: MetricKind::Counter,
+        help: "HTTP requests served by the introspection server, by endpoint.",
+        labels: &["path"],
+    },
+    MetricDef {
         name: "commgraph_stage_seconds",
         kind: MetricKind::Histogram,
         help: "Wall-clock seconds spent per streaming-pipeline stage.",
         labels: &["stage"],
+    },
+    MetricDef {
+        name: "commgraph_window_roll_lag_seconds",
+        kind: MetricKind::Histogram,
+        help: "Lag between a window's nominal start and the record that rolled it open.",
+        labels: &["source"],
     },
 ];
 

@@ -42,6 +42,19 @@ mod tests {
         assert_eq!(per_bucket(100, 0), 0.0);
     }
 
+    /// Degenerate numerators and denominators never leak inf/NaN to callers
+    /// (`EngineStats::records_per_sec`, bench reports, dashboards).
+    #[test]
+    fn results_are_always_finite() {
+        assert_eq!(per_second(100, f64::INFINITY), 0.0);
+        assert_eq!(per_second(0, 0.0), 0.0);
+        assert_eq!(per_second(u64::MAX, 1.0), u64::MAX as f64);
+        for (count, secs) in [(0u64, 0.0f64), (7, -0.0), (u64::MAX, f64::NAN)] {
+            assert!(per_second(count, secs).is_finite());
+        }
+        assert!(per_bucket(u64::MAX, 1).is_finite());
+    }
+
     #[test]
     fn ordinary_division() {
         assert_eq!(per_second(100, 4.0), 25.0);

@@ -1,0 +1,315 @@
+//! A zero-dependency HTTP/1.0 introspection server.
+//!
+//! [`IntrospectionServer::start`] binds a `std::net::TcpListener` (port 0
+//! picks a free port), spawns one accept-loop thread, and returns a
+//! [`ServerHandle`] whose [`ServerHandle::shutdown`] (or drop) stops the
+//! thread cleanly — no signal handling, no async runtime, no dependencies.
+//!
+//! Endpoints:
+//!
+//! | path            | content                                             |
+//! |-----------------|-----------------------------------------------------|
+//! | `/healthz`      | `ok` (liveness probe)                               |
+//! | `/metrics`      | Prometheus text exposition ([`export::prometheus_text`]) |
+//! | `/metrics.json` | JSON snapshot ([`export::json_snapshot`])           |
+//! | `/trace`        | flight-recorder dump as Chrome trace-event JSON     |
+//! | `/trace.txt`    | flight-recorder dump as an indented text tree       |
+//! | `/events`       | buffered structured events as JSON                  |
+//!
+//! Every request increments `commgraph_serve_requests_total{path=...}` with
+//! the path normalized to the known endpoint set (unknown paths count under
+//! `other`), so scrape traffic itself is visible in the scrape.
+
+use crate::export;
+use crate::registry::Registry;
+use crate::trace::{chrome_trace_json, render_tree, FlightDump, Tracer};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builder for the introspection server: a registry to expose, optionally a
+/// tracer whose flight recorder backs `/trace`.
+#[derive(Debug, Clone)]
+pub struct IntrospectionServer {
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl IntrospectionServer {
+    /// A server exposing `registry` (no `/trace` content until
+    /// [`IntrospectionServer::with_tracer`]).
+    pub fn new(registry: Arc<Registry>) -> Self {
+        IntrospectionServer { registry, tracer: None }
+    }
+
+    /// Attach the tracer whose flight recorder `/trace` and `/trace.txt`
+    /// will dump.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawn the
+    /// accept loop, and return its handle. The bound address — including
+    /// the picked port — is [`ServerHandle::addr`].
+    pub fn start(self, addr: &str) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("obs-introspection".to_string())
+            .spawn(move || accept_loop(listener, thread_stop, self.registry, self.tracer))?;
+        Ok(ServerHandle { addr: local, stop, join: Some(join) })
+    }
+}
+
+/// Owns the running server thread. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and joins the thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (reports the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(join) = self.join.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway local connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = join.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok((mut stream, _)) = conn {
+            let _ = handle_conn(&mut stream, &registry, &tracer);
+        }
+    }
+}
+
+/// Read the request line, route it, write an HTTP/1.0 response. Any I/O
+/// error just drops the connection — one bad client must not stop serving.
+fn handle_conn(
+    stream: &mut TcpStream,
+    registry: &Arc<Registry>,
+    tracer: &Option<Arc<Tracer>>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let (method, path) = read_request_line(stream)?;
+    bump_request_counter(registry, &path);
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path.as_str() {
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4", export::prometheus_text(registry))
+            }
+            "/metrics.json" => ("200 OK", "application/json", export::json_snapshot(registry)),
+            "/trace" => ("200 OK", "application/json", chrome_trace_json(&dump_or_empty(tracer))),
+            "/trace.txt" => {
+                ("200 OK", "text/plain; charset=utf-8", render_tree(&dump_or_empty(tracer)))
+            }
+            "/events" => ("200 OK", "application/json", export::events_json(registry)),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A dump of the attached tracer, or an empty dump when none is attached
+/// (so `/trace` always returns valid Chrome trace JSON).
+fn dump_or_empty(tracer: &Option<Arc<Tracer>>) -> FlightDump {
+    match tracer {
+        Some(t) => t.dump(),
+        None => FlightDump { capacity: 0, dropped: 0, open_spans: 0, spans: Vec::new() },
+    }
+}
+
+/// Count the request with the path normalized onto the fixed endpoint set,
+/// bounding label cardinality no matter what clients probe.
+fn bump_request_counter(registry: &Arc<Registry>, path: &str) {
+    let normalized = match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/metrics.json" => "metrics.json",
+        "/trace" => "trace",
+        "/trace.txt" => "trace.txt",
+        "/events" => "events",
+        _ => "other",
+    };
+    registry
+        .counter(
+            "commgraph_serve_requests_total",
+            "HTTP requests served by the introspection server, by endpoint.",
+            &[("path", normalized)],
+        )
+        .inc();
+}
+
+/// Parse `GET /path HTTP/1.0` from the head of the stream. Reads at most
+/// 4 KiB; anything malformed is an `InvalidData` error (connection dropped).
+fn read_request_line(stream: &mut TcpStream) -> io::Result<(String, String)> {
+    let mut buf = [0u8; 4096];
+    let mut filled = 0usize;
+    loop {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(2).any(|w| w == b"\r\n") || filled == buf.len() {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_ascii_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) => Ok((method.to_string(), path.to_string())),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn start_server() -> (ServerHandle, Arc<Registry>, Arc<Tracer>) {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(64));
+        let handle = IntrospectionServer::new(registry.clone())
+            .with_tracer(tracer.clone())
+            .start("127.0.0.1:0")
+            .unwrap();
+        (handle, registry, tracer)
+    }
+
+    #[test]
+    fn serves_all_endpoints_and_shuts_down() {
+        let (handle, registry, tracer) = start_server();
+        registry.counter("demo_total", "h", &[]).add(7);
+        tracer.span("root").finish();
+        let addr = handle.addr();
+        assert_ne!(addr.port(), 0, "port 0 resolved to a real port");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("demo_total 7"), "{metrics}");
+        let (_, json) = get(addr, "/metrics.json");
+        assert!(json.contains("\"demo_total\""), "{json}");
+        let (_, trace) = get(addr, "/trace");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"root\""), "{trace}");
+        let (_, tree) = get(addr, "/trace.txt");
+        assert!(tree.contains("flight recorder:"), "{tree}");
+        let (_, events) = get(addr, "/events");
+        assert!(events.starts_with("{\"events\":["), "{events}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        // Requests counted with bounded path labels.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("commgraph_serve_requests_total{path=\"metrics\"}"), "{metrics}");
+        assert!(metrics.contains("commgraph_serve_requests_total{path=\"other\"} 1"), "{metrics}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_without_tracer_is_valid_empty_json() {
+        let registry = Arc::new(Registry::new());
+        let handle = IntrospectionServer::new(registry).start("127.0.0.1:0").unwrap();
+        let (head, body) = get(handle.addr(), "/trace");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let (handle, _registry, _tracer) = start_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_the_server_down() {
+        let addr;
+        {
+            let (handle, _r, _t) = start_server();
+            addr = handle.addr();
+        }
+        // After drop, new connections must fail (possibly after the OS
+        // drains the backlog, so allow a few attempts).
+        let mut refused = false;
+        for _ in 0..20 {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                Err(_) => {
+                    refused = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        assert!(refused, "listener closed after handle drop");
+    }
+}

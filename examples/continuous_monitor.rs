@@ -1,6 +1,10 @@
 //! The always-on security loop: learn a baseline from live telemetry, then
 //! watch every window for policy violations, anomalies, and structural
-//! drift — with a mid-stream breach to catch.
+//! drift — with a mid-stream breach to catch. The monitor runs traced: the
+//! moment the first incident fires (a policy violation or an anomalous
+//! window), the flight recorder is dumped so the spans leading up to the
+//! alert are on screen — the "what was the pipeline doing right before
+//! this?" view an operator wants at page time.
 //!
 //! ```sh
 //! cargo run --release --example continuous_monitor
@@ -9,6 +13,8 @@
 use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
 use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
 use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
+use commgraph::obs::{trace, Obs, Registry, Tracer};
+use std::sync::Arc;
 
 fn main() {
     let preset = ClusterPreset::MicroserviceBench;
@@ -30,17 +36,40 @@ fn main() {
     let monitored =
         sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
 
-    // 20-minute windows: three to learn, the rest enforced.
-    let mut monitor = SecurityMonitor::new(
+    // 20-minute windows: three to learn, the rest enforced. The monitor is
+    // fully instrumented: metrics land in `registry`, window spans in the
+    // flight recorder.
+    let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::new(512));
+    let obs = Obs::new(registry).with_tracer(tracer.clone());
+    let mut monitor = SecurityMonitor::with_obs(
         MonitorConfig { window_len: 1200, learn_windows: 3, ..Default::default() },
         monitored,
+        obs.clone(),
     );
     monitor.max_violation_events = 3; // headline examples only
 
     println!("streaming two hours of '{}' telemetry through the monitor …\n", preset.name());
+    let root = obs.trace_root("monitor_run");
     let mut events = Vec::new();
-    sim.run(120, |_, batch| events.extend(monitor.ingest(batch)));
+    let mut recorder_dumped = false;
+    sim.run(120, |_, batch| {
+        for e in monitor.ingest(batch) {
+            // First incident → dump the flight recorder: the trace of every
+            // window closed so far, with the anomaly event on its span.
+            let incident = matches!(e, MonitorEvent::PolicyViolation(_))
+                || matches!(e, MonitorEvent::WindowSummary { anomalous: true, .. });
+            if incident && !recorder_dumped {
+                recorder_dumped = true;
+                println!("⚠ first incident — dumping the flight recorder:\n");
+                print!("{}", trace::render_tree(&tracer.dump()));
+                println!();
+            }
+            events.push(e);
+        }
+    });
     events.extend(monitor.flush());
+    drop(root);
 
     for e in &events {
         match e {

@@ -2,13 +2,18 @@
 //! a terminal app. Simulates six hours of the K8s PaaS cluster with a flash
 //! crowd and a tenant scale-out, builds one graph per hour through the
 //! streaming pipeline, and prints an hourly changes digest plus an ASCII
-//! heatmap of the final byte matrix. The run is fully instrumented: it ends
-//! with the `/metrics`-style Prometheus text dump a scrape endpoint would
-//! serve (set `COMMGRAPH_LOG=info` to also stream the event log to stderr).
+//! heatmap of the final byte matrix. The run is fully instrumented and
+//! traced: it boots the introspection server on an ephemeral port, scrapes
+//! its own `/metrics` over real HTTP, and prints the flight-recorder span
+//! tree (set `COMMGRAPH_LOG=info` to also stream the event log to stderr).
 //!
 //! ```sh
 //! cargo run --release --example live_dashboard
 //! COMMGRAPH_LOG=info cargo run --release --example live_dashboard
+//! # keep the server up for 60 s to poke it with curl / Perfetto:
+//! COMMGRAPH_SERVE_SECS=60 cargo run --release --example live_dashboard
+//! #   curl http://<printed addr>/metrics
+//! #   curl http://<printed addr>/trace > trace.json   # load in ui.perfetto.dev
 //! ```
 
 use commgraph::cloudsim::churn::ChurnPlan;
@@ -17,8 +22,9 @@ use commgraph::cloudsim::{ClusterPreset, Simulator};
 use commgraph::graph::Facet;
 use commgraph::linalg::quantize::{log_normalize, to_ascii};
 use commgraph::linalg::Matrix;
-use commgraph::obs::{export, Obs, Registry};
+use commgraph::obs::{trace, IntrospectionServer, Obs, Registry, Tracer};
 use commgraph::pipeline::{Pipeline, PipelineConfig};
+use std::io::{Read as _, Write as _};
 use std::sync::Arc;
 
 fn main() {
@@ -42,7 +48,8 @@ fn main() {
         .filter(|ip| ip.octets()[0] == 10)
         .collect::<std::collections::HashSet<_>>();
     let registry = Arc::new(Registry::new());
-    let obs = Obs::new(registry.clone());
+    let tracer = Arc::new(Tracer::new(2048));
+    let obs = Obs::new(registry.clone()).with_tracer(tracer.clone());
     let mut pipeline = Pipeline::new(PipelineConfig {
         facet: Facet::Ip,
         window_len: 3600,
@@ -50,8 +57,10 @@ fn main() {
         obs: obs.clone(),
         ..Default::default()
     });
+    let root = obs.trace_root("pipeline_run");
     sim.run(6 * 60, |_, batch| pipeline.ingest(batch));
     let out = pipeline.finish().expect("windows arrive in order");
+    drop(root);
 
     println!(
         "{} records total, {:.0} records/min average\n",
@@ -117,9 +126,42 @@ fn main() {
         &[("records", out.total_records.to_string()), ("windows", seq.len().to_string())],
     );
 
-    // What a `/metrics` scrape endpoint would serve for this run.
-    println!("\n── /metrics (Prometheus text exposition) ──────────────────────");
-    print!("{}", export::prometheus_text(&registry));
+    // Boot the real introspection server and scrape ourselves over HTTP —
+    // this is exactly what a Prometheus scraper (or curl) would see.
+    let server = IntrospectionServer::new(registry.clone())
+        .with_tracer(tracer.clone())
+        .start("127.0.0.1:0")
+        .expect("bind an ephemeral port");
+    println!("\nintrospection server listening on http://{}", server.addr());
+    println!("── /metrics (scraped over HTTP) ────────────────────────────────");
+    print!("{}", http_get(server.addr(), "/metrics"));
+
+    println!("── flight recorder (/trace.txt) ────────────────────────────────");
+    print!("{}", trace::render_tree(&tracer.dump()));
+
+    // Leave the endpoints up for interactive poking when asked to.
+    if let Some(secs) =
+        std::env::var("COMMGRAPH_SERVE_SECS").ok().and_then(|s| s.parse::<u64>().ok())
+    {
+        println!(
+            "\nserving http://{} for {secs}s — try /metrics, /healthz, /trace (Perfetto), /trace.txt",
+            server.addr()
+        );
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+    server.shutdown();
+}
+
+/// Minimal HTTP/1.0 GET against our own introspection server.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("server reachable");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    }
 }
 
 /// Max-pool to at most `target` rows/cols for terminal display.

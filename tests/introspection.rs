@@ -1,0 +1,232 @@
+//! The introspection contract, asserted end to end over real HTTP:
+//!
+//! 1. After one instrumented pipeline run (engine → pipeline → workbench →
+//!    monitor → lint sweep), a single scrape of `/metrics` returns **every**
+//!    family in the canonical `obs::names` table — nothing is registered
+//!    lazily enough to be invisible to a dashboard that scrapes once.
+//! 2. The flight recorder's Chrome trace-event export (the same bytes
+//!    `/trace` serves and `bench_report` writes to `TRACE_PR5.json`) parses
+//!    as JSON with at least one root `pipeline_run` span whose stage
+//!    children nest correctly by both explicit parent id and time
+//!    containment.
+//!
+//! This test runs as its own process, so installing the global registry here
+//! cannot leak into other tests.
+
+use commgraph::analytics::engine::{EngineConfig, StreamEngine};
+use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
+use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
+use commgraph::linalg::Parallelism;
+use commgraph::monitor::{MonitorConfig, SecurityMonitor};
+use commgraph::obs;
+use commgraph::pipeline::{Pipeline, PipelineConfig};
+use commgraph::Workbench;
+use serde_json::Value;
+use std::io::{Read as _, Write as _};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("introspection server reachable");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Run every instrumented subsystem once so each canonical family has a
+/// registration (values may be zero — presence is the contract).
+fn exercise_everything(o: &obs::Obs) {
+    let preset = ClusterPreset::MicroserviceBench;
+    let mut sim =
+        Simulator::new(preset.topology_scaled(0.25), preset.default_sim_config()).unwrap();
+    let records = sim.collect(8);
+    let monitored: std::collections::HashSet<std::net::Ipv4Addr> =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+
+    let mut root = o.trace_root("pipeline_run");
+    root.attr("records", &records.len().to_string());
+
+    let mut engine = StreamEngine::new(EngineConfig {
+        workers: 2,
+        monitored: Some(monitored.clone()),
+        obs: o.clone(),
+        ..Default::default()
+    })
+    .unwrap();
+    for chunk in records.chunks(512) {
+        engine.ingest(chunk).unwrap();
+    }
+    engine.finish().unwrap();
+
+    let mut p = Pipeline::new(PipelineConfig {
+        monitored: Some(monitored.clone()),
+        obs: o.clone(),
+        ..Default::default()
+    });
+    p.ingest(&records);
+    p.finish().unwrap();
+
+    // Parallelism 2 drives the par scheduler (tiles/busy families) and the
+    // Louvain counters through the global registry installed by the caller.
+    let mut wb = Workbench::new(records, monitored)
+        .with_parallelism(Parallelism::new(2))
+        .with_obs(o.clone());
+    let _ = wb.roles();
+    let _ = wb.segmentation();
+    let _ = wb.policy();
+    let _ = wb.pca_summary(&[1, 4]).unwrap();
+    drop(root);
+
+    // Monitor families (windows/violations/anomaly/baseline/roll-lag) need a
+    // learn-then-enforce run with an attack that actually trips windows.
+    let topo = preset.topology_scaled(0.3);
+    let breached = topo
+        .ip_of(topo.role_named("frontend").expect("preset has a frontend").id, 0)
+        .expect("slot 0 exists");
+    let sim_cfg = SimConfig {
+        attacks: vec![AttackScenario {
+            kind: AttackKind::LateralMovement,
+            start_min: 25,
+            duration_min: 15,
+            breached,
+            intensity: 6,
+        }],
+        ..preset.default_sim_config()
+    };
+    let mut sim = Simulator::new(topo, sim_cfg).unwrap();
+    let monitored =
+        sim.ground_truth().ip_roles.keys().copied().filter(|ip| ip.octets()[0] == 10).collect();
+    let cfg = MonitorConfig {
+        window_len: 600,
+        learn_windows: 2,
+        anomaly_k: 10,
+        ..MonitorConfig::default()
+    };
+    let span = o.trace_root("monitor_run");
+    let mut monitor = SecurityMonitor::with_obs(cfg, monitored, o.clone());
+    sim.run(45, |_, batch| {
+        let _ = monitor.ingest(batch);
+    });
+    let _ = monitor.flush();
+    drop(span);
+}
+
+/// Record one lintcheck sweep into the registry so the lint families appear
+/// in the scrape (mirrors what `bench_report` does).
+fn record_lint_sweep(registry: &obs::Registry) {
+    let cwd = std::env::current_dir().expect("cwd readable");
+    let root = lintcheck::walk::find_root_above(&cwd).expect("test runs inside the workspace");
+    let cfg = lintcheck::Config::for_workspace(root.clone());
+    let baseline = match std::fs::read_to_string(root.join("lintcheck.baseline")) {
+        Ok(text) => lintcheck::baseline::Baseline::parse(&text),
+        Err(_) => lintcheck::baseline::Baseline::default(),
+    };
+    let t0 = std::time::Instant::now();
+    let report = lintcheck::run(&cfg, &baseline).expect("workspace tree is readable");
+    registry.histogram("commgraph_lint_sweep_seconds", "", &[]).record(t0.elapsed().as_secs_f64());
+    for lint in lintcheck::LintId::all() {
+        let count =
+            report.fresh.iter().chain(report.baselined.iter()).filter(|f| f.lint == lint).count();
+        registry
+            .counter("commgraph_lint_findings_total", "", &[("lint", lint.name())])
+            .add(count as u64);
+    }
+}
+
+#[test]
+fn one_scrape_serves_every_canonical_family_and_trace_nests() {
+    let registry = Arc::new(obs::Registry::new());
+    // First install wins; this test binary is its own process.
+    obs::install_global(registry.clone());
+    let tracer = Arc::new(obs::Tracer::new(4096));
+    let o = obs::Obs::new(registry.clone()).with_tracer(tracer.clone());
+
+    exercise_everything(&o);
+    record_lint_sweep(&registry);
+
+    let server = obs::IntrospectionServer::new(registry.clone())
+        .with_tracer(tracer.clone())
+        .start("127.0.0.1:0")
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+
+    assert_eq!(http_get(addr, "/healthz").trim(), "ok");
+
+    // One scrape must carry the whole canonical table. The request counter
+    // is bumped before rendering, so even `commgraph_serve_requests_total`
+    // appears in its own first scrape.
+    let metrics = http_get(addr, "/metrics");
+    let missing: Vec<&str> = obs::names::METRICS
+        .iter()
+        .map(|def| def.name)
+        .filter(|name| !metrics.contains(&format!("# TYPE {name} ")))
+        .collect();
+    assert!(missing.is_empty(), "families absent from a single /metrics scrape: {missing:?}");
+
+    // The JSON snapshot endpoint parses and carries the same families.
+    let snapshot: Value =
+        serde_json::from_str(&http_get(addr, "/metrics.json")).expect("valid JSON snapshot");
+    let listed = snapshot["metrics"].as_array().expect("metrics array");
+    assert!(listed.len() >= obs::names::METRICS.len(), "snapshot lists every family");
+
+    // `/trace` serves the same Chrome trace-event document bench_report
+    // writes to TRACE_PR5.json. Validate the acceptance-criterion shape.
+    let trace = http_get(addr, "/trace");
+    server.shutdown();
+    let doc: Value = serde_json::from_str(&trace).expect("valid Chrome trace JSON");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ms"));
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let complete: Vec<&Value> = events.iter().filter(|e| e["ph"].as_str() == Some("X")).collect();
+    assert!(!complete.is_empty(), "flight recorder retained spans");
+
+    // ≥ one root span per run, named for the run.
+    let root = complete
+        .iter()
+        .find(|e| {
+            e["name"].as_str() == Some("pipeline_run")
+                && e["args"]["parent_id"].as_str() == Some("")
+        })
+        .expect("a root pipeline_run span with no parent");
+    let root_id = root["args"]["span_id"].as_str().expect("span id").to_string();
+    let root_ts = root["ts"].as_u64().unwrap();
+    let root_end = root_ts + root["dur"].as_u64().unwrap();
+
+    // Stage children hang off the root by explicit parent id…
+    let children: Vec<&&Value> = complete
+        .iter()
+        .filter(|e| e["args"]["parent_id"].as_str() == Some(root_id.as_str()))
+        .collect();
+    let child_names: std::collections::BTreeSet<&str> =
+        children.iter().filter_map(|e| e["name"].as_str()).collect();
+    for stage in ["ingest", "build", "similarity", "cluster", "policy"] {
+        assert!(child_names.contains(stage), "missing stage child {stage}: {child_names:?}");
+    }
+    // …and nest inside it by time containment (what Perfetto renders).
+    for child in &children {
+        let ts = child["ts"].as_u64().unwrap();
+        let end = ts + child["dur"].as_u64().unwrap();
+        assert!(
+            root_ts <= ts && end <= root_end + 1,
+            "{} [{ts}, {end}] escapes pipeline_run [{root_ts}, {root_end}]",
+            child["name"]
+        );
+    }
+
+    // The monitor run contributes its own root with window children.
+    let mon = complete
+        .iter()
+        .find(|e| {
+            e["name"].as_str() == Some("monitor_run") && e["args"]["parent_id"].as_str() == Some("")
+        })
+        .expect("a root monitor_run span");
+    let mon_id = mon["args"]["span_id"].as_str().unwrap();
+    assert!(
+        complete.iter().any(|e| e["name"].as_str() == Some("monitor_window")
+            && e["args"]["parent_id"].as_str() == Some(mon_id)),
+        "monitor windows nest under monitor_run"
+    );
+}

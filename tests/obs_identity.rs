@@ -109,4 +109,53 @@ fn instrumented_run_is_bit_for_bit_identical() {
         registry.counter("commgraph_engine_records_in_total", "", &[]).get() > 0,
         "instrumented run counted engine records"
     );
+
+    // Third run: metrics AND the hierarchical tracer + flight recorder
+    // attached. Same guarantee — spans are pure observers too.
+    let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(commgraph::obs::Tracer::new(8192));
+    let traced_obs = Obs::new(registry).with_tracer(tracer.clone());
+    let root = traced_obs.trace_root("pipeline_run");
+    let traced = run(traced_obs.clone(), &records, &monitored);
+    drop(root);
+    assert_eq!(plain, traced, "tracing must never change results");
+
+    // The recorder really recorded, and every retained child's parent
+    // resolves inside the dump (capacity 8192 was not exceeded).
+    let dump = tracer.dump();
+    assert!(dump.spans.len() > 1, "flight recorder retained the run's spans");
+    assert_eq!(dump.dropped, 0, "fixture fits the ring");
+    assert_eq!(dump.open_spans, 0, "every span closed");
+    let ids: std::collections::HashSet<u64> = dump.spans.iter().map(|s| s.id).collect();
+    for s in &dump.spans {
+        if let Some(p) = s.parent {
+            assert!(ids.contains(&p), "span {} has unresolvable parent {p}", s.name);
+        }
+    }
+    assert!(
+        dump.spans.iter().any(|s| s.name == "pipeline_run" && s.parent.is_none()),
+        "the run root is retained as a root"
+    );
+}
+
+/// Without a tracer, trace context costs one branch and never reads the
+/// clock: spans come back disabled, attrs and events are no-ops, and
+/// `finish` reports exactly 0.0.
+#[test]
+fn disabled_trace_context_is_inert() {
+    let o = Obs::noop();
+    assert!(o.tracer().is_none());
+    let mut span = o.trace_span("anything");
+    assert!(!span.is_enabled());
+    span.attr("key", "value");
+    span.add_event("event", &[("k", "v".to_string())]);
+    let root = o.trace_root("root");
+    assert!(!root.is_enabled());
+    assert_eq!(span.finish(), 0.0, "noop finish never reads the clock");
+    assert_eq!(root.finish(), 0.0);
+
+    // A registry alone (metrics, no tracer) also yields disabled spans.
+    let metrics_only = Obs::new(Arc::new(Registry::new()));
+    assert!(metrics_only.tracer().is_none());
+    assert!(!metrics_only.trace_span("stage").is_enabled());
 }
