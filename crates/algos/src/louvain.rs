@@ -119,6 +119,37 @@ pub fn louvain_with_resolution(g: &WeightedGraph, resolution: f64) -> LouvainRes
 /// assert_eq!(serial.labels, parallel.labels);
 /// ```
 pub fn louvain_with(g: &WeightedGraph, resolution: f64, parallelism: Parallelism) -> LouvainResult {
+    louvain_impl(g, resolution, parallelism, None)
+}
+
+/// Run Louvain with the first level's local-move sweeps *seeded* from a
+/// prior partition instead of singletons — the incremental-maintenance
+/// warm start. When consecutive windows barely differ (the paper's Figure 5
+/// observation), the seed is already at or near the optimum and the first
+/// level converges in one move-free sweep instead of rebuilding the whole
+/// hierarchy.
+///
+/// `seed` assigns a community per node (any dense-ish labeling; it is
+/// compacted internally). Aggregation levels after the first proceed
+/// exactly as in [`louvain_with`]. Labels, modularity, and level count are
+/// bit-for-bit identical at any worker count, and
+/// [`Parallelism::serial`] runs the single-threaded sweep.
+pub fn louvain_seeded_with(
+    g: &WeightedGraph,
+    resolution: f64,
+    parallelism: Parallelism,
+    seed: &[usize],
+) -> LouvainResult {
+    assert_eq!(seed.len(), g.node_count(), "one seed label per node");
+    louvain_impl(g, resolution, parallelism, Some(seed))
+}
+
+fn louvain_impl(
+    g: &WeightedGraph,
+    resolution: f64,
+    parallelism: Parallelism,
+    seed: Option<&[usize]>,
+) -> LouvainResult {
     assert!(resolution > 0.0, "resolution must be positive");
     let n = g.node_count();
     if n == 0 {
@@ -131,14 +162,21 @@ pub fn louvain_with(g: &WeightedGraph, resolution: f64, parallelism: Parallelism
     let mut levels = 0usize;
     const MIN_GAIN: f64 = 1e-9;
 
-    // Q of `level_graph` under its identity labeling, maintained across
+    // The first level starts from the seed partition when given, singletons
+    // otherwise; later levels always start from the aggregated singletons.
+    let mut seed_comm: Option<Vec<usize>> = seed.map(|s| compact(s.to_vec()));
+
+    // Q of `level_graph` under its starting labeling, maintained across
     // levels: aggregation preserves modularity (intra-community weight
     // becomes self-loops, Σ_tot carries over), so each level's `after` is
     // the next level's `before` — no need to rebuild the identity label
     // vector and rescore the whole graph every level.
-    let mut before = modularity(&level_graph, &labels, resolution);
+    let mut before = match &seed_comm {
+        Some(s) => modularity(&level_graph, s, resolution),
+        None => modularity(&level_graph, &labels, resolution),
+    };
     loop {
-        let level = one_level_with(&level_graph, resolution, parallelism);
+        let level = one_level_with(&level_graph, resolution, parallelism, seed_comm.take());
         levels += 1;
         lobs.sweeps.add(level.sweeps);
         lobs.moves.add(level.moves);
@@ -213,7 +251,33 @@ pub fn hierarchical_louvain_with(
     cfg: HierarchicalConfig,
     parallelism: Parallelism,
 ) -> LouvainResult {
-    let base = louvain_with(g, cfg.resolution, parallelism);
+    hierarchical_impl(g, cfg, parallelism, None)
+}
+
+/// [`hierarchical_louvain_with`] with the **base run** seeded from a prior
+/// partition (see [`louvain_seeded_with`]). Only the base run is seeded;
+/// the refinement passes are untouched, so `levels` keeps the
+/// only-splitting-passes-count semantics: the seeded base run's aggregation
+/// levels plus one per refinement pass that actually split something.
+pub fn hierarchical_louvain_seeded_with(
+    g: &WeightedGraph,
+    cfg: HierarchicalConfig,
+    parallelism: Parallelism,
+    seed: &[usize],
+) -> LouvainResult {
+    hierarchical_impl(g, cfg, parallelism, Some(seed))
+}
+
+fn hierarchical_impl(
+    g: &WeightedGraph,
+    cfg: HierarchicalConfig,
+    parallelism: Parallelism,
+    seed: Option<&[usize]>,
+) -> LouvainResult {
+    let base = match seed {
+        Some(s) => louvain_seeded_with(g, cfg.resolution, parallelism, s),
+        None => louvain_with(g, cfg.resolution, parallelism),
+    };
     let mut labels = base.labels;
     let mut levels = base.levels;
     let mut next_label = labels.iter().copied().max().map_or(0, |m| m + 1);
@@ -378,26 +442,49 @@ fn apply_best_move(
     }
 }
 
-/// One pass of greedy local moving under the given worker count.
-fn one_level_with(g: &WeightedGraph, resolution: f64, par: Parallelism) -> LevelOutcome {
+/// One pass of greedy local moving under the given worker count. `seed`
+/// optionally provides the starting community assignment (already
+/// compacted); `None` starts from singletons.
+fn one_level_with(
+    g: &WeightedGraph,
+    resolution: f64,
+    par: Parallelism,
+    seed: Option<Vec<usize>>,
+) -> LevelOutcome {
     if par.is_serial() {
-        one_level_serial(g, resolution)
+        one_level_serial(g, resolution, seed)
     } else {
-        one_level_parallel(g, resolution, par)
+        one_level_parallel(g, resolution, par, seed)
     }
+}
+
+/// Starting state of a local-move pass: the community assignment (seeded or
+/// singleton) and each community's Σ_tot. For the singleton start the
+/// per-community sums are exactly `k`, reproducing the legacy
+/// initialization bit-for-bit (each slot receives one addend).
+fn level_start(n: usize, k: &[f64], seed: Option<Vec<usize>>) -> (Vec<usize>, Vec<f64>) {
+    let comm = match seed {
+        Some(s) => s,
+        None => (0..n).collect(),
+    };
+    let mut sigma_tot = vec![0.0; n];
+    for u in 0..n {
+        sigma_tot[comm[u]] += k[u];
+    }
+    (comm, sigma_tot)
 }
 
 /// The legacy single-threaded sweep: nodes in index order, neighbor scans
 /// against the live community assignment.
-fn one_level_serial(g: &WeightedGraph, resolution: f64) -> LevelOutcome {
+fn one_level_serial(g: &WeightedGraph, resolution: f64, seed: Option<Vec<usize>>) -> LevelOutcome {
     let n = g.node_count();
     let m = g.total_weight();
-    let mut comm: Vec<usize> = (0..n).collect();
     if m == 0.0 {
+        let comm = seed.unwrap_or_else(|| (0..n).collect());
         return LevelOutcome { comm, improved: false, sweeps: 0, moves: 0 };
     }
     let k: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
-    let mut sigma_tot: Vec<f64> = k.clone();
+    let (mut comm, mut sigma_tot) = level_start(n, &k, seed);
     let two_m = 2.0 * m;
     let (mut sweeps, mut moves) = (0u64, 0u64);
 
@@ -434,15 +521,20 @@ fn one_level_serial(g: &WeightedGraph, resolution: f64) -> LevelOutcome {
 ///    [`apply_best_move`] arithmetic. A run member's weights cannot be
 ///    invalidated by the other members — they are not adjacent — so the
 ///    state each node sees is exactly the serial sweep's.
-fn one_level_parallel(g: &WeightedGraph, resolution: f64, par: Parallelism) -> LevelOutcome {
+fn one_level_parallel(
+    g: &WeightedGraph,
+    resolution: f64,
+    par: Parallelism,
+    seed: Option<Vec<usize>>,
+) -> LevelOutcome {
     let n = g.node_count();
     let m = g.total_weight();
-    let mut comm: Vec<usize> = (0..n).collect();
     if m == 0.0 {
+        let comm = seed.unwrap_or_else(|| (0..n).collect());
         return LevelOutcome { comm, improved: false, sweeps: 0, moves: 0 };
     }
     let k: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
-    let mut sigma_tot: Vec<f64> = k.clone();
+    let (mut comm, mut sigma_tot) = level_start(n, &k, seed);
     let two_m = 2.0 * m;
     let (mut sweeps, mut moves) = (0u64, 0u64);
 
@@ -475,7 +567,9 @@ fn one_level_parallel(g: &WeightedGraph, resolution: f64, par: Parallelism) -> L
                 }
             }
             for u in run.clone() {
-                let to_comm = cache[u].take().expect("refreshed above");
+                let Some(to_comm) = cache[u].take() else {
+                    continue; // refreshed above; a miss would just skip the node this sweep
+                };
                 if apply_best_move(u, &to_comm, &mut comm, &mut sigma_tot, &k, resolution, two_m) {
                     moved = true;
                     moves += 1;
@@ -816,6 +910,90 @@ mod tests {
         let hier = hierarchical_louvain(&g, cfg);
         assert_eq!(flat.levels, 3);
         assert_eq!(hier.levels, flat.levels + 1, "one splitting pass ⇒ one extra level");
+    }
+
+    #[test]
+    fn seeded_with_own_labels_converges_immediately() {
+        for g in [two_cliques(), nested_cliques(), triangle_ring(10)] {
+            let fresh = louvain(&g);
+            let seeded = louvain_seeded_with(&g, 1.0, Parallelism::serial(), &fresh.labels);
+            assert_eq!(seeded.labels, fresh.labels, "optimum seed must be kept");
+            assert_eq!(seeded.modularity.to_bits(), fresh.modularity.to_bits());
+            assert_eq!(seeded.levels, 1, "converged seed ⇒ one move-free level");
+        }
+    }
+
+    #[test]
+    fn seeded_parallel_matches_seeded_serial() {
+        for g in [two_cliques(), nested_cliques(), triangle_ring(10)] {
+            let fresh = louvain(&g);
+            // Perturb the seed: displace a few nodes into the wrong community.
+            let mut seed = fresh.labels.clone();
+            for i in (0..seed.len()).step_by(5) {
+                seed[i] = (seed[i] + 1) % (fresh.labels.iter().max().unwrap() + 1);
+            }
+            let serial = louvain_seeded_with(&g, 1.0, Parallelism::serial(), &seed);
+            for workers in [2usize, 3, 8] {
+                let p = louvain_seeded_with(&g, 1.0, Parallelism::new(workers), &seed);
+                assert_eq!(p.labels, serial.labels, "{workers} workers");
+                assert_eq!(p.modularity.to_bits(), serial.modularity.to_bits());
+                assert_eq!(p.levels, serial.levels);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_recovers_from_perturbed_seed() {
+        // A mildly wrong seed (one node displaced per clique) must converge
+        // back to the fixture optimum.
+        let g = two_cliques();
+        let fresh = louvain(&g);
+        let mut seed = fresh.labels.clone();
+        seed[0] = 1;
+        seed[4] = 0;
+        let seeded = louvain_seeded_with(&g, 1.0, Parallelism::serial(), &seed);
+        assert_eq!(seeded.labels, fresh.labels);
+        assert_eq!(seeded.modularity.to_bits(), fresh.modularity.to_bits());
+    }
+
+    /// Regression (satellite of the incremental-maintenance PR): the seeded
+    /// hierarchical path must keep the PR 3 semantics — a refinement pass
+    /// that splits nothing adds no level — when seeding from a prior
+    /// partition.
+    #[test]
+    fn hierarchical_seeded_levels_count_only_splitting_passes() {
+        // Nested cliques: the seed IS the optimum, the seeded base run
+        // converges in one move-free level, and no refinement pass splits.
+        // levels must be exactly 1 — a regression re-counting non-splitting
+        // passes would report 2.
+        let g = nested_cliques();
+        let fresh = hierarchical_louvain(&g, HierarchicalConfig::default());
+        let seeded = hierarchical_louvain_seeded_with(
+            &g,
+            HierarchicalConfig::default(),
+            Parallelism::serial(),
+            &fresh.labels,
+        );
+        assert_eq!(seeded.labels, fresh.labels);
+        assert_eq!(seeded.levels, 1, "one seeded base level, zero splitting passes");
+
+        // Triangle ring: seeding from the refined 10-community partition.
+        // The base run may re-merge (flat optimum is coarser), then exactly
+        // one refinement pass re-splits; the final labels must match the
+        // fresh hierarchy and levels must stay consistent across worker
+        // counts.
+        let g = triangle_ring(10);
+        let cfg = HierarchicalConfig { min_split_size: 3, ..Default::default() };
+        let fresh = hierarchical_louvain(&g, cfg);
+        let serial =
+            hierarchical_louvain_seeded_with(&g, cfg, Parallelism::serial(), &fresh.labels);
+        assert_eq!(serial.labels, fresh.labels, "seeded hierarchy reaches the same partition");
+        for workers in [2usize, 4] {
+            let p =
+                hierarchical_louvain_seeded_with(&g, cfg, Parallelism::new(workers), &fresh.labels);
+            assert_eq!(p.labels, serial.labels, "{workers} workers");
+            assert_eq!(p.levels, serial.levels, "{workers} workers");
+        }
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! to each other — which is exactly wrong for roles, since two front-end
 //! replicas may never exchange a byte.
 
-use crate::jaccard::{jaccard_matrix_of_sets_with, MinHasher};
-use crate::louvain::{hierarchical_louvain_with, louvain_with, HierarchicalConfig, LouvainResult};
+use crate::jaccard::{jaccard_incremental_with, jaccard_matrix_of_sets_with, MinHasher};
+use crate::louvain::{
+    hierarchical_louvain_seeded_with, hierarchical_louvain_with, louvain_with, HierarchicalConfig,
+    LouvainResult,
+};
 use crate::simrank::{simrank_pp_with, simrank_with, SimRankConfig};
 use crate::wgraph::WeightedGraph;
-use commgraph_graph::CommGraph;
+use commgraph_graph::{CommGraph, NodeId};
 use linalg::par::Parallelism;
+use linalg::sym::SymMatrix;
 use obs::Obs;
 use serde::Serialize;
 
@@ -276,6 +280,108 @@ pub fn infer_roles_obs(
     }
 }
 
+/// Carry-over state for incremental role inference across consecutive
+/// windows: the previous window's similarity matrix, inferred labels, and
+/// node order. Produced and consumed by [`infer_roles_incremental_obs`].
+#[derive(Debug, Clone)]
+pub struct RoleMemo {
+    /// Similarity matrix of the previous window, in its node order.
+    pub scores: SymMatrix,
+    /// Inferred role label per previous-window node.
+    pub labels: Vec<usize>,
+    /// The previous window's nodes, sorted (graph node order).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Incremental variant of the paper's Jaccard+Louvain role inference:
+/// similarity rows are recomputed only for `dirty` nodes (clean pairs are
+/// copied from the memo's matrix — bit-exact, see
+/// [`jaccard_incremental_with`]), and the hierarchical Louvain base run is
+/// seeded from the previous window's partition
+/// ([`hierarchical_louvain_seeded_with`]).
+///
+/// `dirty` is the sorted dirty-node set from `commgraph_graph::diff`
+/// between the memo's window and `g`. With `memo == None` (first window)
+/// the computation is a plain full run. Returns the inference plus the memo
+/// for the next window.
+///
+/// On a converged steady-state window the seeded clustering lands on the
+/// same partition as a fresh run, and identical partitions compact to
+/// identical label vectors — so labels and modularity match the
+/// full-rebuild oracle bit-for-bit (asserted by the pipeline equivalence
+/// tests at every window).
+pub fn infer_roles_incremental_obs(
+    g: &CommGraph,
+    dirty: &[NodeId],
+    memo: Option<&RoleMemo>,
+    min_score: f64,
+    parallelism: Parallelism,
+    o: &Obs,
+) -> (RoleInference, RoleMemo) {
+    let n = g.node_count();
+    let hier = HierarchicalConfig::default();
+    let (scores, seed) = match memo {
+        None => {
+            let scores = {
+                let _span = o.stage_span("similarity");
+                jaccard_matrix_of_sets_with(&directional_neighbor_sets(g), parallelism)
+            };
+            (scores, None)
+        }
+        Some(memo) => {
+            let _span = o.stage_span("similarity");
+            let prev_index: Vec<Option<usize>> =
+                g.nodes().iter().map(|id| memo.nodes.binary_search(id).ok()).collect();
+            let dirty_flags: Vec<bool> =
+                g.nodes().iter().map(|id| dirty.binary_search(id).is_ok()).collect();
+            let sets = directional_neighbor_sets(g);
+            let scores = jaccard_incremental_with(
+                &sets,
+                &dirty_flags,
+                &memo.scores,
+                &prev_index,
+                parallelism,
+            );
+            // Seed each persisting node with its previous role; fresh nodes
+            // get fresh singleton labels.
+            let mut next = memo.labels.iter().copied().max().map_or(0, |m| m + 1);
+            let seed: Vec<usize> = prev_index
+                .iter()
+                .map(|pi| match pi {
+                    Some(pi) => memo.labels[*pi],
+                    None => {
+                        let l = next;
+                        next += 1;
+                        l
+                    }
+                })
+                .collect();
+            (scores, Some(seed))
+        }
+    };
+    let result = {
+        let mut span = o.stage_span("cluster");
+        if span.trace_enabled() {
+            span.trace_attr("method", "jaccard+louvain/incremental");
+        }
+        let clique = WeightedGraph::from_similarity(&scores, min_score);
+        match &seed {
+            Some(seed) => hierarchical_louvain_seeded_with(&clique, hier, parallelism, seed),
+            None => hierarchical_louvain_with(&clique, hier, parallelism),
+        }
+    };
+    let n_roles = result.labels.iter().copied().max().map_or(0, |m| m + 1);
+    debug_assert_eq!(result.labels.len(), n);
+    let memo = RoleMemo { scores, labels: result.labels.clone(), nodes: g.nodes().to_vec() };
+    let inference = RoleInference {
+        labels: result.labels,
+        n_roles,
+        method: "jaccard+louvain".to_string(),
+        clustering_modularity: result.modularity,
+    };
+    (inference, memo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +499,69 @@ mod tests {
         let r = infer_roles(&g, &SegmentationMethod::paper_default());
         assert!(r.labels.is_empty());
         assert_eq!(r.n_roles, 0);
+    }
+
+    /// The churned second window of [`three_tier`]: one frontend↔backend
+    /// conversation changes volume, one frontend is added, one DB removed.
+    fn three_tier_churned() -> CommGraph {
+        let mut edges = HashMap::new();
+        let node = |tier: u8, i: u8| NodeId::Ip(Ipv4Addr::new(10, 0, tier, i));
+        let stats = |bytes: u64| EdgeStats {
+            bytes_fwd: bytes,
+            bytes_rev: bytes / 4,
+            pkts_fwd: bytes / 1000,
+            pkts_rev: bytes / 4000,
+            conns: 10,
+        };
+        for f in 0..5u8 {
+            for b in 0..3u8 {
+                let bytes = if f == 0 && b == 0 { 250_000 } else { 100_000 };
+                edges.insert((node(0, f), node(1, b)), stats(bytes));
+            }
+        }
+        for b in 0..3u8 {
+            edges.insert((node(1, b), node(2, 0)), stats(500_000));
+        }
+        CommGraph::from_edge_map("ip", 3600, 7200, edges)
+    }
+
+    #[test]
+    fn incremental_inference_matches_full_rebuild_oracle() {
+        let (g1, _) = three_tier();
+        let g2 = three_tier_churned();
+        let dirty = commgraph_graph::diff::dirty_nodes(&g1, &g2);
+        assert!(!dirty.is_empty() && dirty.len() < g2.node_count() + 1);
+        let method = SegmentationMethod::paper_default();
+        for workers in [1, 2, 8] {
+            let p = Parallelism::new(workers);
+            let o = Obs::noop();
+            // First window: no memo — plain full run.
+            let (r1, memo) = infer_roles_incremental_obs(&g1, &[], None, 0.1, p, &o);
+            let full1 = infer_roles_with(&g1, &method, p);
+            assert_eq!(r1.labels, full1.labels, "first window, {workers} workers");
+            assert_eq!(r1.clustering_modularity, full1.clustering_modularity);
+            // Second window: dirty-set recompute + seeded clustering must
+            // reproduce the full rebuild bit-for-bit.
+            let (r2, memo2) = infer_roles_incremental_obs(&g2, &dirty, Some(&memo), 0.1, p, &o);
+            let full2 = infer_roles_with(&g2, &method, p);
+            assert_eq!(r2.labels, full2.labels, "second window, {workers} workers");
+            assert_eq!(r2.n_roles, full2.n_roles);
+            assert_eq!(r2.clustering_modularity, full2.clustering_modularity);
+            // The memo's matrix must equal a from-scratch similarity matrix.
+            let fresh = jaccard_matrix_of_sets_with(&directional_neighbor_sets(&g2), p);
+            assert_eq!(memo2.scores, fresh, "incremental scores drifted, {workers} workers");
+        }
+    }
+
+    #[test]
+    fn incremental_inference_is_stable_under_no_churn() {
+        let (g, _) = three_tier();
+        let p = Parallelism::new(2);
+        let o = Obs::noop();
+        let (r1, memo) = infer_roles_incremental_obs(&g, &[], None, 0.1, p, &o);
+        // Same graph again, empty dirty set: everything reused, labels fixed.
+        let (r2, _) = infer_roles_incremental_obs(&g, &[], Some(&memo), 0.1, p, &o);
+        assert_eq!(r1.labels, r2.labels);
+        assert_eq!(r1.clustering_modularity, r2.clustering_modularity);
     }
 }

@@ -268,13 +268,11 @@ impl StreamEngine {
         windows.sort_unstable();
         let graphs: Vec<CommGraph> = windows
             .into_iter()
-            .map(|w| {
-                CommGraph::from_edge_map(
-                    self.cfg.facet.name(),
-                    w,
-                    self.cfg.window_len,
-                    per_window.remove(&w).expect("key from map"),
-                )
+            .filter_map(|w| {
+                // The window list came from this map's keys, so the lookup
+                // always hits; a miss would just skip the window.
+                let edges = per_window.remove(&w)?;
+                Some(CommGraph::from_edge_map(self.cfg.facet.name(), w, self.cfg.window_len, edges))
             })
             .collect();
         let stats = EngineStats {

@@ -10,6 +10,9 @@
 //!   [`commgraph_graph::CommGraph`] snapshots. Sharding by edge key makes
 //!   worker state disjoint, so the merge is trivial and the result is
 //!   bit-identical to a single-threaded build.
+//! * [`sharded`] — the multi-subscription front door: subscription ids
+//!   hash onto shard slots, each subscription gets an isolated [`engine`]
+//!   instance, and finish merges shard outputs deterministically.
 //! * [`sketch`] — SpaceSaving heavy-hitter tracking, the streaming
 //!   counterpart of the offline collapse threshold.
 //! * [`countmin`] — Count-Min point estimates for arbitrary edges in fixed
@@ -27,10 +30,12 @@ pub mod countmin;
 pub mod engine;
 pub mod error;
 pub mod memory;
+pub mod sharded;
 pub mod sketch;
 
 pub use cogs::{CogsModel, CogsReport};
 pub use countmin::CountMin;
 pub use engine::{EngineConfig, EngineStats, StreamEngine};
 pub use error::{Error, Result};
+pub use sharded::{ShardedConfig, ShardedEngine, ShardedStats, SubscriptionReport};
 pub use sketch::SpaceSaving;

@@ -1,0 +1,330 @@
+//! Multi-subscription front door: hash-sharded per-subscription engines.
+//!
+//! A provider-side deployment watches many subscriptions at once, and the
+//! paper's COGS argument (§3.2) only holds if one analytics tier can serve
+//! all of them. [`ShardedEngine`] is that front door: records arrive tagged
+//! with their subscription id, the id hashes onto one of `shards` shard
+//! slots, and each subscription gets its own [`StreamEngine`] inside its
+//! shard. Sharding is therefore two-level — by subscription id across
+//! shards, then by canonical flow key across the engine's workers — which
+//! keeps every subscription's graph state fully isolated (a hard tenancy
+//! requirement) while still parallelizing within a busy subscription.
+//!
+//! Determinism contract: [`ShardedEngine::finish`] walks shards and their
+//! `BTreeMap`-ordered subscriptions, then emits per-subscription reports
+//! sorted by subscription id. The output is bit-identical for any shard
+//! count, and the merged cross-shard totals are plain sums of per-engine
+//! stats, so shard count is a throughput knob, never a semantics knob.
+
+use crate::engine::{EngineConfig, EngineStats, StreamEngine};
+use crate::error::{Error, Result};
+use commgraph_graph::cardinality::hash64;
+use commgraph_graph::CommGraph;
+use flowlog::record::ConnSummary;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Configuration of the multi-subscription front door.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Shard slots to spread subscriptions over (≥ 1). Each slot holds the
+    /// engines of the subscriptions that hash to it.
+    pub shards: usize,
+    /// Template applied to every per-subscription [`StreamEngine`]. Its
+    /// `workers` field controls flow-key sharding *within* a subscription.
+    pub engine: EngineConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig { shards: 2, engine: EngineConfig::default() }
+    }
+}
+
+/// Everything one subscription produced: its windowed graphs and the stats
+/// of the engine that built them.
+#[derive(Debug)]
+pub struct SubscriptionReport {
+    /// The subscription id records were ingested under.
+    pub subscription: String,
+    /// One graph per closed window, in time order.
+    pub graphs: Vec<CommGraph>,
+    /// The per-subscription engine's counters.
+    pub stats: EngineStats,
+}
+
+/// Cross-shard totals, merged deterministically at finish.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ShardedStats {
+    /// Distinct subscriptions that ingested at least one batch.
+    pub subscriptions: usize,
+    /// Shard slots configured.
+    pub shards: usize,
+    /// Sum of per-subscription `records_in`.
+    pub records_in: u64,
+    /// Sum of per-subscription `records_kept`.
+    pub records_kept: u64,
+    /// Sum of per-subscription distinct edge entries — the memory driver
+    /// across the whole tier.
+    pub edge_entries: usize,
+    /// Subscriptions resident in each shard slot, by slot index — the
+    /// balance picture (`hash64(subscription) % shards`).
+    pub per_shard_subscriptions: Vec<usize>,
+}
+
+/// The running multi-subscription engine. Create, `ingest` batches tagged
+/// with their subscription, then `finish` for per-subscription reports plus
+/// merged totals.
+pub struct ShardedEngine {
+    cfg: ShardedConfig,
+    shards: Vec<BTreeMap<String, StreamEngine>>,
+}
+
+impl ShardedEngine {
+    /// Validate the config and set up empty shard slots. Per-subscription
+    /// engines spawn lazily on the first batch for their subscription.
+    pub fn new(cfg: ShardedConfig) -> Result<Self> {
+        if cfg.shards == 0 {
+            return Err(Error::InvalidConfig("need at least one shard".into()));
+        }
+        // Fail template errors at the front door, not on first ingest.
+        if cfg.engine.workers == 0 {
+            return Err(Error::InvalidConfig("engine template needs at least one worker".into()));
+        }
+        if cfg.engine.window_len == 0 {
+            return Err(Error::InvalidConfig(
+                "engine template window length must be positive".into(),
+            ));
+        }
+        let shards = (0..cfg.shards).map(|_| BTreeMap::new()).collect();
+        Ok(ShardedEngine { cfg, shards })
+    }
+
+    /// The shard slot a subscription lives in.
+    fn slot(&self, subscription: &str) -> usize {
+        (hash64(&subscription) % self.shards.len() as u64) as usize
+    }
+
+    /// Offer a batch on behalf of `subscription`, spawning its engine on
+    /// first contact. Blocks under that engine's backpressure only — other
+    /// subscriptions are unaffected.
+    pub fn ingest(&mut self, subscription: &str, records: &[ConnSummary]) -> Result<()> {
+        let slot = self.slot(subscription);
+        let shard = &mut self.shards[slot];
+        if !shard.contains_key(subscription) {
+            let engine = StreamEngine::new(self.cfg.engine.clone())?;
+            shard.insert(subscription.to_string(), engine);
+        }
+        match shard.get_mut(subscription) {
+            Some(engine) => engine.ingest(records),
+            None => Err(Error::WorkerFailed("subscription engine vanished".into())),
+        }
+    }
+
+    /// Subscriptions currently resident, across all shards.
+    pub fn subscription_count(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Drain every per-subscription engine and merge.
+    ///
+    /// Reports come back sorted by subscription id regardless of which
+    /// shard held them, and the merged stats are order-independent sums —
+    /// the deterministic shard-merge contract.
+    pub fn finish(self) -> Result<(Vec<SubscriptionReport>, ShardedStats)> {
+        let mut per_shard_subscriptions = Vec::with_capacity(self.shards.len());
+        let mut merged: BTreeMap<String, SubscriptionReport> = BTreeMap::new();
+        for shard in self.shards {
+            per_shard_subscriptions.push(shard.len());
+            for (subscription, engine) in shard {
+                let (graphs, stats) = engine.finish()?;
+                merged.insert(
+                    subscription.clone(),
+                    SubscriptionReport { subscription, graphs, stats },
+                );
+            }
+        }
+        let stats = ShardedStats {
+            subscriptions: merged.len(),
+            shards: per_shard_subscriptions.len(),
+            records_in: merged.values().map(|r| r.stats.records_in).sum(),
+            records_kept: merged.values().map(|r| r.stats.records_kept).sum(),
+            edge_entries: merged.values().map(|r| r.stats.edge_entries).sum(),
+            per_shard_subscriptions,
+        };
+        Ok((merged.into_values().collect(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commgraph_graph::{EdgeStats, NodeId};
+    use flowlog::record::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn records(seed: u8, n: u32) -> Vec<ConnSummary> {
+        (0..n)
+            .map(|i| ConnSummary {
+                ts: (i as u64 % 120) * 60,
+                key: FlowKey::tcp(
+                    Ipv4Addr::new(10, seed, (i % 5) as u8, 1),
+                    (40_000 + i % 900) as u16,
+                    Ipv4Addr::new(10, seed, 9, (i % 7) as u8 + 1),
+                    443,
+                ),
+                pkts_sent: 2,
+                pkts_rcvd: 1,
+                bytes_sent: 100 + i as u64,
+                bytes_rcvd: 50,
+            })
+            .collect()
+    }
+
+    /// Per-window structural identity: window start, nodes, sorted edges.
+    type Fingerprint = Vec<(u64, Vec<NodeId>, Vec<(u32, u32, EdgeStats)>)>;
+
+    /// Full structural fingerprint: windows, nodes, and every edge's stats.
+    fn fingerprint(graphs: &[CommGraph]) -> Fingerprint {
+        graphs
+            .iter()
+            .map(|g| {
+                let mut edges = Vec::new();
+                for i in 0..g.node_count() as u32 {
+                    for (j, st) in g.neighbors(i) {
+                        if i <= *j {
+                            edges.push((i, *j, *st));
+                        }
+                    }
+                }
+                edges.sort_by_key(|&(i, j, _)| (i, j));
+                (g.window_start(), g.nodes().to_vec(), edges)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_count_never_changes_per_subscription_output() {
+        let subs: Vec<(String, Vec<ConnSummary>)> =
+            (0..5u8).map(|s| (format!("sub-{s}"), records(s, 1500 + 100 * s as u32))).collect();
+
+        // Reference: one direct engine per subscription.
+        let mut reference = BTreeMap::new();
+        for (name, recs) in &subs {
+            let mut e = StreamEngine::new(EngineConfig::default()).unwrap();
+            e.ingest(recs).unwrap();
+            let (graphs, stats) = e.finish().unwrap();
+            reference.insert(name.clone(), (fingerprint(&graphs), stats));
+        }
+
+        for shards in [1, 2, 4] {
+            let mut front =
+                ShardedEngine::new(ShardedConfig { shards, engine: EngineConfig::default() })
+                    .unwrap();
+            // Interleave batches across subscriptions to exercise routing.
+            let longest = subs.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+            for chunk_start in (0..longest).step_by(300) {
+                for (name, recs) in &subs {
+                    let end = (chunk_start + 300).min(recs.len());
+                    if chunk_start < end {
+                        front.ingest(name, &recs[chunk_start..end]).unwrap();
+                    }
+                }
+            }
+            assert_eq!(front.subscription_count(), subs.len());
+            let (reports, merged) = front.finish().unwrap();
+
+            // Deterministic order: sorted by subscription id.
+            let names: Vec<&str> = reports.iter().map(|r| r.subscription.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "{shards} shards");
+
+            assert_eq!(reports.len(), subs.len());
+            for report in &reports {
+                let (ref_fp, ref_stats) = &reference[&report.subscription];
+                assert_eq!(
+                    &fingerprint(&report.graphs),
+                    ref_fp,
+                    "{} at {shards} shards",
+                    report.subscription
+                );
+                assert_eq!(report.stats.records_in, ref_stats.records_in);
+                assert_eq!(report.stats.records_kept, ref_stats.records_kept);
+                assert_eq!(report.stats.edge_entries, ref_stats.edge_entries);
+            }
+
+            assert_eq!(merged.shards, shards);
+            assert_eq!(merged.subscriptions, subs.len());
+            assert_eq!(
+                merged.records_in,
+                reference.values().map(|(_, s)| s.records_in).sum::<u64>()
+            );
+            assert_eq!(
+                merged.edge_entries,
+                reference.values().map(|(_, s)| s.edge_entries).sum::<usize>()
+            );
+            assert_eq!(merged.per_shard_subscriptions.len(), shards);
+            assert_eq!(merged.per_shard_subscriptions.iter().sum::<usize>(), subs.len());
+        }
+    }
+
+    #[test]
+    fn subscriptions_are_isolated() {
+        let mut front = ShardedEngine::new(ShardedConfig::default()).unwrap();
+        front.ingest("tenant-a", &records(1, 400)).unwrap();
+        front.ingest("tenant-b", &records(2, 700)).unwrap();
+        let (reports, _) = front.finish().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].subscription, "tenant-a");
+        assert_eq!(reports[0].stats.records_in, 400);
+        assert_eq!(reports[1].stats.records_in, 700);
+        // No address leaks across subscriptions: the 10.1/10.2 prefixes
+        // stay in their own graphs.
+        for (report, octet) in reports.iter().zip([1u8, 2u8]) {
+            for g in &report.graphs {
+                for node in g.nodes() {
+                    if let NodeId::Ip(ip) = node {
+                        assert_eq!(ip.octets()[1], octet, "{}", report.subscription);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_batches_accumulate_in_one_engine() {
+        let mut front = ShardedEngine::new(ShardedConfig::default()).unwrap();
+        let recs = records(3, 600);
+        for chunk in recs.chunks(100) {
+            front.ingest("sub", chunk).unwrap();
+        }
+        assert_eq!(front.subscription_count(), 1);
+        let (reports, merged) = front.finish().unwrap();
+        assert_eq!(reports[0].stats.records_in, 600);
+        assert_eq!(merged.records_in, 600);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ShardedEngine::new(ShardedConfig { shards: 0, ..Default::default() }).is_err());
+        let bad_template =
+            ShardedConfig { shards: 2, engine: EngineConfig { workers: 0, ..Default::default() } };
+        assert!(ShardedEngine::new(bad_template).is_err());
+        let bad_window = ShardedConfig {
+            shards: 2,
+            engine: EngineConfig { window_len: 0, ..Default::default() },
+        };
+        assert!(ShardedEngine::new(bad_window).is_err());
+    }
+
+    #[test]
+    fn empty_front_door_finishes_clean() {
+        let front = ShardedEngine::new(ShardedConfig::default()).unwrap();
+        let (reports, merged) = front.finish().unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(merged.subscriptions, 0);
+        assert_eq!(merged.records_in, 0);
+        assert_eq!(merged.per_shard_subscriptions, vec![0, 0]);
+    }
+}

@@ -3,7 +3,8 @@
 use analytics::countmin::CountMin;
 use analytics::engine::{EngineConfig, StreamEngine};
 use analytics::sketch::SpaceSaving;
-use commgraph_graph::{Facet, GraphBuilder};
+use commgraph_graph::diff::dirty_nodes;
+use commgraph_graph::{CommGraph, EdgeStats, Facet, GraphBuilder, NodeId};
 use flowlog::record::{ConnSummary, FlowKey};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -32,8 +33,125 @@ fn arb_records() -> impl Strategy<Value = Vec<ConnSummary>> {
     )
 }
 
+/// Build one single-window graph (window 0, one hour) from `records` with a
+/// `StreamEngine` at `workers` threads. An empty stream yields the empty
+/// graph, matching what a fresh build over no records means.
+fn engine_graph(records: &[ConnSummary], workers: usize) -> CommGraph {
+    let mut e = StreamEngine::new(EngineConfig {
+        workers,
+        facet: Facet::Ip,
+        window_len: 3600,
+        ..Default::default()
+    })
+    .expect("valid");
+    for batch in records.chunks(64) {
+        e.ingest(batch).expect("ingest");
+    }
+    let (mut graphs, _) = e.finish().expect("drain");
+    match graphs.pop() {
+        Some(g) => g,
+        None => CommGraph::from_edge_map("ip", 0, 3600, HashMap::new()),
+    }
+}
+
+/// Full (NodeId, NodeId) → EdgeStats map of a graph.
+fn edge_map(g: &CommGraph) -> HashMap<(NodeId, NodeId), EdgeStats> {
+    let mut out = HashMap::new();
+    for i in 0..g.node_count() as u32 {
+        for (j, stats) in g.neighbors(i) {
+            if *j >= i {
+                out.insert((g.node(i), g.node(*j)), *stats);
+            }
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The dirty-set contract behind incremental window maintenance, over
+    /// random churn sequences: applying the next window's adjacency for
+    /// *dirty* nodes onto the previous graph — and keeping clean nodes'
+    /// adjacency verbatim — reconstructs the fresh build exactly. Verified
+    /// with graphs built at 1, 2, and NCPU engine workers, which must all
+    /// agree on the graphs and therefore the dirty set.
+    #[test]
+    fn dirty_set_reconstructs_fresh_build_under_churn(
+        base in arb_records(),
+        keep in prop::collection::vec(any::<bool>(), 150),
+        bumps in prop::collection::vec((0usize..150, 1u64..50_000), 0..10),
+        added in arb_records(),
+    ) {
+        // Fold every record into the single hour the helper builds.
+        let mut base = base;
+        let mut added = added;
+        for r in base.iter_mut().chain(added.iter_mut()) {
+            r.ts %= 3600;
+        }
+        // A two-step churn sequence: window 0 → drop/bump → window 1 → add.
+        let step1: Vec<ConnSummary> = {
+            let mut out: Vec<ConnSummary> = base
+                .iter()
+                .zip(keep.iter().cycle())
+                .filter(|(_, &k)| k)
+                .map(|(r, _)| *r)
+                .collect();
+            let len = out.len().max(1);
+            for &(idx, extra) in &bumps {
+                if let Some(r) = out.get_mut(idx % len) {
+                    r.bytes_sent += extra;
+                }
+            }
+            out
+        };
+        let step2: Vec<ConnSummary> =
+            step1.iter().chain(added.iter()).copied().collect();
+        let windows = [base, step1, step2];
+
+        let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut worker_counts = vec![1, 2, ncpu];
+        worker_counts.dedup();
+
+        for pair in windows.windows(2) {
+            let mut dirty_across_workers: Option<Vec<NodeId>> = None;
+            for &workers in &worker_counts {
+                let prev = engine_graph(&pair[0], workers);
+                let cur = engine_graph(&pair[1], workers);
+                let dirty = dirty_nodes(&prev, &cur);
+
+                // Worker count never changes the graphs, so never the dirty set.
+                match &dirty_across_workers {
+                    None => dirty_across_workers = Some(dirty.clone()),
+                    Some(d) => prop_assert_eq!(&dirty, d, "{} workers", workers),
+                }
+
+                // Delta-apply: clean-clean edges come from the previous
+                // graph, anything touching a dirty node from the current.
+                let is_dirty = |n: &NodeId| dirty.binary_search(n).is_ok();
+                let mut rebuilt = HashMap::new();
+                for (k, v) in edge_map(&prev) {
+                    if !is_dirty(&k.0) && !is_dirty(&k.1) {
+                        rebuilt.insert(k, v);
+                    }
+                }
+                for (k, v) in edge_map(&cur) {
+                    if is_dirty(&k.0) || is_dirty(&k.1) {
+                        rebuilt.insert(k, v);
+                    }
+                }
+                prop_assert_eq!(rebuilt, edge_map(&cur), "delta-applied dirty set == fresh build");
+
+                // The clean node set carries over: nodes(cur) is exactly
+                // nodes(prev) minus dirty plus dirty nodes still present.
+                for n in prev.nodes() {
+                    if !is_dirty(n) {
+                        prop_assert!(cur.index_of(n).is_some(), "clean node {} persists", n);
+                    }
+                }
+            }
+        }
+    }
 
     /// The parallel engine produces exactly the single-threaded result for
     /// any record stream, any worker count, any batch size.

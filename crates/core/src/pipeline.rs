@@ -4,16 +4,21 @@
 //! that tracks record rates (Table 1's records/minute column) and hands back
 //! a validated [`commgraph_graph::series::GraphSequence`].
 
+use algos::roles::{
+    infer_roles_incremental_obs, infer_roles_obs, RoleInference, RoleMemo, SegmentationMethod,
+};
 use commgraph_graph::builder::WindowedBuilder;
 use commgraph_graph::series::GraphSequence;
-use commgraph_graph::{Facet, Result as GraphResult};
+use commgraph_graph::{CommGraph, Facet, NodeId, Result as GraphResult};
 use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
 use linalg::Parallelism;
 use obs::Obs;
+use segment::{SegmentPolicy, Segmentation};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +37,13 @@ pub struct PipelineConfig {
     /// shared `commgraph_stage_seconds{stage="ingest"}` family. The default
     /// noop handle makes instrumentation cost one branch.
     pub obs: Obs,
+    /// Maintain windows incrementally (default): track per-window dirty
+    /// sets in the builder so downstream analyses ([`WindowAnalyzer`]) can
+    /// reuse previous-window state, and report dirty-set sizes on
+    /// `commgraph_window_dirty_nodes`. Turning this off restores the
+    /// full-rebuild behavior — the oracle the incremental path is verified
+    /// against.
+    pub incremental: bool,
 }
 
 impl Default for PipelineConfig {
@@ -42,6 +54,7 @@ impl Default for PipelineConfig {
             monitored: None,
             parallelism: Parallelism::default(),
             obs: Obs::noop(),
+            incremental: true,
         }
     }
 }
@@ -51,6 +64,10 @@ impl Default for PipelineConfig {
 pub struct PipelineOutput {
     /// One graph per window, in time order.
     pub sequence: GraphSequence,
+    /// Per-window dirty sets, aligned with `sequence`: the sorted nodes
+    /// whose adjacency changed vs the previous window. Without incremental
+    /// maintenance every window conservatively reports all its nodes dirty.
+    pub dirty_sets: Vec<Vec<NodeId>>,
     /// Records ingested per minute bucket (sorted by minute).
     pub records_per_minute: Vec<(u64, u64)>,
     /// Total records ingested.
@@ -102,11 +119,17 @@ struct PipelineMetrics {
     watermark: obs::Gauge,
     roll_lag: obs::Histogram,
     late: obs::Counter,
+    dirty_nodes: obs::Histogram,
 }
 
 impl PipelineMetrics {
     fn resolve(o: &Obs) -> PipelineMetrics {
         PipelineMetrics {
+            dirty_nodes: o.histogram(
+                "commgraph_window_dirty_nodes",
+                "Dirty-set size per rolled window (nodes whose adjacency changed since the previous window).",
+                &[("source", "pipeline")],
+            ),
             watermark: o.gauge(
                 "commgraph_ingest_watermark_seconds",
                 "High-water record timestamp (seconds since trace start) seen by an ingest path.",
@@ -141,6 +164,7 @@ pub struct Pipeline {
     parallelism: Parallelism,
     obs: Obs,
     metrics: PipelineMetrics,
+    incremental: bool,
 }
 
 impl Pipeline {
@@ -149,6 +173,9 @@ impl Pipeline {
         let mut builder = WindowedBuilder::new(cfg.facet, cfg.window_len);
         if let Some(m) = cfg.monitored {
             builder = builder.with_monitored(m);
+        }
+        if cfg.incremental {
+            builder = builder.with_dirty_tracking();
         }
         let metrics = PipelineMetrics::resolve(&cfg.obs);
         Pipeline {
@@ -161,6 +188,7 @@ impl Pipeline {
             parallelism: cfg.parallelism,
             obs: cfg.obs,
             metrics,
+            incremental: cfg.incremental,
         }
     }
 
@@ -200,7 +228,13 @@ impl Pipeline {
     /// Close the stream and produce the graph sequence.
     pub fn finish(self) -> GraphResult<PipelineOutput> {
         let mut tspan = self.obs.trace_span("pipeline_finish");
-        let graphs = self.builder.finish();
+        let with_dirty = self.builder.finish_with_dirty();
+        if self.incremental {
+            for (_, dirty) in &with_dirty {
+                self.metrics.dirty_nodes.record(dirty.len() as f64);
+            }
+        }
+        let (graphs, dirty_sets): (Vec<_>, Vec<_>) = with_dirty.into_iter().unzip();
         let sequence = GraphSequence::from_graphs(graphs)?;
         let mut records_per_minute: Vec<(u64, u64)> = self.per_minute.into_iter().collect();
         records_per_minute.sort_unstable();
@@ -208,7 +242,186 @@ impl Pipeline {
             tspan.attr("windows", &sequence.len().to_string());
             tspan.attr("total_records", &self.total.to_string());
         }
-        Ok(PipelineOutput { sequence, records_per_minute, total_records: self.total })
+        Ok(PipelineOutput { sequence, dirty_sets, records_per_minute, total_records: self.total })
+    }
+}
+
+/// One window's analysis results (roles → µsegments → policy).
+#[derive(Debug, Clone)]
+pub struct WindowAnalysis {
+    /// Window start timestamp of the analyzed graph.
+    pub window_start: u64,
+    /// Inferred roles.
+    pub roles: RoleInference,
+    /// µsegmentation derived from the roles.
+    pub segmentation: Segmentation,
+    /// Default-deny policy learned from the window's records.
+    pub policy: SegmentPolicy,
+}
+
+/// Per-window analysis driver that exploits the paper's Figure 5
+/// observation — consecutive windows barely differ — by carrying state from
+/// one window to the next: the similarity matrix and partition seed the
+/// next role inference ([`infer_roles_incremental_obs`]), and the previous
+/// segmentation + policy let rule synthesis skip segment pairs whose
+/// membership and traffic did not change
+/// ([`SegmentPolicy::learn_incremental`]).
+///
+/// Feed it consecutive windows (graph, dirty set, records) from a
+/// [`PipelineOutput`] built with `incremental: true`. With
+/// `incremental: false` every window runs the full-rebuild path — the
+/// oracle the incremental results are bit-exact against (same labels,
+/// modularity, and allow rules on every window; asserted by this module's
+/// tests and the bench equivalence checks).
+///
+/// Warm windows record their estimated time saved vs the most recent full
+/// rebuild on `commgraph_incremental_savings_seconds`.
+#[derive(Debug)]
+pub struct WindowAnalyzer {
+    min_score: f64,
+    port_scoped: bool,
+    incremental: bool,
+    monitored: HashSet<Ipv4Addr>,
+    parallelism: Parallelism,
+    obs: Obs,
+    memo: Option<RoleMemo>,
+    prev: Option<(Segmentation, SegmentPolicy)>,
+    last_full_secs: Option<f64>,
+    savings: obs::Histogram,
+}
+
+impl WindowAnalyzer {
+    /// New analyzer over the monitored inventory. Defaults: the paper's
+    /// Jaccard+Louvain method at `min_score` 0.1, port-scoped policies,
+    /// default parallelism, noop observability.
+    pub fn new(monitored: HashSet<Ipv4Addr>, incremental: bool) -> Self {
+        let obs = Obs::noop();
+        let savings = Self::resolve_savings(&obs);
+        WindowAnalyzer {
+            min_score: 0.1,
+            port_scoped: true,
+            incremental,
+            monitored,
+            parallelism: Parallelism::default(),
+            obs,
+            memo: None,
+            prev: None,
+            last_full_secs: None,
+            savings,
+        }
+    }
+
+    fn resolve_savings(o: &Obs) -> obs::Histogram {
+        o.histogram(
+            "commgraph_incremental_savings_seconds",
+            "Estimated per-window seconds saved by incremental maintenance vs the most recent full rebuild.",
+            &[],
+        )
+    }
+
+    /// Override the worker count (builder style).
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Attach an observability handle (builder style): stage spans for
+    /// similarity/cluster/policy plus the incremental-savings histogram.
+    pub fn with_obs(mut self, o: Obs) -> Self {
+        self.savings = Self::resolve_savings(&o);
+        self.obs = o;
+        self
+    }
+
+    /// Override the similarity floor of the role inference (builder style).
+    pub fn with_min_score(mut self, s: f64) -> Self {
+        self.min_score = s;
+        self
+    }
+
+    /// Analyze one window. `dirty` is the window's dirty set from
+    /// [`PipelineOutput::dirty_sets`] and `records` the window's raw
+    /// records (for policy learning). Windows must be fed consecutively —
+    /// a dirty set is only meaningful relative to the immediately
+    /// preceding window.
+    pub fn analyze(
+        &mut self,
+        g: &CommGraph,
+        dirty: &[NodeId],
+        records: &[ConnSummary],
+    ) -> segment::Result<WindowAnalysis> {
+        let t0 = Instant::now();
+        let warm = self.incremental && self.memo.is_some();
+        let (roles, memo) = if self.incremental {
+            let (r, m) = infer_roles_incremental_obs(
+                g,
+                dirty,
+                self.memo.as_ref(),
+                self.min_score,
+                self.parallelism,
+                &self.obs,
+            );
+            (r, Some(m))
+        } else {
+            let method = SegmentationMethod::JaccardLouvain { min_score: self.min_score };
+            (infer_roles_obs(g, &method, self.parallelism, &self.obs), None)
+        };
+        let monitored = &self.monitored;
+        let segmentation = Segmentation::from_inference(g, &roles, |ip| monitored.contains(&ip))?;
+        let policy = {
+            let _span = self.obs.stage_span("policy");
+            match &self.prev {
+                Some((prev_seg, prev_policy)) if warm => {
+                    let dirty_ips: HashSet<Ipv4Addr> =
+                        dirty.iter().filter_map(|n| n.ip()).collect();
+                    SegmentPolicy::learn_incremental(
+                        records,
+                        &segmentation,
+                        prev_seg,
+                        prev_policy,
+                        &dirty_ips,
+                        self.port_scoped,
+                    )
+                }
+                _ => SegmentPolicy::learn(records, &segmentation, self.port_scoped),
+            }
+        };
+        let elapsed = t0.elapsed().as_secs_f64();
+        if warm {
+            if let Some(full) = self.last_full_secs {
+                self.savings.record((full - elapsed).max(0.0));
+            }
+        } else {
+            self.last_full_secs = Some(elapsed);
+        }
+        self.memo = memo;
+        self.prev = Some((segmentation.clone(), policy.clone()));
+        Ok(WindowAnalysis { window_start: g.window_start(), roles, segmentation, policy })
+    }
+
+    /// Analyze every window of a finished pipeline in order, bucketing
+    /// `records` into windows by timestamp.
+    pub fn analyze_output(
+        &mut self,
+        out: &PipelineOutput,
+        records: &[ConnSummary],
+    ) -> segment::Result<Vec<WindowAnalysis>> {
+        let Some(len) = out.sequence.graphs().first().map(|g| g.window_len()) else {
+            return Ok(Vec::new());
+        };
+        let mut buckets: HashMap<u64, Vec<ConnSummary>> = HashMap::new();
+        for r in records {
+            buckets.entry(bucket_start(r.ts, len)).or_default().push(*r);
+        }
+        out.sequence
+            .graphs()
+            .iter()
+            .zip(&out.dirty_sets)
+            .map(|(g, dirty)| {
+                let recs = buckets.get(&g.window_start()).map_or(&[][..], |v| v.as_slice());
+                self.analyze(g, dirty, recs)
+            })
+            .collect()
     }
 }
 
@@ -296,6 +509,142 @@ mod tests {
         assert_eq!(late, 1, "ts 3603 arrived behind the 3607 watermark");
         let out = p.finish().unwrap();
         assert_eq!(out.total_records, 3, "metrics never change what is computed");
+    }
+
+    /// A slowly-churning three-window stream: a stable three-tier core with
+    /// one conversation whose volume changes each window and one node that
+    /// appears only in the last window.
+    fn churn_stream() -> Vec<ConnSummary> {
+        let node = |tier: u8, i: u8| Ipv4Addr::new(10, 0, tier, i);
+        let flow = |ts: u64, a: Ipv4Addr, b: Ipv4Addr, port: u16, bytes: u64| ConnSummary {
+            ts,
+            key: FlowKey::tcp(a, 40_000, b, port),
+            pkts_sent: bytes / 1000,
+            pkts_rcvd: bytes / 4000,
+            bytes_sent: bytes,
+            bytes_rcvd: bytes / 4,
+        };
+        let mut recs = Vec::new();
+        for w in 0..3u64 {
+            let base = w * 3600;
+            for f in 0..3u8 {
+                for b in 0..2u8 {
+                    recs.push(flow(base + 10, node(0, f), node(1, b), 8080, 100_000));
+                }
+            }
+            for b in 0..2u8 {
+                recs.push(flow(base + 20, node(1, b), node(2, 1), 5432, 500_000));
+            }
+            // The churn: frontend 0's volume to backend 0 drifts per window.
+            recs.push(flow(base + 30, node(0, 0), node(1, 0), 8080, 10_000 * (w + 1)));
+            if w == 2 {
+                recs.push(flow(base + 40, node(0, 9), node(1, 0), 8080, 50_000));
+            }
+        }
+        recs
+    }
+
+    #[test]
+    fn incremental_pipeline_matches_full_rebuild_oracle() {
+        let recs = churn_stream();
+        let run = |incremental: bool| {
+            let mut p = Pipeline::new(PipelineConfig { incremental, ..Default::default() });
+            p.ingest(&recs);
+            let out = p.finish().unwrap();
+            let monitored: HashSet<Ipv4Addr> =
+                recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+            let mut an =
+                WindowAnalyzer::new(monitored, incremental).with_parallelism(Parallelism::new(2));
+            an.analyze_output(&out, &recs).unwrap()
+        };
+        let incremental = run(true);
+        let full = run(false);
+        assert_eq!(incremental.len(), 3);
+        assert_eq!(incremental.len(), full.len());
+        for (i, f) in incremental.iter().zip(&full) {
+            assert_eq!(i.window_start, f.window_start);
+            assert_eq!(i.roles.labels, f.roles.labels, "window {}", i.window_start);
+            assert_eq!(
+                i.roles.clustering_modularity, f.roles.clustering_modularity,
+                "window {}",
+                i.window_start
+            );
+            assert_eq!(
+                i.policy.rules(),
+                f.policy.rules(),
+                "bit-exact policy, window {}",
+                i.window_start
+            );
+            let inames: Vec<&str> =
+                i.segmentation.segments().iter().map(|s| s.name.as_str()).collect();
+            let fnames: Vec<&str> =
+                f.segmentation.segments().iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(inames, fnames, "window {}", i.window_start);
+        }
+    }
+
+    #[test]
+    fn incremental_analysis_is_worker_count_invariant() {
+        let recs = churn_stream();
+        let monitored: HashSet<Ipv4Addr> =
+            recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(&recs);
+        let out = p.finish().unwrap();
+        let mut baseline: Option<Vec<Vec<usize>>> = None;
+        for workers in [1, 2, 8] {
+            let mut an = WindowAnalyzer::new(monitored.clone(), true)
+                .with_parallelism(Parallelism::new(workers));
+            let labels: Vec<Vec<usize>> = an
+                .analyze_output(&out, &recs)
+                .unwrap()
+                .into_iter()
+                .map(|w| w.roles.labels)
+                .collect();
+            match &baseline {
+                None => baseline = Some(labels),
+                Some(b) => assert_eq!(&labels, b, "{workers} workers"),
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_sets_shrink_on_steady_windows_and_metrics_flow() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let recs = churn_stream();
+        let mut p =
+            Pipeline::new(PipelineConfig { obs: Obs::new(registry.clone()), ..Default::default() });
+        p.ingest(&recs);
+        let out = p.finish().unwrap();
+        assert_eq!(out.dirty_sets.len(), 3);
+        let n0 = out.sequence.graphs()[0].node_count();
+        assert_eq!(out.dirty_sets[0].len(), n0, "first window is fully dirty");
+        assert!(
+            out.dirty_sets[1].len() < n0,
+            "steady window dirties only the churned conversation: {:?}",
+            out.dirty_sets[1]
+        );
+        let dirty_hist =
+            registry.histogram("commgraph_window_dirty_nodes", "", &[("source", "pipeline")]);
+        assert_eq!(dirty_hist.count(), 3, "one dirty-set sample per window");
+
+        // Savings histogram: warm windows 2 and 3 each record one sample.
+        let monitored: HashSet<Ipv4Addr> =
+            recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+        let mut an = WindowAnalyzer::new(monitored, true).with_obs(Obs::new(registry.clone()));
+        an.analyze_output(&out, &recs).unwrap();
+        let savings = registry.histogram("commgraph_incremental_savings_seconds", "", &[]);
+        assert_eq!(savings.count(), 2, "two warm windows record savings");
+    }
+
+    #[test]
+    fn non_incremental_pipeline_reports_all_nodes_dirty() {
+        let mut p = Pipeline::new(PipelineConfig { incremental: false, ..Default::default() });
+        p.ingest(&churn_stream());
+        let out = p.finish().unwrap();
+        for (g, dirty) in out.sequence.graphs().iter().zip(&out.dirty_sets) {
+            assert_eq!(dirty.len(), g.node_count(), "conservative all-dirty");
+        }
     }
 
     #[test]

@@ -126,6 +126,53 @@ pub fn diff(before: &CommGraph, after: &CommGraph, change_ratio: f64) -> GraphDi
     }
 }
 
+/// Nodes whose incident adjacency changed between two snapshots of the same
+/// facet — the *dirty set* that incremental window maintenance recomputes.
+///
+/// A node is dirty iff it was added or removed between the snapshots, or any
+/// incident edge differs in presence **or in any
+/// [`EdgeStats`](crate::stats::EdgeStats) counter** (byte-direction classes
+/// feed the similarity tokens downstream, so a pure volume change must
+/// invalidate too). Every other node is *clean*: its neighbor list — ids and
+/// stats — is identical in both graphs, which is what lets downstream
+/// stages (Jaccard rows, policy synthesis) reuse prior results verbatim.
+///
+/// The returned ids are sorted and deduplicated.
+pub fn dirty_nodes(before: &CommGraph, after: &CommGraph) -> Vec<NodeId> {
+    let mut dirty = Vec::new();
+    for (i, n) in after.nodes().iter().enumerate() {
+        let clean = match before.index_of(n) {
+            Some(bi) => incident_eq(before, bi, after, i as u32),
+            None => false,
+        };
+        if !clean {
+            dirty.push(*n);
+        }
+    }
+    for n in before.nodes() {
+        if after.index_of(n).is_none() {
+            dirty.push(*n);
+        }
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+    dirty
+}
+
+/// Whether a node's incident edges (neighbor identities and full stats) are
+/// identical across the two snapshots. Neighbor lists are sorted by dense
+/// index, and dense index order is NodeId order within each graph, so a
+/// single zip compares like with like.
+fn incident_eq(before: &CommGraph, bi: u32, after: &CommGraph, ai: u32) -> bool {
+    let bl = before.neighbors(bi);
+    let al = after.neighbors(ai);
+    bl.len() == al.len()
+        && bl
+            .iter()
+            .zip(al)
+            .all(|((bj, bs), (aj, asx))| before.node(*bj) == after.node(*aj) && bs == asx)
+}
+
 impl GraphDiff {
     /// True when nothing structural changed and no edge moved past the ratio.
     pub fn is_quiet(&self) -> bool {
@@ -218,5 +265,46 @@ mod tests {
         let d = diff(&e, &e, 2.0);
         assert!(d.is_quiet());
         assert_eq!(d.edge_jaccard, 1.0);
+    }
+
+    #[test]
+    fn dirty_nodes_empty_for_identical_graphs() {
+        let g = graph(&[(1, 2, 100), (2, 3, 50)]);
+        assert!(dirty_nodes(&g, &g).is_empty());
+    }
+
+    #[test]
+    fn dirty_nodes_cover_added_and_removed_structure() {
+        let before = graph(&[(1, 2, 100), (3, 4, 10)]);
+        let after = graph(&[(1, 2, 100), (1, 5, 7)]);
+        // Edge (3,4) vanished, edge (1,5) appeared: 1 gains a neighbor,
+        // 3 and 4 disappear, 5 appears. 2's adjacency is untouched.
+        assert_eq!(dirty_nodes(&before, &after), vec![ip(1), ip(3), ip(4), ip(5)]);
+    }
+
+    #[test]
+    fn dirty_nodes_flag_pure_volume_changes() {
+        let before = graph(&[(1, 2, 100), (2, 3, 50)]);
+        let after = graph(&[(1, 2, 101), (2, 3, 50)]);
+        // Only the (1,2) byte counter moved: both endpoints are dirty, 3 not.
+        assert_eq!(dirty_nodes(&before, &after), vec![ip(1), ip(2)]);
+    }
+
+    #[test]
+    fn clean_nodes_have_identical_incident_lists() {
+        let before = graph(&[(1, 2, 100), (2, 3, 50), (4, 5, 9)]);
+        let after = graph(&[(1, 2, 100), (2, 3, 75), (4, 5, 9)]);
+        let dirty = dirty_nodes(&before, &after);
+        for (i, n) in after.nodes().iter().enumerate() {
+            if dirty.binary_search(n).is_ok() {
+                continue;
+            }
+            let bi = before.index_of(n).expect("clean nodes exist in both graphs");
+            let bl: Vec<_> =
+                before.neighbors(bi).iter().map(|(j, s)| (before.node(*j), *s)).collect();
+            let al: Vec<_> =
+                after.neighbors(i as u32).iter().map(|(j, s)| (after.node(*j), *s)).collect();
+            assert_eq!(bl, al, "clean node {n} must keep its exact adjacency");
+        }
     }
 }

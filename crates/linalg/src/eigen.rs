@@ -89,10 +89,15 @@ pub fn eigen_symmetric(m: &Matrix, tol: f64) -> Result<EigenDecomposition> {
     let scale = m.frobenius().max(1.0);
     m.require_symmetric(scale * 1e-9)?;
 
-    let mut a = m.clone();
-    let mut v = Matrix::identity(n);
-    let threshold = tol * scale;
+    let a = m.clone();
+    let v = Matrix::identity(n);
+    jacobi_sweeps(a, v, tol * scale)
+}
 
+/// Serial cyclic-Jacobi sweep loop from an arbitrary starting state
+/// `(A, V)` with `M = V A Vᵀ` as invariant.
+fn jacobi_sweeps(mut a: Matrix, mut v: Matrix, threshold: f64) -> Result<EigenDecomposition> {
+    let n = a.rows();
     const MAX_SWEEPS: usize = 100;
     for _sweep in 0..MAX_SWEEPS {
         let off = off_diagonal_norm(&a);
@@ -143,9 +148,20 @@ pub fn eigen_symmetric_with(
     let scale = m.frobenius().max(1.0);
     m.require_symmetric(scale * 1e-9)?;
 
-    let mut a = m.clone();
-    let mut v = Matrix::identity(n);
-    let threshold = tol * scale;
+    let a = m.clone();
+    let v = Matrix::identity(n);
+    jacobi_sweeps_with(a, v, tol * scale, parallelism)
+}
+
+/// Parallel tournament-Jacobi sweep loop from an arbitrary starting state
+/// `(A, V)` with `M = V A Vᵀ` as invariant.
+fn jacobi_sweeps_with(
+    mut a: Matrix,
+    mut v: Matrix,
+    threshold: f64,
+    parallelism: Parallelism,
+) -> Result<EigenDecomposition> {
+    let n = a.rows();
     // Round-robin tournament over the columns, padded to an even count: in
     // each of the `players − 1` rounds every column meets exactly one other,
     // so the round's pivot pairs are pairwise disjoint.
@@ -174,6 +190,66 @@ pub fn eigen_symmetric_with(
         }
     }
     Err(Error::NoConvergence { algorithm: "jacobi", iterations: MAX_SWEEPS })
+}
+
+/// Decompose a symmetric matrix with Jacobi sweeps **warm-started** from a
+/// previous window's eigenbasis.
+///
+/// Instead of starting from `(A, V) = (M, I)`, the iteration starts from
+/// `A = V₀ᵀ M V₀`, `V = V₀` where `V₀ = prev.vectors`. When `M` changed
+/// little since the previous window, `A` is already nearly diagonal and the
+/// quadratic convergence regime is entered immediately — typically one or
+/// two sweeps instead of the cold path's handful. The invariant
+/// `M = V A Vᵀ` holds at every step, so the result is a faithful
+/// decomposition of `M` regardless of how stale `prev` is: a bad seed only
+/// costs sweeps, never correctness.
+///
+/// Like the parallel path, the warm trajectory differs from the cold one,
+/// so eigenvalues agree with [`eigen_symmetric`] to the convergence
+/// tolerance, not bit-for-bit (the same contract the parallel solver
+/// carries). Fails with [`Error::InvalidArg`] if `prev`'s dimension does
+/// not match `m` — callers fall back to the cold path on window reshape.
+pub fn eigen_symmetric_warm_with(
+    m: &Matrix,
+    tol: f64,
+    prev: &EigenDecomposition,
+    parallelism: Parallelism,
+) -> Result<EigenDecomposition> {
+    let n = m.rows();
+    if n != m.cols() {
+        return Err(Error::InvalidArg(format!(
+            "eigendecomposition needs a square matrix, got {}x{}",
+            n,
+            m.cols()
+        )));
+    }
+    if prev.values.len() != n || prev.vectors.rows() != n {
+        return Err(Error::InvalidArg(format!(
+            "warm-start basis of dimension {} does not match matrix {}x{}",
+            prev.values.len(),
+            n,
+            n
+        )));
+    }
+    let scale = m.frobenius().max(1.0);
+    m.require_symmetric(scale * 1e-9)?;
+    // A = V₀ᵀ M V₀, symmetrized to stamp out accumulation asymmetry (the
+    // sweep loop reads only the upper triangle's mirror consistency).
+    let mut a = prev.vectors.transpose().matmul(m)?.matmul(&prev.vectors)?;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mean = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = mean;
+            a[(j, i)] = mean;
+        }
+    }
+    let v = prev.vectors.clone();
+    let threshold = tol * scale;
+    if parallelism.is_serial() {
+        jacobi_sweeps(a, v, threshold)
+    } else {
+        jacobi_sweeps_with(a, v, threshold, parallelism)
+    }
 }
 
 /// Pivot pairs of one tournament round: the circle method fixes player 0 and
@@ -232,10 +308,12 @@ fn apply_rotation_batch(
     let mut rows: Vec<Option<&mut [f64]>> = a.data_mut().chunks_mut(n).map(Some).collect();
     let tasks: Vec<(&mut [f64], &mut [f64], f64, f64)> = rotations
         .iter()
-        .map(|&(p, q, c, s)| {
-            let rp = rows[p].take().expect("pivot rows are disjoint within a round");
-            let rq = rows[q].take().expect("pivot rows are disjoint within a round");
-            (rp, rq, c, s)
+        .filter_map(|&(p, q, c, s)| {
+            // Pivot rows are disjoint within a round by tournament order, so
+            // both takes always succeed; a collision would skip the rotation.
+            let rp = rows[p].take()?;
+            let rq = rows[q].take()?;
+            Some((rp, rq, c, s))
         })
         .collect();
     par::for_each_task(parallelism, tasks, |(rp, rq, c, s)| {
@@ -291,9 +369,7 @@ fn apply_rotation(a: &mut Matrix, v: &mut Matrix, p: usize, q: usize, c: f64, s:
 fn sorted_decomposition(a: Matrix, v: Matrix) -> EigenDecomposition {
     let n = a.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        a[(j, j)].abs().partial_cmp(&a[(i, i)].abs()).expect("eigenvalues are finite")
-    });
+    order.sort_by(|&i, &j| a[(j, j)].abs().total_cmp(&a[(i, i)].abs()));
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {
@@ -483,6 +559,79 @@ mod tests {
                 assert_eq!(p, serial, "k={k}, {workers} workers");
             }
         }
+    }
+
+    /// Deterministic pseudo-random symmetric matrix.
+    fn random_symmetric(n: usize, mut state: u64) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_matches_cold_within_tolerance() {
+        let m = random_symmetric(20, 0xabcd);
+        let cold = eigen_symmetric(&m, 1e-10).unwrap();
+        for workers in [1, 2, 4] {
+            let warm =
+                eigen_symmetric_warm_with(&m, 1e-10, &cold, Parallelism::new(workers)).unwrap();
+            for (a, b) in cold.values.iter().zip(&warm.values) {
+                assert!(close(*a, *b, 1e-7), "eigenvalue {a} vs {b} ({workers} workers)");
+            }
+            let r = warm.reconstruct(20).unwrap();
+            let rel = m.sub(&r).unwrap().frobenius() / m.frobenius();
+            assert!(rel < 1e-8, "warm reconstruction error {rel} ({workers} workers)");
+        }
+    }
+
+    #[test]
+    fn warm_start_from_perturbed_window_stays_faithful() {
+        // The incremental-pipeline shape: decompose window 1, warm-start
+        // window 2 = window 1 + a small churn perturbation.
+        let m1 = random_symmetric(16, 0x777);
+        let prev = eigen_symmetric(&m1, 1e-10).unwrap();
+        let mut m2 = m1.clone();
+        let bump = |m: &mut Matrix, i: usize, j: usize, d: f64| {
+            m[(i, j)] += d;
+            m[(j, i)] = m[(i, j)];
+        };
+        bump(&mut m2, 0, 3, 0.05);
+        bump(&mut m2, 7, 7, -0.02);
+        bump(&mut m2, 10, 15, 0.04);
+        let cold = eigen_symmetric(&m2, 1e-10).unwrap();
+        for workers in [1, 4] {
+            let warm =
+                eigen_symmetric_warm_with(&m2, 1e-10, &prev, Parallelism::new(workers)).unwrap();
+            for (a, b) in cold.values.iter().zip(&warm.values) {
+                assert!(close(*a, *b, 1e-7), "eigenvalue {a} vs {b} ({workers} workers)");
+            }
+            // Faithful decomposition: orthonormal basis + exact reconstruction.
+            let vtv = warm.vectors.transpose().matmul(&warm.vectors).unwrap();
+            assert!(vtv.sub(&Matrix::identity(16)).unwrap().abs_sum() < 1e-8);
+            let r = warm.reconstruct(16).unwrap();
+            let rel = m2.sub(&r).unwrap().frobenius() / m2.frobenius();
+            assert!(rel < 1e-8, "warm reconstruction error {rel}");
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_dimension_mismatch() {
+        let m = random_symmetric(6, 1);
+        let prev = eigen_symmetric(&random_symmetric(5, 2), 1e-10).unwrap();
+        assert!(matches!(
+            eigen_symmetric_warm_with(&m, 1e-10, &prev, Parallelism::serial()),
+            Err(Error::InvalidArg(_))
+        ));
     }
 
     #[test]

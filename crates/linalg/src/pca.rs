@@ -6,7 +6,9 @@
 //! `ReconErr(M, M_25) < 0.05` on a > 500-node matrix — because redundancy
 //! (many replicas, same role) makes the matrix low-rank.
 
-use crate::eigen::{eigen_symmetric, eigen_symmetric_with, EigenDecomposition};
+use crate::eigen::{
+    eigen_symmetric, eigen_symmetric_warm_with, eigen_symmetric_with, EigenDecomposition,
+};
 use crate::error::{Error, Result};
 use crate::matrix::Matrix;
 use crate::par::{self, Parallelism};
@@ -78,7 +80,8 @@ pub fn recon_err_profile(d: &EigenDecomposition, m: &Matrix) -> Result<Vec<f64>>
     let mut mk = Matrix::zeros(n, n);
     let mut profile = Vec::with_capacity(n + 1);
     let err_of = |mk: &Matrix| -> f64 {
-        let diff = m.sub(mk).expect("same shape").abs_sum();
+        // Both operands are n×n by construction; a mismatch cannot reconstruct.
+        let diff = m.sub(mk).map_or(f64::INFINITY, |d| d.abs_sum());
         if denom == 0.0 {
             if diff == 0.0 {
                 0.0
@@ -207,9 +210,13 @@ pub fn pca_sweep_with(m: &Matrix, ks: &[usize], parallelism: Parallelism) -> Res
             m.cols()
         )));
     }
-    let n = m.rows();
     let d = eigen_symmetric_with(m, 1e-10, parallelism)?;
     let profile = recon_err_profile_with(&d, m, parallelism)?;
+    Ok(summarize(m.rows(), &profile, ks))
+}
+
+/// Reduce an incremental error profile to the sweep summary for `ks`.
+fn summarize(n: usize, profile: &[f64], ks: &[usize]) -> PcaSummary {
     let mut errors: Vec<KError> = ks
         .iter()
         .map(|&k| {
@@ -220,7 +227,41 @@ pub fn pca_sweep_with(m: &Matrix, ks: &[usize], parallelism: Parallelism) -> Res
     errors.sort_by_key(|e| e.k);
     errors.dedup_by_key(|e| e.k);
     let k_for_5_percent = profile.iter().position(|&e| e < 0.05);
-    Ok(PcaSummary { n, errors, k_for_5_percent })
+    PcaSummary { n, errors, k_for_5_percent }
+}
+
+/// [`pca_sweep_with`], warm-starting the eigensolver from a previous
+/// window's decomposition and returning this window's decomposition for the
+/// next warm start.
+///
+/// With `prev = None`, or a `prev` whose dimension no longer matches `m`
+/// (the matrix grew or shrank between windows), this silently falls back to
+/// the cold solver — staleness costs sweeps, never correctness. The summary
+/// carries the same tolerance-agreement contract as the parallel solver:
+/// errors match a cold [`pca_sweep_with`] to the convergence tolerance, not
+/// bit-for-bit.
+pub fn pca_sweep_warm_with(
+    m: &Matrix,
+    ks: &[usize],
+    prev: Option<&EigenDecomposition>,
+    parallelism: Parallelism,
+) -> Result<(PcaSummary, EigenDecomposition)> {
+    if m.rows() != m.cols() {
+        return Err(Error::InvalidArg(format!(
+            "PCA sweep needs a square matrix, got {}x{}",
+            m.rows(),
+            m.cols()
+        )));
+    }
+    let n = m.rows();
+    let d = match prev {
+        Some(prev) if prev.values.len() == n => {
+            eigen_symmetric_warm_with(m, 1e-10, prev, parallelism)?
+        }
+        _ => eigen_symmetric_with(m, 1e-10, parallelism)?,
+    };
+    let profile = recon_err_profile_with(&d, m, parallelism)?;
+    Ok((summarize(n, &profile, ks), d))
 }
 
 #[cfg(test)]
@@ -370,6 +411,55 @@ mod tests {
         }
         let mk = sparse_transform_with(&m, 12, Parallelism::new(2)).unwrap();
         assert!(recon_err(&m, &mk).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_sweep_within_tolerance() {
+        // Window 1 decomposed cold; window 2 = window 1 + small churn,
+        // swept warm from window 1's basis.
+        let n = 12;
+        let mut m1 = Matrix::zeros(n, n);
+        let mut state = 97u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f64 / 16_777_216.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                m1[(i, j)] = v;
+                m1[(j, i)] = v;
+            }
+        }
+        let p = Parallelism::new(2);
+        let (s1, d1) = pca_sweep_warm_with(&m1, &[1, 3, 12], None, p).unwrap();
+        let cold1 = pca_sweep_with(&m1, &[1, 3, 12], p).unwrap();
+        for (a, b) in s1.errors.iter().zip(&cold1.errors) {
+            assert!((a.err - b.err).abs() < 1e-6, "no-prev warm = cold, k={}", a.k);
+        }
+        let mut m2 = m1.clone();
+        m2[(0, 5)] += 0.03;
+        m2[(5, 0)] = m2[(0, 5)];
+        let (s2, d2) = pca_sweep_warm_with(&m2, &[1, 3, 12], Some(&d1), p).unwrap();
+        let cold2 = pca_sweep_with(&m2, &[1, 3, 12], p).unwrap();
+        assert_eq!(s2.n, cold2.n);
+        for (a, b) in s2.errors.iter().zip(&cold2.errors) {
+            assert_eq!(a.k, b.k);
+            assert!((a.err - b.err).abs() < 1e-6, "k={}: warm {} vs cold {}", a.k, a.err, b.err);
+        }
+        assert_eq!(d2.values.len(), n, "returned decomposition feeds the next window");
+    }
+
+    #[test]
+    fn warm_sweep_falls_back_on_dimension_change() {
+        let small = two_block(2);
+        let (_, d_small) = pca_sweep_warm_with(&small, &[4], None, Parallelism::serial()).unwrap();
+        let big = two_block(4);
+        // Stale 4x4 basis against an 8x8 window: silently cold-started.
+        let (s, d) =
+            pca_sweep_warm_with(&big, &[8], Some(&d_small), Parallelism::serial()).unwrap();
+        assert_eq!(d.values.len(), 8);
+        assert!(s.errors[0].err < 1e-9);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub const ALLOWED_SUFFIXES: &[&str] = &[
     "rules",
     "threshold",
     "ratio",
+    "nodes",
 ];
 
 /// Every metric family the workspace may emit, sorted by name.
@@ -91,6 +92,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         help: "Per-worker time spent aggregating batches over the engine's lifetime.",
         labels: &["worker"],
+    },
+    MetricDef {
+        name: "commgraph_incremental_savings_seconds",
+        kind: MetricKind::Histogram,
+        help: "Estimated per-window seconds saved by incremental maintenance vs the most recent full rebuild.",
+        labels: &[],
     },
     MetricDef {
         name: "commgraph_ingest_watermark_seconds",
@@ -199,6 +206,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         help: "Wall-clock seconds spent per streaming-pipeline stage.",
         labels: &["stage"],
+    },
+    MetricDef {
+        name: "commgraph_window_dirty_nodes",
+        kind: MetricKind::Histogram,
+        help: "Dirty-set size per rolled window (nodes whose adjacency changed since the previous window).",
+        labels: &["source"],
     },
     MetricDef {
         name: "commgraph_window_roll_lag_seconds",

@@ -69,7 +69,9 @@ impl Segmentation {
         let mut ip_to_segment = HashMap::new();
         for (role, internal) in keys {
             let id = SegmentId(segments.len() as u16);
-            let mut members = buckets.remove(&(role, internal)).expect("key from map");
+            let Some(mut members) = buckets.remove(&(role, internal)) else {
+                continue; // key came from the map; unreachable, but not worth a panic
+            };
             members.sort();
             for ip in &members {
                 ip_to_segment.insert(*ip, id);

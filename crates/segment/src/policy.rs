@@ -6,10 +6,11 @@
 //! (optionally qualified by service port) that talked during normal
 //! operation becomes an allow rule; everything else is denied.
 
-use crate::microseg::{SegmentId, Segmentation};
+use crate::microseg::{Segment, SegmentId, Segmentation};
 use flowlog::record::{ConnSummary, FlowKey};
 use serde::Serialize;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
 
 /// First ephemeral port: ports at or above this are client-side and never
 /// name a service.
@@ -100,6 +101,69 @@ impl SegmentPolicy {
             else {
                 continue;
             };
+            let port = if port_scoped { service_port(&r.key) } else { ANY_PORT };
+            rules.insert(AllowRule::new(sa, sb, port));
+        }
+        SegmentPolicy { rules, port_scoped }
+    }
+
+    /// Learn a policy incrementally, re-synthesizing rules only for segment
+    /// pairs whose membership (or traffic) changed since the previous
+    /// window.
+    ///
+    /// A current segment is *carried over* when the previous segmentation
+    /// has a segment of the same name with an identical member list and
+    /// none of its members appear in `dirty` — the window-roll dirty set
+    /// from `commgraph_graph::diff`, which flags every added, removed, or
+    /// traffic-changed endpoint. Rules between two carried-over segments
+    /// are copied from `prev` verbatim; records between them are skipped.
+    /// Everything else is re-learned from `records` exactly as
+    /// [`SegmentPolicy::learn`] would.
+    ///
+    /// Because any new, removed, or modified conversation dirties both of
+    /// its endpoints, a carried-over pair saw the same flows as last
+    /// window, and the result equals a full [`SegmentPolicy::learn`] over
+    /// `records` rule-for-rule (the pipeline's rebuild oracle asserts
+    /// this). A `prev` learned under a different `port_scoped` setting
+    /// cannot be reused and triggers a full relearn.
+    pub fn learn_incremental<'a>(
+        records: impl IntoIterator<Item = &'a ConnSummary>,
+        seg: &Segmentation,
+        prev_seg: &Segmentation,
+        prev: &SegmentPolicy,
+        dirty: &HashSet<Ipv4Addr>,
+        port_scoped: bool,
+    ) -> Self {
+        if prev.port_scoped != port_scoped {
+            return SegmentPolicy::learn(records, seg, port_scoped);
+        }
+        let prev_by_name: HashMap<&str, &Segment> =
+            prev_seg.segments().iter().map(|s| (s.name.as_str(), s)).collect();
+        let mut carried = vec![false; seg.len()];
+        let mut prev_to_cur: HashMap<SegmentId, SegmentId> = HashMap::new();
+        for s in seg.segments() {
+            if let Some(ps) = prev_by_name.get(s.name.as_str()) {
+                if ps.members == s.members && s.members.iter().all(|ip| !dirty.contains(ip)) {
+                    carried[s.id.0 as usize] = true;
+                    prev_to_cur.insert(ps.id, s.id);
+                }
+            }
+        }
+        let mut rules = HashSet::new();
+        for r in &prev.rules {
+            if let (Some(&a), Some(&b)) = (prev_to_cur.get(&r.a), prev_to_cur.get(&r.b)) {
+                rules.insert(AllowRule::new(a, b, r.port));
+            }
+        }
+        for r in records {
+            let (Some(sa), Some(sb)) =
+                (seg.segment_of(r.key.local_ip), seg.segment_of(r.key.remote_ip))
+            else {
+                continue;
+            };
+            if carried[sa.0 as usize] && carried[sb.0 as usize] {
+                continue;
+            }
             let port = if port_scoped { service_port(&r.key) } else { ANY_PORT };
             rules.insert(AllowRule::new(sa, sb, port));
         }
@@ -243,6 +307,83 @@ mod tests {
         assert_eq!(p.reachable_from(SegmentId(0)), vec![SegmentId(1), SegmentId(2)]);
         assert_eq!(p.reachable_from(SegmentId(1)), vec![SegmentId(0)]);
         assert!(p.reachable_from(SegmentId(9)).is_empty());
+    }
+
+    #[test]
+    fn incremental_learn_matches_full_learn_under_churn() {
+        // Four segments; between windows only web's traffic to cache
+        // changes, so db↔mq survives as a carried-over pair.
+        let seg = Segmentation::from_members(vec![
+            ("web".into(), vec![ip(0, 1), ip(0, 2)], true),
+            ("db".into(), vec![ip(1, 1)], true),
+            ("cache".into(), vec![ip(2, 1)], true),
+            ("mq".into(), vec![ip(3, 1)], true),
+        ]);
+        let w1 = vec![
+            rec(ip(0, 1), 40_000, ip(1, 1), 5432),
+            rec(ip(0, 2), 40_001, ip(1, 1), 5432),
+            rec(ip(0, 1), 40_002, ip(2, 1), 6379),
+            rec(ip(1, 1), 40_003, ip(3, 1), 5672),
+        ];
+        let w2 = vec![
+            rec(ip(0, 1), 40_000, ip(1, 1), 5432),
+            rec(ip(0, 2), 40_001, ip(1, 1), 5432),
+            rec(ip(0, 1), 40_002, ip(2, 1), 6380), // changed service port
+            rec(ip(1, 1), 40_003, ip(3, 1), 5672),
+        ];
+        // The 10.0.0.1 ↔ 10.0.2.1 conversation changed, so both endpoints
+        // are dirty; db's and mq's traffic is identical, so they carry.
+        let dirty: HashSet<Ipv4Addr> = [ip(0, 1), ip(2, 1)].into_iter().collect();
+        for port_scoped in [false, true] {
+            let prev = SegmentPolicy::learn(&w1, &seg, port_scoped);
+            let inc = SegmentPolicy::learn_incremental(&w2, &seg, &seg, &prev, &dirty, port_scoped);
+            let full = SegmentPolicy::learn(&w2, &seg, port_scoped);
+            assert_eq!(inc.rules(), full.rules(), "port_scoped={port_scoped}");
+            assert_eq!(inc.port_scoped(), full.port_scoped());
+        }
+    }
+
+    #[test]
+    fn incremental_learn_with_no_churn_is_identity() {
+        let seg = seg2();
+        let w = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432), rec(ip(0, 2), 40_001, ip(2, 1), 6379)];
+        let prev = SegmentPolicy::learn(&w, &seg, true);
+        let inc = SegmentPolicy::learn_incremental(&w, &seg, &seg, &prev, &HashSet::new(), true);
+        assert_eq!(inc.rules(), prev.rules());
+    }
+
+    #[test]
+    fn incremental_learn_relearns_on_membership_change() {
+        // web gains a member between windows: its pairs must be re-learned
+        // even though the old members' traffic is unchanged.
+        let seg1 = Segmentation::from_members(vec![
+            ("web".into(), vec![ip(0, 1)], true),
+            ("db".into(), vec![ip(1, 1)], true),
+        ]);
+        let seg2w = Segmentation::from_members(vec![
+            ("web".into(), vec![ip(0, 1), ip(0, 2)], true),
+            ("db".into(), vec![ip(1, 1)], true),
+        ]);
+        let w1 = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432)];
+        let w2 = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432), rec(ip(0, 2), 40_001, ip(1, 1), 9042)];
+        let dirty: HashSet<Ipv4Addr> = [ip(0, 2), ip(1, 1)].into_iter().collect();
+        let prev = SegmentPolicy::learn(&w1, &seg1, true);
+        let inc = SegmentPolicy::learn_incremental(&w2, &seg2w, &seg1, &prev, &dirty, true);
+        let full = SegmentPolicy::learn(&w2, &seg2w, true);
+        assert_eq!(inc.rules(), full.rules());
+        assert!(inc.allows(SegmentId(0), SegmentId(1), 9042), "new conversation learned");
+    }
+
+    #[test]
+    fn incremental_learn_falls_back_on_scope_mismatch() {
+        let seg = seg2();
+        let w = vec![rec(ip(0, 1), 40_000, ip(1, 1), 5432)];
+        let prev = SegmentPolicy::learn(&w, &seg, false);
+        // Requesting port-scoped rules from a pair-scoped memo: full relearn.
+        let inc = SegmentPolicy::learn_incremental(&w, &seg, &seg, &prev, &HashSet::new(), true);
+        let full = SegmentPolicy::learn(&w, &seg, true);
+        assert_eq!(inc.rules(), full.rules());
+        assert!(inc.port_scoped());
     }
 
     #[test]

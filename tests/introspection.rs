@@ -5,7 +5,7 @@
 //!    family in the canonical `obs::names` table — nothing is registered
 //!    lazily enough to be invisible to a dashboard that scrapes once.
 //! 2. The flight recorder's Chrome trace-event export (the same bytes
-//!    `/trace` serves and `bench_report` writes to `TRACE_PR5.json`) parses
+//!    `/trace` serves and `bench_report` writes to `TRACE_PR6.json`) parses
 //!    as JSON with at least one root `pipeline_run` span whose stage
 //!    children nest correctly by both explicit parent id and time
 //!    containment.
@@ -19,7 +19,7 @@ use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
 use commgraph::linalg::Parallelism;
 use commgraph::monitor::{MonitorConfig, SecurityMonitor};
 use commgraph::obs;
-use commgraph::pipeline::{Pipeline, PipelineConfig};
+use commgraph::pipeline::{Pipeline, PipelineConfig, WindowAnalyzer};
 use commgraph::Workbench;
 use serde_json::Value;
 use std::io::{Read as _, Write as _};
@@ -62,13 +62,19 @@ fn exercise_everything(o: &obs::Obs) {
     }
     engine.finish().unwrap();
 
+    // Two 240 s windows over the 8-minute trace: the second is warm, so the
+    // incremental analyzer records `commgraph_incremental_savings_seconds`
+    // alongside the pipeline's dirty-node samples.
     let mut p = Pipeline::new(PipelineConfig {
         monitored: Some(monitored.clone()),
         obs: o.clone(),
+        window_len: 240,
         ..Default::default()
     });
     p.ingest(&records);
-    p.finish().unwrap();
+    let out = p.finish().unwrap();
+    let mut analyzer = WindowAnalyzer::new(monitored.clone(), true).with_obs(o.clone());
+    analyzer.analyze_output(&out, &records).unwrap();
 
     // Parallelism 2 drives the par scheduler (tiles/busy families) and the
     // Louvain counters through the global registry installed by the caller.
@@ -174,7 +180,7 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
     assert!(listed.len() >= obs::names::METRICS.len(), "snapshot lists every family");
 
     // `/trace` serves the same Chrome trace-event document bench_report
-    // writes to TRACE_PR5.json. Validate the acceptance-criterion shape.
+    // writes to TRACE_PR6.json. Validate the acceptance-criterion shape.
     let trace = http_get(addr, "/trace");
     server.shutdown();
     let doc: Value = serde_json::from_str(&trace).expect("valid Chrome trace JSON");
