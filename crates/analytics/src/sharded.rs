@@ -15,12 +15,20 @@
 //! sorted by subscription id. The output is bit-identical for any shard
 //! count, and the merged cross-shard totals are plain sums of per-engine
 //! stats, so shard count is a throughput knob, never a semantics knob.
+//!
+//! Per-subscription health telemetry (records, watermark, window-roll lag)
+//! is labeled by subscription id behind an [`obs::LabelCap`]: the first
+//! `label_cap` subscriptions get their own label value, the rest share the
+//! explicit `overflow` bucket — counter totals are conserved either way,
+//! so tenant count can never explode the registry.
 
 use crate::engine::{EngineConfig, EngineStats, StreamEngine};
 use crate::error::{Error, Result};
 use commgraph_graph::cardinality::hash64;
 use commgraph_graph::CommGraph;
 use flowlog::record::ConnSummary;
+use flowlog::time::bucket_start;
+use obs::Obs;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -33,12 +41,38 @@ pub struct ShardedConfig {
     /// Template applied to every per-subscription [`StreamEngine`]. Its
     /// `workers` field controls flow-key sharding *within* a subscription.
     pub engine: EngineConfig,
+    /// Observability handle for the front door's own telemetry: the
+    /// per-subscription `commgraph_subscription_*` gauges/counters and the
+    /// per-shard residency gauge. (The engine template carries its own
+    /// handle for per-engine metrics.)
+    pub obs: Obs,
+    /// Distinct subscription label values admitted before new ones land in
+    /// the shared `overflow` bucket (see [`obs::LabelCap`]).
+    pub label_cap: usize,
 }
 
 impl Default for ShardedConfig {
     fn default() -> Self {
-        ShardedConfig { shards: 2, engine: EngineConfig::default() }
+        ShardedConfig {
+            shards: 2,
+            engine: EngineConfig::default(),
+            obs: Obs::noop(),
+            label_cap: 64,
+        }
     }
+}
+
+/// Health-metric handles of one subscription, resolved on first contact
+/// (under the cardinality cap) and updated on every ingest.
+#[derive(Debug)]
+struct SubTelemetry {
+    records: obs::Counter,
+    watermark: obs::Gauge,
+    roll_lag: obs::Gauge,
+    /// High-water record timestamp of this subscription.
+    watermark_ts: u64,
+    /// Start of the newest window any record opened.
+    current_window: Option<u64>,
 }
 
 /// Everything one subscription produced: its windowed graphs and the stats
@@ -78,6 +112,8 @@ pub struct ShardedStats {
 pub struct ShardedEngine {
     cfg: ShardedConfig,
     shards: Vec<BTreeMap<String, StreamEngine>>,
+    cap: obs::LabelCap,
+    telemetry: BTreeMap<String, SubTelemetry>,
 }
 
 impl ShardedEngine {
@@ -97,7 +133,8 @@ impl ShardedEngine {
             ));
         }
         let shards = (0..cfg.shards).map(|_| BTreeMap::new()).collect();
-        Ok(ShardedEngine { cfg, shards })
+        let cap = obs::LabelCap::new(&cfg.obs, "subscription", cfg.label_cap);
+        Ok(ShardedEngine { cfg, shards, cap, telemetry: BTreeMap::new() })
     }
 
     /// The shard slot a subscription lives in.
@@ -105,15 +142,70 @@ impl ShardedEngine {
         (hash64(&subscription) % self.shards.len() as u64) as usize
     }
 
+    /// Health handles for `subscription`, resolved on first contact with
+    /// the label value the cardinality cap assigns (own id or `overflow`).
+    fn telemetry(&mut self, subscription: &str) -> &mut SubTelemetry {
+        let cap = &self.cap;
+        let o = &self.cfg.obs;
+        self.telemetry.entry(subscription.to_string()).or_insert_with(|| {
+            let label = cap.resolve(subscription);
+            SubTelemetry {
+                records: o.counter(
+                    "commgraph_subscription_records_total",
+                    "Records ingested per subscription through the sharded front door.",
+                    &[("subscription", &label)],
+                ),
+                watermark: o.gauge(
+                    "commgraph_subscription_watermark_seconds",
+                    "High-water record timestamp seen per subscription.",
+                    &[("subscription", &label)],
+                ),
+                roll_lag: o.gauge(
+                    "commgraph_subscription_roll_lag_seconds",
+                    "Lag between the newest window's nominal start and the record that rolled it open, per subscription.",
+                    &[("subscription", &label)],
+                ),
+                watermark_ts: 0,
+                current_window: None,
+            }
+        })
+    }
+
     /// Offer a batch on behalf of `subscription`, spawning its engine on
     /// first contact. Blocks under that engine's backpressure only — other
     /// subscriptions are unaffected.
     pub fn ingest(&mut self, subscription: &str, records: &[ConnSummary]) -> Result<()> {
+        let window_len = self.cfg.engine.window_len;
+        let telemetry = self.telemetry(subscription);
+        let mut saw_records = false;
+        for r in records {
+            saw_records = true;
+            telemetry.watermark_ts = telemetry.watermark_ts.max(r.ts);
+            let window = bucket_start(r.ts, window_len);
+            if telemetry.current_window.is_some_and(|cur| window > cur) {
+                telemetry.roll_lag.set((r.ts - window) as f64);
+            }
+            if telemetry.current_window.is_none_or(|cur| window > cur) {
+                telemetry.current_window = Some(window);
+            }
+        }
+        if saw_records {
+            telemetry.records.add(records.len() as u64);
+            telemetry.watermark.set(telemetry.watermark_ts as f64);
+        }
         let slot = self.slot(subscription);
         let shard = &mut self.shards[slot];
         if !shard.contains_key(subscription) {
             let engine = StreamEngine::new(self.cfg.engine.clone())?;
             shard.insert(subscription.to_string(), engine);
+            self.cfg
+                .obs
+                .gauge(
+                    "commgraph_shard_subscription_entries",
+                    "Subscriptions resident in one shard slot of the sharded engine.",
+                    &[("shard", &slot.to_string())],
+                )
+                .set(shard.len() as f64);
         }
         match shard.get_mut(subscription) {
             Some(engine) => engine.ingest(records),
@@ -219,8 +311,7 @@ mod tests {
 
         for shards in [1, 2, 4] {
             let mut front =
-                ShardedEngine::new(ShardedConfig { shards, engine: EngineConfig::default() })
-                    .unwrap();
+                ShardedEngine::new(ShardedConfig { shards, ..Default::default() }).unwrap();
             // Interleave batches across subscriptions to exercise routing.
             let longest = subs.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
             for chunk_start in (0..longest).step_by(300) {
@@ -308,14 +399,106 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(ShardedEngine::new(ShardedConfig { shards: 0, ..Default::default() }).is_err());
-        let bad_template =
-            ShardedConfig { shards: 2, engine: EngineConfig { workers: 0, ..Default::default() } };
+        let bad_template = ShardedConfig {
+            shards: 2,
+            engine: EngineConfig { workers: 0, ..Default::default() },
+            ..Default::default()
+        };
         assert!(ShardedEngine::new(bad_template).is_err());
         let bad_window = ShardedConfig {
             shards: 2,
             engine: EngineConfig { window_len: 0, ..Default::default() },
+            ..Default::default()
         };
         assert!(ShardedEngine::new(bad_window).is_err());
+    }
+
+    #[test]
+    fn per_subscription_telemetry_tracks_records_watermark_and_roll_lag() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let cfg = ShardedConfig { obs: Obs::new(registry.clone()), ..Default::default() };
+        let window_len = cfg.engine.window_len;
+        let mut front = ShardedEngine::new(cfg).unwrap();
+        // Two windows for tenant-a; the second opens 25 s late.
+        let mut recs = records(1, 40);
+        for r in recs.iter_mut().skip(20) {
+            r.ts = window_len + 25 + (r.ts % 30);
+        }
+        front.ingest("tenant-a", &recs[..20]).unwrap();
+        front.ingest("tenant-a", &recs[20..]).unwrap();
+        front.ingest("tenant-b", &records(2, 10)).unwrap();
+
+        let sub =
+            |name: &str, metric: &str| registry.gauge(metric, "", &[("subscription", name)]).get();
+        assert_eq!(
+            registry
+                .counter(
+                    "commgraph_subscription_records_total",
+                    "",
+                    &[("subscription", "tenant-a")]
+                )
+                .get(),
+            40
+        );
+        assert_eq!(
+            sub("tenant-a", "commgraph_subscription_watermark_seconds"),
+            recs.iter().map(|r| r.ts).max().unwrap() as f64
+        );
+        assert_eq!(sub("tenant-a", "commgraph_subscription_roll_lag_seconds"), 25.0);
+        // Shard residency gauges cover both tenants, whichever slots they hash to.
+        let resident: f64 = registry
+            .snapshot()
+            .iter()
+            .filter(|m| m.name == "commgraph_shard_subscription_entries")
+            .map(|m| match m.value {
+                obs::SnapshotValue::Gauge(v) => v,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(resident, 2.0);
+        front.finish().unwrap();
+    }
+
+    #[test]
+    fn cardinality_cap_routes_overflow_and_conserves_totals() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let cfg =
+            ShardedConfig { obs: Obs::new(registry.clone()), label_cap: 2, ..Default::default() };
+        let mut front = ShardedEngine::new(cfg).unwrap();
+        let mut expected_total = 0u64;
+        for (i, n) in [100u32, 200, 300, 400, 500].iter().enumerate() {
+            front.ingest(&format!("sub-{i}"), &records(i as u8, *n)).unwrap();
+            expected_total += *n as u64;
+        }
+        let snapshot = registry.snapshot();
+        let label_values: Vec<String> = snapshot
+            .iter()
+            .filter(|m| m.name == "commgraph_subscription_records_total")
+            .filter_map(|m| m.labels.iter().find(|(k, _)| k == "subscription"))
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(
+            label_values,
+            vec!["overflow".to_string(), "sub-0".to_string(), "sub-1".to_string()],
+            "two admitted + one shared overflow bucket"
+        );
+        let capped_sum: u64 = snapshot
+            .iter()
+            .filter(|m| m.name == "commgraph_subscription_records_total")
+            .map(|m| match m.value {
+                obs::SnapshotValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(capped_sum, expected_total, "overflow bucket conserves record totals");
+        let routed = registry
+            .counter("commgraph_obs_label_overflow_total", "", &[("family", "subscription")])
+            .get();
+        assert_eq!(routed, 3, "sub-2, sub-3, sub-4 each routed once at first contact");
+        // The cap changes labels only, never the analytics output.
+        let (reports, merged) = front.finish().unwrap();
+        assert_eq!(reports.len(), 5);
+        assert_eq!(merged.records_in, expected_total);
     }
 
     #[test]

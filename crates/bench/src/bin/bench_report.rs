@@ -1,9 +1,10 @@
 //! Performance + observability report for the workspace: kernel speedups,
 //! a fully instrumented + traced pipeline run, a continuous-monitor run, a
-//! timed static-analysis sweep, and a live self-scrape of the introspection
-//! server — written to `BENCH_PR6.json`, with the run's span timeline
-//! exported to `TRACE_PR6.json` (Chrome trace-event format; open it in
-//! Perfetto or `about:tracing`).
+//! timed static-analysis sweep, a metrics-history + alerting overhead
+//! measurement, and a live self-scrape of the introspection server —
+//! written to `BENCH_PR7.json`, with the run's span timeline exported to
+//! `TRACE_PR7.json` (Chrome trace-event format; open it in Perfetto or
+//! `about:tracing`).
 //!
 //! Sections:
 //!
@@ -27,9 +28,14 @@
 //!    pass (see `crates/lintcheck`), timed and counted into the same
 //!    registry via `commgraph_lint_sweep_seconds` and
 //!    `commgraph_lint_findings_total{lint}`.
-//! 5. **Serve** — an `obs::IntrospectionServer` boots on port 0 and the
-//!    report scrapes its own `/metrics` and `/healthz` over real HTTP,
-//!    verifying every canonical `obs::names` family appears in one scrape.
+//! 5. **Tsdb/alert** — the run's registry is scraped into the in-memory
+//!    TSDB and the default alert pack evaluated for a few hundred logical
+//!    ticks, timing the per-tick scrape + evaluate overhead against its
+//!    1 ms budget and reporting the store's memory footprint.
+//! 6. **Serve** — an `obs::IntrospectionServer` boots on port 0 and the
+//!    report scrapes its own `/metrics`, `/healthz`, `/query`, `/alerts`,
+//!    and `/slo` over real HTTP, verifying every canonical `obs::names`
+//!    family appears in one scrape.
 //!
 //! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
 //! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
@@ -267,12 +273,20 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     }
 }
 
-/// Boot the introspection server on port 0, scrape `/metrics` + `/healthz`
-/// over real HTTP, and verify every canonical `obs::names` family appears
-/// in the one scrape.
-fn serve_report(registry: &Arc<obs::Registry>, tracer: &Arc<obs::Tracer>) -> serde_json::Value {
+/// Boot the introspection server on port 0, scrape `/metrics`, `/healthz`,
+/// and the metrics-history endpoints (`/query`, `/alerts`, `/slo`) over
+/// real HTTP, and verify every canonical `obs::names` family appears in
+/// the one scrape.
+fn serve_report(
+    registry: &Arc<obs::Registry>,
+    tracer: &Arc<obs::Tracer>,
+    store: &Arc<obs::Tsdb>,
+    alerts: &Arc<obs::AlertEngine>,
+) -> serde_json::Value {
     let server = obs::IntrospectionServer::new(registry.clone())
         .with_tracer(tracer.clone())
+        .with_tsdb(store.clone())
+        .with_alerts(alerts.clone())
         .start("127.0.0.1:0")
         .expect("bind an ephemeral port");
     let addr = server.addr();
@@ -285,20 +299,79 @@ fn serve_report(registry: &Arc<obs::Registry>, tracer: &Arc<obs::Tracer>) -> ser
         .collect();
     let trace_body = http_get(addr, "/trace");
     let trace_ok = trace_body.starts_with("{\"displayTimeUnit\"");
+    let query_body = http_get(addr, "/query?name=commgraph_tsdb_samples_total&field=value");
+    let query_ok = query_body.starts_with("{\"series\":[{") && query_body.contains("\"points\":[[");
+    let alerts_ok = http_get(addr, "/alerts").contains("\"alerts\":[{");
+    let slo_ok = http_get(addr, "/slo").contains("\"slos\":[{");
     server.shutdown();
     println!(
-        "introspection scrape          {}/{} canonical families present, healthz {}",
+        "introspection scrape          {}/{} canonical families present, healthz {}, \
+         query/alerts/slo {}",
         obs::names::METRICS.len() - missing.len(),
         obs::names::METRICS.len(),
-        if healthz_ok { "ok" } else { "FAILED" }
+        if healthz_ok { "ok" } else { "FAILED" },
+        if query_ok && alerts_ok && slo_ok { "ok" } else { "FAILED" },
     );
     json!({
         "addr": addr.to_string(),
         "healthz_ok": healthz_ok,
         "trace_endpoint_ok": trace_ok,
+        "query_endpoint_ok": query_ok,
+        "alerts_endpoint_ok": alerts_ok,
+        "slo_endpoint_ok": slo_ok,
         "families_total": obs::names::METRICS.len(),
         "families_present": obs::names::METRICS.len() - missing.len(),
         "missing": missing,
+    })
+}
+
+/// Time the per-tick metrics-history cost against the live registry: one
+/// scrape of every family into the TSDB plus one evaluation of the default
+/// alert pack, repeated for a few hundred logical ticks. The budget is
+/// 1 ms per tick — window rolls are the tick source in production, so this
+/// overhead rides every analyzed window.
+fn tsdb_alert_report(
+    scraper: &obs::Scraper,
+    alerts: &obs::AlertEngine,
+    start_tick: u64,
+) -> serde_json::Value {
+    const TICKS: u64 = 200;
+    let store = scraper.store();
+    let (mut scrape_s, mut eval_s, mut max_tick_s) = (0.0f64, 0.0f64, 0.0f64);
+    for tick in start_tick + 1..=start_tick + TICKS {
+        let t0 = Instant::now();
+        scraper.scrape(tick);
+        let t1 = Instant::now();
+        alerts.evaluate(tick, store);
+        let t2 = Instant::now();
+        scrape_s += (t1 - t0).as_secs_f64();
+        eval_s += (t2 - t1).as_secs_f64();
+        max_tick_s = max_tick_s.max((t2 - t0).as_secs_f64());
+    }
+    let scrape_us = scrape_s / TICKS as f64 * 1e6;
+    let eval_us = eval_s / TICKS as f64 * 1e6;
+    let per_tick_ms = (scrape_s + eval_s) / TICKS as f64 * 1e3;
+    let within_budget = per_tick_ms < 1.0;
+    println!(
+        "tsdb scrape + alert eval      scrape {scrape_us:7.1} µs  evaluate {eval_us:7.1} µs  \
+         per tick {per_tick_ms:6.3} ms (budget 1 ms, {})  {} series, {} KiB",
+        if within_budget { "ok" } else { "OVER" },
+        store.series_count(),
+        store.memory_bytes() / 1024,
+    );
+    json!({
+        "ticks": TICKS,
+        "rules": alerts.rule_count(),
+        "scrape_us_mean": scrape_us,
+        "evaluate_us_mean": eval_us,
+        "per_tick_ms_mean": per_tick_ms,
+        "per_tick_ms_max": max_tick_s * 1e3,
+        "per_tick_budget_ms": 1.0,
+        "within_budget": within_budget,
+        "series": store.series_count(),
+        "samples_appended": store.appended_samples(),
+        "samples_evicted": store.evicted_samples(),
+        "memory_bytes": store.memory_bytes(),
     })
 }
 
@@ -314,6 +387,15 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     let tracer = Arc::new(obs::Tracer::new(4096));
     let o = obs::Obs::new(registry.clone()).with_tracer(tracer.clone());
     let run = simulate(ClusterPreset::MicroserviceBench, scale, minutes);
+
+    // Metrics history + alerting over the same registry: the incremental
+    // analyzer below drives one scrape tick + one alert evaluation per
+    // analyzed window, and the tsdb_alert section then times steady-state
+    // ticks against the fully populated registry.
+    let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
+    let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
+    let alerts = Arc::new(obs::AlertEngine::new(o.clone()));
+    alerts.add_rules(obs::alert::default_pack(run.records.len() as f64));
 
     // The per-run root span: every engine/pipeline/workbench stage below
     // nests under it on the timeline.
@@ -335,6 +417,20 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     }
     let (_graphs, stats) = engine.finish().expect("engine drains");
 
+    // The sharded front door registers the per-subscription and per-shard
+    // health families (records/watermark/roll-lag/residency) plus the
+    // cardinality-cap overflow counter in the same registry.
+    let mut front = ShardedEngine::new(ShardedConfig {
+        obs: o.clone(),
+        engine: EngineConfig { workers, ..Default::default() },
+        ..Default::default()
+    })
+    .expect("valid sharded config");
+    let half = run.records.len() / 2;
+    front.ingest("tenant-a", &run.records[..half]).expect("front door accepts batches");
+    front.ingest("tenant-b", &run.records[half..]).expect("front door accepts batches");
+    front.finish().expect("front door drains");
+
     // Windowed pipeline: the `ingest` stage span.
     let mut p = Pipeline::new(PipelineConfig {
         monitored: Some(run.monitored.clone()),
@@ -353,7 +449,9 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     // the scrape below.
     let mut analyzer = WindowAnalyzer::new(run.monitored.clone(), true)
         .with_parallelism(Parallelism::new(workers))
-        .with_obs(o.clone());
+        .with_obs(o.clone())
+        .with_subscription("tenant-a")
+        .with_telemetry(scraper.clone(), alerts.clone());
     analyzer.analyze_output(&out, &run.records).expect("ip-facet windows analyze");
 
     // Workbench: build/similarity/cluster/policy/pca stage spans.
@@ -371,8 +469,12 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     // ride the snapshot below.
     let lint = lintcheck_report(&registry);
 
+    // Per-tick metrics-history overhead against the fully populated
+    // registry, continuing from the analyzer's window-roll ticks.
+    let tsdb_alert = tsdb_alert_report(&scraper, &alerts, analyzer.tick());
+
     // Live self-scrape over HTTP.
-    let serve = serve_report(&registry, &tracer);
+    let serve = serve_report(&registry, &tracer, &store, &alerts);
 
     let mut stages = serde_json::Map::new();
     println!();
@@ -411,6 +513,7 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
         "stages": serde_json::Value::Object(stages),
         "monitor": monitor,
         "lintcheck": lint,
+        "tsdb_alert": tsdb_alert,
         "serve": serve,
         "trace": {
             "spans_retained": dump.spans.len(),
@@ -604,6 +707,7 @@ fn incremental_report() -> serde_json::Value {
         let mut front = ShardedEngine::new(ShardedConfig {
             shards,
             engine: EngineConfig { workers: 2, ..Default::default() },
+            ..Default::default()
         })
         .expect("valid sharded config");
         let t0 = Instant::now();
@@ -751,10 +855,10 @@ fn main() {
         "incremental": incremental,
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR6.json";
+    let path = "BENCH_PR7.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
-    let trace_path = "TRACE_PR6.json";
+    let trace_path = "TRACE_PR7.json";
     std::fs::write(trace_path, trace_json).expect("write trace");
     println!(
         "\nwrote {path} and {trace_path} (host has {cores} core(s); speedups need \

@@ -13,11 +13,12 @@ use commgraph_graph::{CommGraph, Facet, NodeId, Result as GraphResult};
 use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
 use linalg::Parallelism;
-use obs::Obs;
+use obs::{AlertEngine, Obs, Scraper};
 use segment::{SegmentPolicy, Segmentation};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -276,6 +277,13 @@ pub struct WindowAnalysis {
 ///
 /// Warm windows record their estimated time saved vs the most recent full
 /// rebuild on `commgraph_incremental_savings_seconds`.
+///
+/// The analyzer is also the deterministic tick source for metrics history
+/// and alerting: attach a [`Scraper`] and [`AlertEngine`] with
+/// [`WindowAnalyzer::with_telemetry`] and every analyzed window advances one
+/// logical tick — scrape first, evaluate second. Ticks never read the clock,
+/// so the same input stream produces a bit-identical alert transition
+/// sequence on every run.
 #[derive(Debug)]
 pub struct WindowAnalyzer {
     min_score: f64,
@@ -288,6 +296,10 @@ pub struct WindowAnalyzer {
     prev: Option<(Segmentation, SegmentPolicy)>,
     last_full_secs: Option<f64>,
     savings: obs::Histogram,
+    subscription: Option<String>,
+    dirty_gauge: obs::Gauge,
+    telemetry: Option<(Arc<Scraper>, Arc<AlertEngine>)>,
+    tick: u64,
 }
 
 impl WindowAnalyzer {
@@ -308,6 +320,10 @@ impl WindowAnalyzer {
             prev: None,
             last_full_secs: None,
             savings,
+            subscription: None,
+            dirty_gauge: obs::Gauge::noop(),
+            telemetry: None,
+            tick: 0,
         }
     }
 
@@ -316,6 +332,14 @@ impl WindowAnalyzer {
             "commgraph_incremental_savings_seconds",
             "Estimated per-window seconds saved by incremental maintenance vs the most recent full rebuild.",
             &[],
+        )
+    }
+
+    fn resolve_dirty_gauge(o: &Obs, subscription: &str) -> obs::Gauge {
+        o.gauge(
+            "commgraph_subscription_dirty_nodes",
+            "Dirty-set size of the most recently analyzed window, per subscription.",
+            &[("subscription", subscription)],
         )
     }
 
@@ -329,8 +353,40 @@ impl WindowAnalyzer {
     /// similarity/cluster/policy plus the incremental-savings histogram.
     pub fn with_obs(mut self, o: Obs) -> Self {
         self.savings = Self::resolve_savings(&o);
+        if let Some(sub) = &self.subscription {
+            self.dirty_gauge = Self::resolve_dirty_gauge(&o, sub);
+        }
         self.obs = o;
         self
+    }
+
+    /// Label this analyzer's health telemetry with a subscription id
+    /// (builder style): each [`WindowAnalyzer::analyze`] call publishes the
+    /// window's dirty-set size on
+    /// `commgraph_subscription_dirty_nodes{subscription=...}`. Callers
+    /// multiplexing many tenants should pass the label through an
+    /// [`obs::LabelCap`] first to bound cardinality.
+    pub fn with_subscription(mut self, subscription: &str) -> Self {
+        self.dirty_gauge = Self::resolve_dirty_gauge(&self.obs, subscription);
+        self.subscription = Some(subscription.to_string());
+        self
+    }
+
+    /// Drive metrics history and alerting from window rolls (builder
+    /// style): after each analyzed window the analyzer advances one logical
+    /// tick, scrapes the scraper's registry into its TSDB, and evaluates the
+    /// alert rules against the freshly scraped history. The tick counter
+    /// starts at zero and never reads the wall clock, so replaying the same
+    /// stream yields a bit-identical alert transition sequence.
+    pub fn with_telemetry(mut self, scraper: Arc<Scraper>, alerts: Arc<AlertEngine>) -> Self {
+        self.telemetry = Some((scraper, alerts));
+        self
+    }
+
+    /// Logical ticks elapsed (windows analyzed) since construction; only
+    /// advanced when telemetry is attached.
+    pub fn tick(&self) -> u64 {
+        self.tick
     }
 
     /// Override the similarity floor of the role inference (builder style).
@@ -396,6 +452,12 @@ impl WindowAnalyzer {
         }
         self.memo = memo;
         self.prev = Some((segmentation.clone(), policy.clone()));
+        self.dirty_gauge.set(dirty.len() as f64);
+        if let Some((scraper, alerts)) = &self.telemetry {
+            self.tick += 1;
+            scraper.scrape(self.tick);
+            alerts.evaluate(self.tick, scraper.store());
+        }
         Ok(WindowAnalysis { window_start: g.window_start(), roles, segmentation, policy })
     }
 
@@ -635,6 +697,53 @@ mod tests {
         an.analyze_output(&out, &recs).unwrap();
         let savings = registry.histogram("commgraph_incremental_savings_seconds", "", &[]);
         assert_eq!(savings.count(), 2, "two warm windows record savings");
+    }
+
+    #[test]
+    fn window_rolls_drive_ticks_scrapes_and_alert_evaluation() {
+        use obs::alert::{Op, Selector};
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let o = Obs::new(registry.clone());
+        let recs = churn_stream();
+        let mut p = Pipeline::new(PipelineConfig { obs: o.clone(), ..Default::default() });
+        p.ingest(&recs);
+        let out = p.finish().unwrap();
+
+        let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
+        let scraper = Arc::new(Scraper::new(registry.clone(), store));
+        let alerts = Arc::new(AlertEngine::new(o.clone()));
+        // Total records never move between ticks once ingest is done, so
+        // this threshold fires as soon as its hold elapses.
+        alerts.add_rule(obs::AlertRule::threshold(
+            "records_seen",
+            Selector::value("commgraph_pipeline_late_records_total"),
+            Op::Ge,
+            0.0,
+            1,
+        ));
+        let monitored: HashSet<Ipv4Addr> =
+            recs.iter().flat_map(|r| [r.key.local_ip, r.key.remote_ip]).collect();
+        let mut an = WindowAnalyzer::new(monitored, true)
+            .with_obs(o)
+            .with_subscription("tenant-a")
+            .with_telemetry(scraper.clone(), alerts.clone());
+        assert_eq!(an.tick(), 0);
+        an.analyze_output(&out, &recs).unwrap();
+
+        assert_eq!(an.tick(), 3, "one logical tick per analyzed window");
+        assert_eq!(scraper.store().last_tick(), 3);
+        let dirty = registry
+            .gauge("commgraph_subscription_dirty_nodes", "", &[("subscription", "tenant-a")])
+            .get();
+        assert_eq!(dirty, out.dirty_sets[2].len() as f64, "gauge holds the last window's size");
+        // The rule held through tick 1 and fired at tick 2.
+        let fired: Vec<(u64, obs::AlertState)> =
+            alerts.history().iter().map(|t| (t.tick, t.to)).collect();
+        assert_eq!(
+            fired,
+            vec![(1, obs::AlertState::Pending), (2, obs::AlertState::Firing)],
+            "deterministic transition sequence"
+        );
     }
 
     #[test]

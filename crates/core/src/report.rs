@@ -186,9 +186,12 @@ impl SecurityReport {
         o
     }
 
-    /// Render as pretty JSON.
+    /// Render as pretty JSON. Serialization of this plain-data struct
+    /// cannot fail; if it ever did, the error surfaces as a JSON document
+    /// rather than a panic in a reporting path.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"report_error\":\"{e}\"}}"))
     }
 }
 

@@ -102,7 +102,7 @@ impl Workbench {
     /// Monitored addresses are protected from collapsing — the
     /// subscription's own resources are always visible.
     pub fn ip_graph(&mut self) -> &CommGraph {
-        if self.ip_graph.is_none() {
+        let g = self.ip_graph.take().unwrap_or_else(|| {
             let _span = self.obs.stage_span("build");
             let mut b = GraphBuilder::new(
                 Facet::Ip,
@@ -113,12 +113,11 @@ impl Workbench {
             b.add_all(&self.records);
             let raw = b.finish();
             let monitored = &self.monitored;
-            let collapsed = collapse(&raw, self.collapse_threshold, |n| {
+            collapse(&raw, self.collapse_threshold, |n| {
                 n.ip().map(|ip| monitored.contains(&ip)).unwrap_or(false)
-            });
-            self.ip_graph = Some(collapsed);
-        }
-        self.ip_graph.as_ref().expect("just set")
+            })
+        });
+        self.ip_graph.insert(g)
     }
 
     /// An uncollapsed graph under any facet (not memoized — used for
@@ -133,57 +132,60 @@ impl Workbench {
 
     /// Role inference on the IP graph (memoized).
     pub fn roles(&mut self) -> &RoleInference {
-        if self.roles.is_none() {
-            let method = self.method.clone();
-            let parallelism = self.parallelism;
-            let g = self.ip_graph().clone();
-            self.roles = Some(infer_roles_obs(&g, &method, parallelism, &self.obs));
-        }
-        self.roles.as_ref().expect("just set")
+        let roles = match self.roles.take() {
+            Some(r) => r,
+            None => {
+                let method = self.method.clone();
+                let parallelism = self.parallelism;
+                let g = self.ip_graph().clone();
+                infer_roles_obs(&g, &method, parallelism, &self.obs)
+            }
+        };
+        self.roles.insert(roles)
     }
 
     /// µsegmentation derived from the inferred roles (memoized).
     pub fn segmentation(&mut self) -> &Segmentation {
-        if self.segmentation.is_none() {
-            let monitored = self.monitored.clone();
-            let roles = self.roles().clone();
-            let g = self.ip_graph().clone();
-            let seg = Segmentation::from_inference(&g, &roles, |ip| monitored.contains(&ip))
-                .expect("workbench builds ip-facet graphs with matching labels");
-            self.segmentation = Some(seg);
-        }
-        self.segmentation.as_ref().expect("just set")
+        let seg = match self.segmentation.take() {
+            Some(s) => s,
+            None => {
+                let monitored = self.monitored.clone();
+                let roles = self.roles().clone();
+                let g = self.ip_graph().clone();
+                Segmentation::from_inference(&g, &roles, |ip| monitored.contains(&ip))
+                    .expect("workbench builds ip-facet graphs with matching labels")
+            }
+        };
+        self.segmentation.insert(seg)
     }
 
     /// Default-deny policy learned from this window's traffic (memoized,
     /// port-scoped).
     pub fn policy(&mut self) -> &SegmentPolicy {
-        if self.policy.is_none() {
-            self.segmentation();
-            let _span = self.obs.stage_span("policy");
-            let seg = self.segmentation.as_ref().expect("memoized above");
-            self.policy = Some(SegmentPolicy::learn(&self.records, seg, true));
-        }
-        self.policy.as_ref().expect("just set")
+        let policy = match self.policy.take() {
+            Some(p) => p,
+            None => {
+                let seg = self.segmentation().clone();
+                let _span = self.obs.stage_span("policy");
+                SegmentPolicy::learn(&self.records, &seg, true)
+            }
+        };
+        self.policy.insert(policy)
     }
 
     /// Check a *different* window's records against this window's learned
     /// policy — the detection workflow.
     pub fn detect(&mut self, later_records: &[ConnSummary]) -> Vec<Violation> {
-        self.policy();
-        let seg = self.segmentation.as_ref().expect("policy() memoized it").clone();
-        let policy = self.policy.as_ref().expect("memoized above").clone();
+        let policy = self.policy().clone();
+        let seg = self.segmentation().clone();
         let mut det = ViolationDetector::new(seg, policy);
         det.check_all(later_records)
     }
 
     /// Fleet-wide blast-radius report under the learned segmentation.
     pub fn blast_report(&mut self) -> FleetBlastReport {
-        self.policy();
-        fleet_blast_report(
-            self.segmentation.as_ref().expect("memoized"),
-            self.policy.as_ref().expect("memoized"),
-        )
+        let policy = self.policy().clone();
+        fleet_blast_report(self.segmentation(), &policy)
     }
 
     /// Byte CCDF of the IP graph (Figure 6).

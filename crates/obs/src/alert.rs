@@ -1,0 +1,896 @@
+//! Declarative alerting over the [`crate::tsdb`] store.
+//!
+//! Rules are evaluated once per tick against the time-series store —
+//! threshold ("roll lag p-max above 600 s"), absence ("no scrape for two
+//! ticks"), and SRE-style **dual-window burn-rate** rules over error-budget
+//! SLOs ("late records are consuming the freshness budget faster than 1×
+//! over both the fast and the slow window").
+//!
+//! Every rule runs a four-state machine:
+//!
+//! ```text
+//! inactive ──cond──▶ pending ──held `for_ticks`──▶ firing
+//!    ▲                  │cond clears                  │cond clears
+//!    └──hold elapses── resolved ◀─────────────────────┘
+//! ```
+//!
+//! Two invariants the property tests pin: **no path reaches `firing`
+//! without passing `pending`** (even `for_ticks == 0` emits the
+//! `pending` transition on the same tick), and a `resolved` alert
+//! **re-fires through `pending` again**, never directly.
+//!
+//! Transitions mirror to the structured event log (`alert` target) and to
+//! `commgraph_alert_transitions_total{rule,state}`; the current firing
+//! count is `commgraph_alert_firing_entries`; evaluation cost is
+//! `commgraph_alert_eval_seconds`.
+//!
+//! Determinism: evaluation consumes only store contents and the logical
+//! tick. Rules over deterministic series (record counts, watermarks, roll
+//! lag) therefore produce bit-identical transition sequences across runs —
+//! the contract `tests/alerting.rs` asserts over real HTTP.
+
+use crate::tsdb::{Query, SampleField, Tsdb};
+use crate::{Counter, Gauge, Histogram, Level, Obs};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Transitions retained for `/alerts` history, oldest dropped first.
+const HISTORY_CAP: usize = 1024;
+
+/// Lifecycle state of one alert rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false, nothing pending.
+    Inactive,
+    /// Condition true, but not yet held for the rule's `for_ticks`.
+    Pending,
+    /// Condition held long enough; the alert is active.
+    Firing,
+    /// Condition cleared after firing; decays to inactive after a hold.
+    Resolved,
+}
+
+impl AlertState {
+    /// Stable lowercase name (JSON output and metric label values).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+}
+
+/// Selects the single series a rule reads: family name, label subset, and
+/// sample field.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    /// Family name.
+    pub name: String,
+    /// Label pairs the series must carry (subset match).
+    pub labels: Vec<(String, String)>,
+    /// Which scalar of the metric to read.
+    pub field: SampleField,
+}
+
+impl Selector {
+    /// Select the `value` field of `name` (counters and gauges).
+    pub fn value(name: &str) -> Selector {
+        Selector { name: name.to_string(), labels: Vec::new(), field: SampleField::Value }
+    }
+
+    /// Select `field` of `name` (histogram scalars).
+    pub fn field(name: &str, field: SampleField) -> Selector {
+        Selector { name: name.to_string(), labels: Vec::new(), field }
+    }
+
+    /// Require label `key` = `value` (builder style).
+    pub fn with_label(mut self, key: &str, value: &str) -> Selector {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    fn query(&self) -> Query {
+        Query {
+            name: Some(self.name.clone()),
+            matchers: self.labels.clone(),
+            field: Some(self.field),
+            from: None,
+            to: None,
+        }
+    }
+}
+
+/// Comparison operator of a threshold rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl Op {
+    fn eval(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Op::Gt => lhs > rhs,
+            Op::Ge => lhs >= rhs,
+            Op::Lt => lhs < rhs,
+            Op::Le => lhs <= rhs,
+        }
+    }
+}
+
+/// The denominator of an error-budget SLO.
+#[derive(Debug, Clone)]
+pub enum SloTotal {
+    /// A cumulative series of total events (classic good/bad ratio SLO).
+    Series(Selector),
+    /// A fixed expected event rate per tick, for signals with no natural
+    /// total counter (e.g. "≈1000 records arrive per window").
+    PerTick(f64),
+}
+
+/// An error-budget SLO: `bad` events must stay under `1 - objective` of the
+/// total, measured over sliding tick windows.
+#[derive(Debug, Clone)]
+pub struct Slo {
+    /// Short SLO name (JSON output).
+    pub name: String,
+    /// Target good fraction, e.g. `0.999` (error budget `0.001`).
+    pub objective: f64,
+    /// Cumulative bad-event series.
+    pub bad: Selector,
+    /// Total-event denominator.
+    pub total: SloTotal,
+}
+
+impl Slo {
+    /// Burn rate over the `window` ticks ending at `tick`: the fraction of
+    /// the error budget consumed per unit of budget — 1.0 means exactly
+    /// on-budget, above 1.0 the budget depletes early. Missing data reads
+    /// as zero burn.
+    pub fn burn(&self, store: &Tsdb, window: u64, tick: u64) -> f64 {
+        let bad = store.window_delta(&self.bad.query(), window, tick).unwrap_or(0.0).max(0.0);
+        let total = match &self.total {
+            SloTotal::Series(sel) => store.window_delta(&sel.query(), window, tick).unwrap_or(0.0),
+            SloTotal::PerTick(rate) => rate * window.min(tick.max(1)) as f64,
+        };
+        let budget = (1.0 - self.objective).max(f64::MIN_POSITIVE);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (bad / total) / budget
+    }
+}
+
+/// The condition of one alert rule.
+#[derive(Debug, Clone)]
+pub enum Condition {
+    /// The latest sample of the selected series compares true against
+    /// `value`. No sample at the current tick horizon reads as false.
+    Threshold {
+        /// Series to read.
+        selector: Selector,
+        /// Comparison operator.
+        op: Op,
+        /// Right-hand side.
+        value: f64,
+    },
+    /// No sample has landed on the selected series within the last
+    /// `stale_ticks` ticks (missing series counts as absent).
+    Absence {
+        /// Series to watch.
+        selector: Selector,
+        /// Ticks of silence tolerated before the condition turns true.
+        stale_ticks: u64,
+    },
+    /// SRE dual-window burn rate: true when the SLO's burn exceeds
+    /// `factor` over **both** the fast and the slow window — fast for
+    /// detection speed, slow to reject blips.
+    BurnRate {
+        /// The error-budget SLO.
+        slo: Slo,
+        /// Fast window length, in ticks.
+        fast_ticks: u64,
+        /// Slow window length, in ticks.
+        slow_ticks: u64,
+        /// Burn multiple both windows must exceed.
+        factor: f64,
+    },
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    /// Unique rule name (label value on transition metrics).
+    pub name: String,
+    /// The condition evaluated each tick.
+    pub condition: Condition,
+    /// Consecutive-tick hold in `pending` before firing. `0` fires on the
+    /// same tick the condition turns true — still via `pending`.
+    pub for_ticks: u64,
+    /// Severity tag carried into events and JSON (`page`, `ticket`, ...).
+    pub severity: String,
+}
+
+impl AlertRule {
+    /// A threshold rule with severity `page`.
+    pub fn threshold(name: &str, selector: Selector, op: Op, value: f64, for_ticks: u64) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            condition: Condition::Threshold { selector, op, value },
+            for_ticks,
+            severity: "page".to_string(),
+        }
+    }
+
+    /// An absence rule with severity `ticket`.
+    pub fn absence(name: &str, selector: Selector, stale_ticks: u64) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            condition: Condition::Absence { selector, stale_ticks },
+            for_ticks: 0,
+            severity: "ticket".to_string(),
+        }
+    }
+
+    /// A dual-window burn-rate rule with severity `page`.
+    pub fn burn_rate(name: &str, slo: Slo, fast_ticks: u64, slow_ticks: u64, factor: f64) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            condition: Condition::BurnRate { slo, fast_ticks, slow_ticks, factor },
+            for_ticks: 0,
+            severity: "page".to_string(),
+        }
+    }
+
+    /// Override the pending hold (builder style).
+    pub fn with_for_ticks(mut self, for_ticks: u64) -> Self {
+        self.for_ticks = for_ticks;
+        self
+    }
+}
+
+/// One state-machine transition, as mirrored to the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Tick the transition happened on.
+    pub tick: u64,
+    /// Rule name.
+    pub rule: String,
+    /// State left.
+    pub from: AlertState,
+    /// State entered.
+    pub to: AlertState,
+    /// The observed value that drove the evaluation, when the condition
+    /// reads one (threshold: latest sample; burn rate: fast-window burn).
+    pub value: Option<f64>,
+}
+
+/// Point-in-time status of one rule (what `/alerts` serves).
+#[derive(Debug, Clone)]
+pub struct AlertStatus {
+    /// Rule name.
+    pub rule: String,
+    /// Severity tag.
+    pub severity: String,
+    /// Current state.
+    pub state: AlertState,
+    /// Tick the current state was entered (0 before any transition).
+    pub since_tick: u64,
+    /// Last observed condition value, if the condition reads one.
+    pub value: Option<f64>,
+}
+
+/// Point-in-time burn-rate picture of one SLO-backed rule (what `/slo`
+/// serves), recomputed at each evaluation.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// Rule name the SLO backs.
+    pub rule: String,
+    /// SLO name.
+    pub slo: String,
+    /// Target good fraction.
+    pub objective: f64,
+    /// Burn over the fast window at the last evaluation.
+    pub burn_fast: f64,
+    /// Burn over the slow window at the last evaluation.
+    pub burn_slow: f64,
+    /// Burn multiple the rule alerts at.
+    pub factor: f64,
+    /// Whether the backing rule is currently firing.
+    pub firing: bool,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    state: AlertState,
+    since_tick: u64,
+    pending_since: u64,
+    value: Option<f64>,
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    history: VecDeque<Transition>,
+    slo_status: Vec<SloStatus>,
+    last_tick: u64,
+}
+
+/// Evaluates a rule set against a [`Tsdb`] once per tick. Interior-mutable:
+/// share it as `Arc<AlertEngine>` between the tick driver and the
+/// introspection server.
+#[derive(Debug)]
+pub struct AlertEngine {
+    inner: Mutex<EngineInner>,
+    obs: Obs,
+    firing_gauge: Gauge,
+    eval_seconds: Histogram,
+    /// Ticks a resolved alert lingers before decaying to inactive.
+    resolved_hold: u64,
+}
+
+impl AlertEngine {
+    /// An empty engine reporting through `obs` (transition counters, firing
+    /// gauge, eval histogram, event log).
+    pub fn new(obs: Obs) -> AlertEngine {
+        let firing_gauge = obs.gauge(
+            "commgraph_alert_firing_entries",
+            "Alert rules currently in the firing state.",
+            &[],
+        );
+        let eval_seconds = obs.histogram(
+            "commgraph_alert_eval_seconds",
+            "Wall-clock seconds per alert-rule evaluation pass.",
+            &[],
+        );
+        AlertEngine {
+            inner: Mutex::new(EngineInner {
+                rules: Vec::new(),
+                states: Vec::new(),
+                history: VecDeque::new(),
+                slo_status: Vec::new(),
+                last_tick: 0,
+            }),
+            obs,
+            firing_gauge,
+            eval_seconds,
+            resolved_hold: 1,
+        }
+    }
+
+    /// Install one rule. Its transition counters are registered eagerly (at
+    /// zero) so one scrape shows the family even before any transition.
+    pub fn add_rule(&self, rule: AlertRule) {
+        for state in
+            [AlertState::Inactive, AlertState::Pending, AlertState::Firing, AlertState::Resolved]
+        {
+            self.transition_counter(&rule.name, state);
+        }
+        let mut inner = self.lock();
+        inner.rules.push(rule);
+        inner.states.push(RuleState {
+            state: AlertState::Inactive,
+            since_tick: 0,
+            pending_since: 0,
+            value: None,
+        });
+    }
+
+    /// Install a whole rule pack.
+    pub fn add_rules(&self, rules: impl IntoIterator<Item = AlertRule>) {
+        for rule in rules {
+            self.add_rule(rule);
+        }
+    }
+
+    /// Installed rule count.
+    pub fn rule_count(&self) -> usize {
+        self.lock().rules.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn transition_counter(&self, rule: &str, state: AlertState) -> Counter {
+        self.obs.counter(
+            "commgraph_alert_transitions_total",
+            "Alert state-machine transitions, by rule and entered state.",
+            &[("rule", rule), ("state", state.as_str())],
+        )
+    }
+
+    /// Evaluate every rule at `tick` against `store`, returning the
+    /// transitions this pass produced (in rule-installation order). Each
+    /// transition is mirrored to the event log and counted on
+    /// `commgraph_alert_transitions_total`.
+    pub fn evaluate(&self, tick: u64, store: &Tsdb) -> Vec<Transition> {
+        let t0 = std::time::Instant::now();
+        let mut transitions = Vec::new();
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.last_tick = tick;
+        inner.slo_status.clear();
+        for (rule, rs) in inner.rules.iter().zip(inner.states.iter_mut()) {
+            let (cond, value) = eval_condition(&rule.condition, store, tick);
+            rs.value = value;
+            let mut go = |rs: &mut RuleState, to: AlertState| {
+                let from = rs.state;
+                rs.state = to;
+                rs.since_tick = tick;
+                transitions.push(Transition { tick, rule: rule.name.clone(), from, to, value });
+            };
+            if cond {
+                match rs.state {
+                    AlertState::Inactive | AlertState::Resolved => {
+                        go(rs, AlertState::Pending);
+                        rs.pending_since = tick;
+                        if rule.for_ticks == 0 {
+                            go(rs, AlertState::Firing);
+                        }
+                    }
+                    AlertState::Pending => {
+                        if tick.saturating_sub(rs.pending_since) >= rule.for_ticks {
+                            go(rs, AlertState::Firing);
+                        }
+                    }
+                    AlertState::Firing => {}
+                }
+            } else {
+                match rs.state {
+                    AlertState::Pending => go(rs, AlertState::Inactive),
+                    AlertState::Firing => go(rs, AlertState::Resolved),
+                    AlertState::Resolved => {
+                        if tick.saturating_sub(rs.since_tick) >= self.resolved_hold {
+                            go(rs, AlertState::Inactive);
+                        }
+                    }
+                    AlertState::Inactive => {}
+                }
+            }
+            if let Condition::BurnRate { slo, fast_ticks, slow_ticks, factor } = &rule.condition {
+                inner.slo_status.push(SloStatus {
+                    rule: rule.name.clone(),
+                    slo: slo.name.clone(),
+                    objective: slo.objective,
+                    burn_fast: slo.burn(store, *fast_ticks, tick),
+                    burn_slow: slo.burn(store, *slow_ticks, tick),
+                    factor: *factor,
+                    firing: rs.state == AlertState::Firing,
+                });
+            }
+        }
+        let firing = inner.states.iter().filter(|s| s.state == AlertState::Firing).count();
+        for t in &transitions {
+            if inner.history.len() >= HISTORY_CAP {
+                inner.history.pop_front();
+            }
+            inner.history.push_back(t.clone());
+        }
+        drop(guard);
+        for t in &transitions {
+            self.transition_counter(&t.rule, t.to).inc();
+            let level = if t.to == AlertState::Firing { Level::Warn } else { Level::Info };
+            self.obs.event(
+                level,
+                "alert",
+                &format!("alert {} {} -> {}", t.rule, t.from.as_str(), t.to.as_str()),
+                &[
+                    ("tick", t.tick.to_string()),
+                    ("value", t.value.map_or_else(|| "none".to_string(), |v| v.to_string())),
+                ],
+            );
+        }
+        self.firing_gauge.set(firing as f64);
+        self.eval_seconds.record(t0.elapsed().as_secs_f64());
+        transitions
+    }
+
+    /// Current status of every rule, in installation order.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        let inner = self.lock();
+        inner
+            .rules
+            .iter()
+            .zip(inner.states.iter())
+            .map(|(rule, rs)| AlertStatus {
+                rule: rule.name.clone(),
+                severity: rule.severity.clone(),
+                state: rs.state,
+                since_tick: rs.since_tick,
+                value: rs.value,
+            })
+            .collect()
+    }
+
+    /// Rules currently firing.
+    pub fn firing(&self) -> Vec<AlertStatus> {
+        self.statuses().into_iter().filter(|s| s.state == AlertState::Firing).collect()
+    }
+
+    /// The retained transition history, oldest first.
+    pub fn history(&self) -> Vec<Transition> {
+        self.lock().history.iter().cloned().collect()
+    }
+
+    /// The `/alerts` document: current statuses plus the transition
+    /// history, keyed entirely by logical ticks (no wall-clock timestamps),
+    /// so deterministic runs serve bit-identical bytes.
+    pub fn alerts_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\"tick\":");
+        out.push_str(&inner.last_tick.to_string());
+        out.push_str(",\"alerts\":[");
+        for (i, (rule, rs)) in inner.rules.iter().zip(inner.states.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            out.push_str(&crate::export::json_str(&rule.name));
+            out.push_str(",\"severity\":");
+            out.push_str(&crate::export::json_str(&rule.severity));
+            out.push_str(",\"state\":\"");
+            out.push_str(rs.state.as_str());
+            out.push_str("\",\"since_tick\":");
+            out.push_str(&rs.since_tick.to_string());
+            out.push_str(",\"value\":");
+            out.push_str(&rs.value.map_or_else(|| "null".to_string(), crate::export::json_f64));
+            out.push('}');
+        }
+        out.push_str("],\"transitions\":[");
+        for (i, t) in inner.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tick\":");
+            out.push_str(&t.tick.to_string());
+            out.push_str(",\"rule\":");
+            out.push_str(&crate::export::json_str(&t.rule));
+            out.push_str(",\"from\":\"");
+            out.push_str(t.from.as_str());
+            out.push_str("\",\"to\":\"");
+            out.push_str(t.to.as_str());
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `/slo` document: the burn-rate picture captured at the last
+    /// evaluation (tick-keyed, deterministic for deterministic series).
+    pub fn slo_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\"tick\":");
+        out.push_str(&inner.last_tick.to_string());
+        out.push_str(",\"slos\":[");
+        for (i, s) in inner.slo_status.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            out.push_str(&crate::export::json_str(&s.rule));
+            out.push_str(",\"slo\":");
+            out.push_str(&crate::export::json_str(&s.slo));
+            out.push_str(",\"objective\":");
+            out.push_str(&crate::export::json_f64(s.objective));
+            out.push_str(",\"burn_fast\":");
+            out.push_str(&crate::export::json_f64(s.burn_fast));
+            out.push_str(",\"burn_slow\":");
+            out.push_str(&crate::export::json_f64(s.burn_slow));
+            out.push_str(",\"factor\":");
+            out.push_str(&crate::export::json_f64(s.factor));
+            out.push_str(",\"firing\":");
+            out.push_str(if s.firing { "true" } else { "false" });
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Evaluate one condition; returns (truth, observed value).
+fn eval_condition(cond: &Condition, store: &Tsdb, tick: u64) -> (bool, Option<f64>) {
+    match cond {
+        Condition::Threshold { selector, op, value } => {
+            match store.latest_at(&selector.query(), tick) {
+                Some((_, v)) => (op.eval(v, *value), Some(v)),
+                None => (false, None),
+            }
+        }
+        Condition::Absence { selector, stale_ticks } => {
+            match store.latest_at(&selector.query(), tick) {
+                Some((t, v)) => (tick.saturating_sub(t) > *stale_ticks, Some(v)),
+                None => (true, None),
+            }
+        }
+        Condition::BurnRate { slo, fast_ticks, slow_ticks, factor } => {
+            let fast = slo.burn(store, *fast_ticks, tick);
+            let slow = slo.burn(store, *slow_ticks, tick);
+            (fast > *factor && slow > *factor, Some(fast))
+        }
+    }
+}
+
+/// The default streaming-health alert pack, sized by the expected record
+/// rate per tick (one tick = one rolled window under the deterministic-tick
+/// contract):
+///
+/// * `window_roll_lag_high` — pipeline roll lag max above 600 s for 2 ticks.
+/// * `late_records_burn` — dual-window burn over a 99 % freshness SLO
+///   (late records vs `expected_records_per_tick`).
+/// * `dedup_drops_burn` — dual-window burn over the engine's dedup-drop
+///   budget (drops vs offered records; objective 0.2 tolerates the routine
+///   multi-vantage duplication).
+/// * `incremental_savings_stalled` — no warm-window savings sample for 4
+///   ticks while the pipeline runs incrementally.
+/// * `tsdb_scrape_stalled` — the scraper itself stopped appending.
+pub fn default_pack(expected_records_per_tick: f64) -> Vec<AlertRule> {
+    vec![
+        AlertRule::threshold(
+            "window_roll_lag_high",
+            Selector::field("commgraph_window_roll_lag_seconds", SampleField::Max)
+                .with_label("source", "pipeline"),
+            Op::Gt,
+            600.0,
+            2,
+        ),
+        AlertRule::burn_rate(
+            "late_records_burn",
+            Slo {
+                name: "freshness".to_string(),
+                objective: 0.99,
+                bad: Selector::value("commgraph_pipeline_late_records_total"),
+                total: SloTotal::PerTick(expected_records_per_tick.max(1.0)),
+            },
+            2,
+            8,
+            1.0,
+        ),
+        AlertRule::burn_rate(
+            "dedup_drops_burn",
+            Slo {
+                name: "dedup_budget".to_string(),
+                objective: 0.2,
+                bad: Selector::value("commgraph_engine_dropped_records_total"),
+                total: SloTotal::Series(Selector::value("commgraph_engine_records_in_total")),
+            },
+            2,
+            8,
+            1.0,
+        ),
+        AlertRule::absence(
+            "incremental_savings_stalled",
+            Selector::field("commgraph_incremental_savings_seconds", SampleField::Count),
+            4,
+        ),
+        AlertRule::absence(
+            "tsdb_scrape_stalled",
+            Selector::value("commgraph_tsdb_samples_total"),
+            2,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsdb::SeriesKey;
+    use crate::Registry;
+    use std::sync::Arc;
+
+    fn store_with(points: &[(u64, f64)]) -> Tsdb {
+        let db = Tsdb::default();
+        for (t, v) in points {
+            db.append(SeriesKey::value("sig_total", &[]), *t, *v);
+        }
+        db
+    }
+
+    fn seq(engine: &AlertEngine, db: &Tsdb, ticks: std::ops::RangeInclusive<u64>) -> Vec<String> {
+        let mut out = Vec::new();
+        for tick in ticks {
+            for t in engine.evaluate(tick, db) {
+                out.push(format!("{}:{}->{}", t.tick, t.from.as_str(), t.to.as_str()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn threshold_lifecycle_passes_through_every_state() {
+        let db = store_with(&[(1, 0.0), (2, 9.0), (3, 9.0), (4, 9.0), (5, 0.0), (6, 0.0)]);
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::threshold("hot", Selector::value("sig_total"), Op::Gt, 5.0, 1));
+        let trace = seq(&engine, &db, 1..=7);
+        assert_eq!(
+            trace,
+            vec![
+                "2:inactive->pending",
+                "3:pending->firing",
+                "5:firing->resolved",
+                "6:resolved->inactive",
+            ],
+        );
+    }
+
+    #[test]
+    fn zero_hold_still_passes_through_pending_on_the_same_tick() {
+        let db = store_with(&[(1, 9.0), (2, 0.0)]);
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::threshold(
+            "instant",
+            Selector::value("sig_total"),
+            Op::Gt,
+            5.0,
+            0,
+        ));
+        let trace = seq(&engine, &db, 1..=1);
+        assert_eq!(trace, vec!["1:inactive->pending", "1:pending->firing"]);
+    }
+
+    #[test]
+    fn resolved_alerts_refire_through_pending() {
+        let db = store_with(&[(1, 9.0), (2, 0.0), (3, 9.0)]);
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::threshold(
+            "flappy",
+            Selector::value("sig_total"),
+            Op::Gt,
+            5.0,
+            0,
+        ));
+        let trace = seq(&engine, &db, 1..=3);
+        assert_eq!(
+            trace,
+            vec![
+                "1:inactive->pending",
+                "1:pending->firing",
+                "2:firing->resolved",
+                "3:resolved->pending",
+                "3:pending->firing",
+            ],
+        );
+    }
+
+    #[test]
+    fn pending_clears_without_firing_on_a_blip() {
+        let db = store_with(&[(1, 9.0), (2, 0.0)]);
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::threshold("blip", Selector::value("sig_total"), Op::Gt, 5.0, 3));
+        let trace = seq(&engine, &db, 1..=2);
+        assert_eq!(trace, vec!["1:inactive->pending", "2:pending->inactive"]);
+    }
+
+    #[test]
+    fn absence_fires_on_missing_and_stale_series() {
+        let db = Tsdb::default();
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::absence("gone", Selector::value("sig_total"), 2));
+        let t = engine.evaluate(1, &db);
+        assert_eq!(t.last().map(|t| t.to), Some(AlertState::Firing), "missing series is absent");
+
+        db.append(SeriesKey::value("sig_total", &[]), 2, 1.0);
+        let t = engine.evaluate(2, &db);
+        assert_eq!(t.last().map(|t| t.to), Some(AlertState::Resolved), "fresh sample resolves");
+        // Ticks 3..=4 are within tolerance; tick 5 is 3 ticks stale.
+        assert!(engine.evaluate(4, &db).iter().all(|t| t.to != AlertState::Pending));
+        let t = engine.evaluate(5, &db);
+        assert!(t.iter().any(|t| t.to == AlertState::Firing), "stale series re-fires: {t:?}");
+    }
+
+    #[test]
+    fn burn_rate_needs_both_windows_hot() {
+        // Bad counter burns 30 of a 100-per-tick budget in ticks 4..6 —
+        // hot on the 2-tick window but still cold on the 8-tick window.
+        let db = Tsdb::default();
+        for (t, v) in [(1u64, 0.0), (2, 0.0), (3, 0.0), (4, 0.0), (5, 30.0), (6, 60.0)] {
+            db.append(SeriesKey::value("bad_total", &[]), t, v);
+        }
+        let slo = Slo {
+            name: "budget".to_string(),
+            objective: 0.9,
+            bad: Selector::value("bad_total"),
+            total: SloTotal::PerTick(100.0),
+        };
+        // fast window 2: delta v(6)-v(4) = 60 over 200 expected → ratio
+        // 0.3 / budget 0.1 → burn 3.0. slow window 5: delta v(6)-v(1) = 60
+        // over 500 → 0.12 / 0.1 → burn 1.2.
+        assert!((slo.burn(&db, 2, 6) - 3.0).abs() < 1e-12);
+        assert!((slo.burn(&db, 5, 6) - 1.2).abs() < 1e-12);
+
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::burn_rate("burn", slo, 2, 5, 1.3));
+        assert!(engine.evaluate(6, &db).is_empty(), "slow window 1.2 < factor 1.3 rejects");
+
+        let engine2 = AlertEngine::new(Obs::noop());
+        engine2.add_rule(AlertRule::burn_rate(
+            "burn",
+            Slo {
+                name: "budget".to_string(),
+                objective: 0.9,
+                bad: Selector::value("bad_total"),
+                total: SloTotal::PerTick(100.0),
+            },
+            2,
+            5,
+            1.1,
+        ));
+        let t = engine2.evaluate(6, &db);
+        assert!(t.iter().any(|t| t.to == AlertState::Firing), "both windows above 1.1: {t:?}");
+        let slos = engine2.slo_json();
+        assert!(slos.contains("\"burn_fast\":3"), "{slos}");
+        assert!(slos.contains("\"firing\":true"), "{slos}");
+    }
+
+    #[test]
+    fn transitions_mirror_to_metrics_and_events() {
+        let registry = Arc::new(Registry::new());
+        let o = Obs::new(registry.clone());
+        let db = store_with(&[(1, 9.0)]);
+        let engine = AlertEngine::new(o);
+        engine.add_rule(AlertRule::threshold("hot", Selector::value("sig_total"), Op::Gt, 5.0, 0));
+        engine.evaluate(1, &db);
+        let pending = registry
+            .counter(
+                "commgraph_alert_transitions_total",
+                "",
+                &[("rule", "hot"), ("state", "pending")],
+            )
+            .get();
+        let firing = registry
+            .counter(
+                "commgraph_alert_transitions_total",
+                "",
+                &[("rule", "hot"), ("state", "firing")],
+            )
+            .get();
+        assert_eq!((pending, firing), (1, 1));
+        assert_eq!(registry.gauge("commgraph_alert_firing_entries", "", &[]).get(), 1.0);
+        assert!(registry.histogram("commgraph_alert_eval_seconds", "", &[]).count() >= 1);
+        let events = registry.events();
+        assert!(
+            events.iter().any(|e| e.target == "alert"
+                && e.level == Level::Warn
+                && e.message.contains("pending -> firing")),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn alerts_json_is_tick_keyed() {
+        let db = store_with(&[(1, 9.0)]);
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rule(AlertRule::threshold("hot", Selector::value("sig_total"), Op::Gt, 5.0, 0));
+        engine.evaluate(1, &db);
+        let json = engine.alerts_json();
+        assert!(json.starts_with("{\"tick\":1,\"alerts\":["), "{json}");
+        assert!(
+            json.contains("\"rule\":\"hot\",\"severity\":\"page\",\"state\":\"firing\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"tick\":1,\"rule\":\"hot\",\"from\":\"inactive\",\"to\":\"pending\"}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn default_pack_installs_and_evaluates_clean_on_an_empty_store() {
+        let engine = AlertEngine::new(Obs::noop());
+        engine.add_rules(default_pack(1000.0));
+        assert_eq!(engine.rule_count(), 5);
+        let db = Tsdb::default();
+        // Absence rules fire on a silent store; that is their contract.
+        let transitions = engine.evaluate(1, &db);
+        assert!(transitions.iter().all(|t| t.rule.ends_with("_stalled")), "{transitions:?}");
+    }
+}

@@ -198,7 +198,7 @@ fn escape_label(v: &str) -> String {
 
 /// Float formatting shared by the text format: integral values render
 /// without an exponent or trailing `.0`, everything else as shortest `f64`.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v.trunc() as i64)
     } else {
@@ -207,7 +207,7 @@ fn fmt_f64(v: f64) -> String {
 }
 
 /// JSON number rendering; non-finite values become null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         fmt_f64(v)
     } else {

@@ -13,7 +13,17 @@
 //! * [`trace`] — hierarchical [`TraceSpan`]s with a bounded flight-recorder
 //!   ring, a Chrome-trace-event exporter, and a text tree renderer.
 //! * [`serve`] — a zero-dependency HTTP/1.0 introspection server exposing
-//!   `/metrics`, `/metrics.json`, `/healthz`, `/trace`, and `/events`.
+//!   `/metrics`, `/metrics.json`, `/healthz`, `/trace`, `/events`,
+//!   `/query`, `/alerts`, and `/slo`.
+//! * [`tsdb`] — a bounded in-memory time-series store: a [`Scraper`]
+//!   samples every registry family on an injectable tick (logical in
+//!   tests/pipeline, wall-clock in the live server) into fixed-capacity
+//!   delta-encoded per-series rings.
+//! * [`alert`] — declarative threshold/absence/burn-rate rules over the
+//!   store, driven through an inactive → pending → firing → resolved
+//!   state machine that mirrors to the event log.
+//! * [`cardinality`] — [`LabelCap`], the per-tenant label cap with an
+//!   explicit `overflow` bucket.
 //! * [`log`] — leveled structured [`Event`]s with `COMMGRAPH_LOG`
 //!   env-filtered stderr mirroring.
 //! * [`export`] — Prometheus text exposition and a JSON snapshot.
@@ -52,6 +62,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
+pub mod cardinality;
 pub mod export;
 pub mod log;
 pub mod metrics;
@@ -61,13 +73,17 @@ pub mod registry;
 pub mod serve;
 pub mod span;
 pub mod trace;
+pub mod tsdb;
 
+pub use crate::alert::{AlertEngine, AlertRule, AlertState, Condition, Slo, SloTotal, Transition};
+pub use crate::cardinality::LabelCap;
 pub use crate::log::{Event, Level, LogFilter};
 pub use crate::metrics::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use crate::registry::{MetricKind, MetricSnapshot, Registry, SnapshotValue};
 pub use crate::serve::{IntrospectionServer, ServerHandle};
 pub use crate::span::SpanGuard;
 pub use crate::trace::{FlightDump, SpanEvent, SpanRecord, TraceSpan, Tracer};
+pub use crate::tsdb::{Query, SampleField, Scraper, ScraperHandle, SeriesKey, Tsdb, TsdbConfig};
 
 use std::sync::{Arc, OnceLock};
 

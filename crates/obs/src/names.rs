@@ -46,6 +46,24 @@ pub const ALLOWED_SUFFIXES: &[&str] = &[
 /// Every metric family the workspace may emit, sorted by name.
 pub const METRICS: &[MetricDef] = &[
     MetricDef {
+        name: "commgraph_alert_eval_seconds",
+        kind: MetricKind::Histogram,
+        help: "Wall-clock seconds per alert-rule evaluation pass.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_alert_firing_entries",
+        kind: MetricKind::Gauge,
+        help: "Alert rules currently in the firing state.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_alert_transitions_total",
+        kind: MetricKind::Counter,
+        help: "Alert state-machine transitions, by rule and entered state.",
+        labels: &["rule", "state"],
+    },
+    MetricDef {
         name: "commgraph_engine_batch_records",
         kind: MetricKind::Histogram,
         help: "Records per ingested batch.",
@@ -178,6 +196,12 @@ pub const METRICS: &[MetricDef] = &[
         labels: &["phase"],
     },
     MetricDef {
+        name: "commgraph_obs_label_overflow_total",
+        kind: MetricKind::Counter,
+        help: "Label resolutions routed to the overflow bucket by a cardinality cap.",
+        labels: &["family"],
+    },
+    MetricDef {
         name: "commgraph_par_tiles_total",
         kind: MetricKind::Counter,
         help: "Tiles/tasks scheduled by the data-parallel work queues.",
@@ -202,10 +226,70 @@ pub const METRICS: &[MetricDef] = &[
         labels: &["path"],
     },
     MetricDef {
+        name: "commgraph_shard_subscription_entries",
+        kind: MetricKind::Gauge,
+        help: "Subscriptions resident in one shard slot of the sharded engine.",
+        labels: &["shard"],
+    },
+    MetricDef {
         name: "commgraph_stage_seconds",
         kind: MetricKind::Histogram,
         help: "Wall-clock seconds spent per streaming-pipeline stage.",
         labels: &["stage"],
+    },
+    MetricDef {
+        name: "commgraph_subscription_dirty_nodes",
+        kind: MetricKind::Gauge,
+        help: "Dirty-set size of the most recent analyzed window, per subscription.",
+        labels: &["subscription"],
+    },
+    MetricDef {
+        name: "commgraph_subscription_records_total",
+        kind: MetricKind::Counter,
+        help: "Records ingested per subscription through the sharded front door.",
+        labels: &["subscription"],
+    },
+    MetricDef {
+        name: "commgraph_subscription_roll_lag_seconds",
+        kind: MetricKind::Gauge,
+        help: "Lag between the newest window's nominal start and the record that rolled it open, per subscription.",
+        labels: &["subscription"],
+    },
+    MetricDef {
+        name: "commgraph_subscription_watermark_seconds",
+        kind: MetricKind::Gauge,
+        help: "High-water record timestamp seen per subscription.",
+        labels: &["subscription"],
+    },
+    MetricDef {
+        name: "commgraph_tsdb_evicted_samples_total",
+        kind: MetricKind::Counter,
+        help: "Samples evicted from full series rings (bounded-retention loss).",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_tsdb_memory_bytes",
+        kind: MetricKind::Gauge,
+        help: "Estimated heap bytes held by the time-series store.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_tsdb_samples_total",
+        kind: MetricKind::Counter,
+        help: "Samples appended to the in-memory time-series store.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_tsdb_scrape_seconds",
+        kind: MetricKind::Histogram,
+        help: "Wall-clock seconds per registry scrape into the time-series store.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_tsdb_series_entries",
+        kind: MetricKind::Gauge,
+        help: "Series currently retained by the time-series store.",
+        labels: &[],
     },
     MetricDef {
         name: "commgraph_window_dirty_nodes",

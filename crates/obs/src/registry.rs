@@ -90,12 +90,11 @@ pub struct Registry {
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // lint:allow(panic-path) poisoned lock means a panic is already in flight
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self.families.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let events = self.events.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         f.debug_struct("Registry")
             .field("families", &families.keys().collect::<Vec<_>>())
-            // lint:allow(panic-path) poisoned lock means a panic is already in flight
-            .field("events", &self.events.lock().expect("registry poisoned").len())
+            .field("events", &events.len())
             .finish()
     }
 }
@@ -160,8 +159,7 @@ impl Registry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> MetricCore,
     ) -> MetricCore {
-        // lint:allow(panic-path) poisoned lock means a panic is already in flight
-        let mut families = self.families.lock().expect("registry poisoned");
+        let mut families = self.families.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
             kind,
@@ -185,8 +183,7 @@ impl Registry {
 
     /// Snapshot every metric, in deterministic (name, labels) order.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        // lint:allow(panic-path) poisoned lock means a panic is already in flight
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self.families.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         let mut out = Vec::new();
         for (name, family) in families.iter() {
             for (labels, core) in family.metrics.iter() {
@@ -212,8 +209,7 @@ impl Registry {
     /// enables its level.
     pub fn push_event(&self, event: Event) {
         emit_stderr(&event);
-        // lint:allow(panic-path) poisoned lock means a panic is already in flight
-        let mut events = self.events.lock().expect("registry poisoned");
+        let mut events = self.events.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         if events.len() >= EVENT_BUFFER_CAP {
             events.pop_front();
         }
@@ -222,16 +218,19 @@ impl Registry {
 
     /// All buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        // lint:allow(panic-path) poisoned lock means a panic is already in flight
-        self.events.lock().expect("registry poisoned").iter().cloned().collect()
+        self.events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Buffered events at or above `level` severity.
     pub fn events_at_least(&self, level: Level) -> Vec<Event> {
         self.events
             .lock()
-            // lint:allow(panic-path) poisoned lock means a panic is already in flight
-            .expect("registry poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .filter(|e| e.level <= level)
             .cloned()

@@ -15,14 +15,27 @@
 //! | `/trace`        | flight-recorder dump as Chrome trace-event JSON     |
 //! | `/trace.txt`    | flight-recorder dump as an indented text tree       |
 //! | `/events`       | buffered structured events as JSON                  |
+//! | `/query`        | time-series store query as JSON (needs `with_tsdb`) |
+//! | `/alerts`       | alert statuses + transition history as JSON         |
+//! | `/slo`          | SLO burn-rate picture as JSON                       |
+//!
+//! `/query` filters with query-string parameters, all optional and
+//! conjunctive: `name=<family>`, `label.<key>=<value>` (repeatable),
+//! `field=value|count|sum|max|p50|p95|p99`, `from=<tick>`, `to=<tick>` —
+//! e.g. `/query?name=commgraph_subscription_records_total&label.subscription=t-1`.
+//! Values are taken verbatim (no percent-decoding); metric names and label
+//! values in this workspace are URL-safe by construction.
 //!
 //! Every request increments `commgraph_serve_requests_total{path=...}` with
-//! the path normalized to the known endpoint set (unknown paths count under
-//! `other`), so scrape traffic itself is visible in the scrape.
+//! the path (query string stripped) normalized to the known endpoint set
+//! (unknown paths count under `other`), so scrape traffic itself is visible
+//! in the scrape.
 
+use crate::alert::AlertEngine;
 use crate::export;
 use crate::registry::Registry;
 use crate::trace::{chrome_trace_json, render_tree, FlightDump, Tracer};
+use crate::tsdb::{Query, SampleField, Tsdb};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,24 +44,47 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Builder for the introspection server: a registry to expose, optionally a
-/// tracer whose flight recorder backs `/trace`.
+/// tracer whose flight recorder backs `/trace`, a time-series store backing
+/// `/query`, and an alert engine backing `/alerts` + `/slo`.
 #[derive(Debug, Clone)]
 pub struct IntrospectionServer {
     registry: Arc<Registry>,
     tracer: Option<Arc<Tracer>>,
+    tsdb: Option<Arc<Tsdb>>,
+    alerts: Option<Arc<AlertEngine>>,
+}
+
+/// What the accept loop serves; bundled so the thread takes one value.
+struct ServeCtx {
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+    tsdb: Option<Arc<Tsdb>>,
+    alerts: Option<Arc<AlertEngine>>,
 }
 
 impl IntrospectionServer {
     /// A server exposing `registry` (no `/trace` content until
     /// [`IntrospectionServer::with_tracer`]).
     pub fn new(registry: Arc<Registry>) -> Self {
-        IntrospectionServer { registry, tracer: None }
+        IntrospectionServer { registry, tracer: None, tsdb: None, alerts: None }
     }
 
     /// Attach the tracer whose flight recorder `/trace` and `/trace.txt`
     /// will dump.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach the time-series store `/query` reads.
+    pub fn with_tsdb(mut self, tsdb: Arc<Tsdb>) -> Self {
+        self.tsdb = Some(tsdb);
+        self
+    }
+
+    /// Attach the alert engine `/alerts` and `/slo` read.
+    pub fn with_alerts(mut self, alerts: Arc<AlertEngine>) -> Self {
+        self.alerts = Some(alerts);
         self
     }
 
@@ -60,9 +96,15 @@ impl IntrospectionServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = stop.clone();
+        let ctx = ServeCtx {
+            registry: self.registry,
+            tracer: self.tracer,
+            tsdb: self.tsdb,
+            alerts: self.alerts,
+        };
         let join = std::thread::Builder::new()
             .name("obs-introspection".to_string())
-            .spawn(move || accept_loop(listener, thread_stop, self.registry, self.tracer))?;
+            .spawn(move || accept_loop(listener, thread_stop, ctx))?;
         Ok(ServerHandle { addr: local, stop, join: Some(join) })
     }
 }
@@ -103,48 +145,58 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    stop: Arc<AtomicBool>,
-    registry: Arc<Registry>,
-    tracer: Option<Arc<Tracer>>,
-) {
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, ctx: ServeCtx) {
     loop {
         let conn = listener.accept();
         if stop.load(Ordering::SeqCst) {
             return;
         }
         if let Ok((mut stream, _)) = conn {
-            let _ = handle_conn(&mut stream, &registry, &tracer);
+            let _ = handle_conn(&mut stream, &ctx);
         }
     }
 }
 
 /// Read the request line, route it, write an HTTP/1.0 response. Any I/O
 /// error just drops the connection — one bad client must not stop serving.
-fn handle_conn(
-    stream: &mut TcpStream,
-    registry: &Arc<Registry>,
-    tracer: &Option<Arc<Tracer>>,
-) -> io::Result<()> {
+fn handle_conn(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let (method, path) = read_request_line(stream)?;
-    bump_request_counter(registry, &path);
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, query),
+        None => (path.as_str(), ""),
+    };
+    bump_request_counter(&ctx.registry, route);
+    let registry = &ctx.registry;
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
     } else {
-        match path.as_str() {
+        match route {
             "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
             "/metrics" => {
                 ("200 OK", "text/plain; version=0.0.4", export::prometheus_text(registry))
             }
             "/metrics.json" => ("200 OK", "application/json", export::json_snapshot(registry)),
-            "/trace" => ("200 OK", "application/json", chrome_trace_json(&dump_or_empty(tracer))),
+            "/trace" => {
+                ("200 OK", "application/json", chrome_trace_json(&dump_or_empty(&ctx.tracer)))
+            }
             "/trace.txt" => {
-                ("200 OK", "text/plain; charset=utf-8", render_tree(&dump_or_empty(tracer)))
+                ("200 OK", "text/plain; charset=utf-8", render_tree(&dump_or_empty(&ctx.tracer)))
             }
             "/events" => ("200 OK", "application/json", export::events_json(registry)),
+            "/query" => match &ctx.tsdb {
+                Some(db) => ("200 OK", "application/json", db.query_json(&parse_query(query))),
+                None => unavailable("no time-series store attached"),
+            },
+            "/alerts" => match &ctx.alerts {
+                Some(a) => ("200 OK", "application/json", a.alerts_json()),
+                None => unavailable("no alert engine attached"),
+            },
+            "/slo" => match &ctx.alerts {
+                Some(a) => ("200 OK", "application/json", a.slo_json()),
+                None => unavailable("no alert engine attached"),
+            },
             _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
@@ -156,6 +208,36 @@ fn handle_conn(
     stream.write_all(header.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// The 503 triple for an endpoint whose backing component is not attached.
+fn unavailable(reason: &str) -> (&'static str, &'static str, String) {
+    ("503 Service Unavailable", "text/plain; charset=utf-8", format!("{reason}\n"))
+}
+
+/// Parse `/query` parameters (see the module docs for the grammar).
+/// Unknown keys and malformed numbers are ignored — a dashboard typo
+/// returns a broader result set, never an error page.
+fn parse_query(query: &str) -> Query {
+    let mut q = Query::default();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => continue,
+        };
+        match key {
+            "name" => q.name = Some(value.to_string()),
+            "field" => q.field = SampleField::parse(value),
+            "from" => q.from = value.parse().ok(),
+            "to" => q.to = value.parse().ok(),
+            _ => {
+                if let Some(label) = key.strip_prefix("label.") {
+                    q.matchers.push((label.to_string(), value.to_string()));
+                }
+            }
+        }
+    }
+    q
 }
 
 /// A dump of the attached tracer, or an empty dump when none is attached
@@ -177,6 +259,9 @@ fn bump_request_counter(registry: &Arc<Registry>, path: &str) {
         "/trace" => "trace",
         "/trace.txt" => "trace.txt",
         "/events" => "events",
+        "/query" => "query",
+        "/alerts" => "alerts",
+        "/slo" => "slo",
         _ => "other",
     };
     registry
@@ -267,6 +352,68 @@ mod tests {
         assert!(metrics.contains("commgraph_serve_requests_total{path=\"metrics\"}"), "{metrics}");
         assert!(metrics.contains("commgraph_serve_requests_total{path=\"other\"} 1"), "{metrics}");
 
+        handle.shutdown();
+    }
+
+    #[test]
+    fn query_alerts_and_slo_endpoints_serve_attached_components() {
+        use crate::alert::{AlertRule, Op, Selector};
+        use crate::tsdb::SeriesKey;
+
+        let registry = Arc::new(Registry::new());
+        let db = Arc::new(Tsdb::default());
+        db.append(SeriesKey::value("demo_total", &[("sub", "a")]), 1, 5.0);
+        db.append(SeriesKey::value("demo_total", &[("sub", "b")]), 1, 7.0);
+        db.append(SeriesKey::value("demo_total", &[("sub", "a")]), 2, 9.0);
+        let alerts = Arc::new(AlertEngine::new(crate::Obs::new(registry.clone())));
+        alerts.add_rule(AlertRule::threshold(
+            "hot",
+            Selector::value("demo_total").with_label("sub", "a"),
+            Op::Gt,
+            4.0,
+            0,
+        ));
+        alerts.evaluate(2, &db);
+
+        let handle = IntrospectionServer::new(registry.clone())
+            .with_tsdb(db.clone())
+            .with_alerts(alerts.clone())
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/query?name=demo_total&label.sub=a");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("[[1,5],[2,9]]"), "{body}");
+        assert!(!body.contains("\"b\""), "label matcher filters: {body}");
+        let (_, ranged) = get(addr, "/query?name=demo_total&label.sub=a&from=2&to=2");
+        assert!(ranged.contains("[[2,9]]") && !ranged.contains("[1,5]"), "{ranged}");
+
+        let (head, body) = get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(
+            body.contains("\"rule\":\"hot\"") && body.contains("\"state\":\"firing\""),
+            "{body}"
+        );
+
+        let (head, body) = get(addr, "/slo");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.starts_with("{\"tick\":2,\"slos\":["), "{body}");
+
+        // Query-stringed paths count under the bare route label.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("commgraph_serve_requests_total{path=\"query\"} 2"), "{metrics}");
+        assert!(metrics.contains("commgraph_serve_requests_total{path=\"alerts\"} 1"), "{metrics}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tsdb_endpoints_without_components_return_503() {
+        let (handle, _registry, _tracer) = start_server();
+        for path in ["/query", "/alerts", "/slo"] {
+            let (head, _) = get(handle.addr(), path);
+            assert!(head.starts_with("HTTP/1.0 503"), "{path}: {head}");
+        }
         handle.shutdown();
     }
 

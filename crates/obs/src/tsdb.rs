@@ -1,0 +1,741 @@
+//! A zero-dependency bounded in-memory time-series store.
+//!
+//! A `/metrics` scrape shows *now*; nothing in the stack could say
+//! "window-roll lag has been degrading for ten windows". [`Tsdb`] closes
+//! that gap: a [`Scraper`] samples every family in the [`Registry`] on a
+//! **tick** and appends the samples to fixed-capacity per-series rings, so
+//! dashboards (and the [`crate::alert`] engine) can query trajectories, not
+//! points.
+//!
+//! # The deterministic-tick contract
+//!
+//! The tick source is injectable. [`Scraper::scrape`] takes the tick as an
+//! argument and never reads a clock to produce it, so callers choose the
+//! time base:
+//!
+//! * **Logical ticks** — tests and the pipeline call `scrape(tick)` once
+//!   per *rolled window*. Every sample timestamp is then a deterministic
+//!   function of the input records, and anything downstream (alert
+//!   transitions, `/query` output for deterministic series) is bit-identical
+//!   across runs.
+//! * **Wall-clock ticks** — the live server calls
+//!   [`Scraper::spawn_wall_clock`], which spawns a thread that bumps a
+//!   monotone tick counter every interval. Same code path, same store; only
+//!   the tick *cadence* is wall time.
+//!
+//! Sample *values* are whatever the registry holds — wall-clock histograms
+//! (`commgraph_stage_seconds`) stay nondeterministic; deterministic families
+//! (record counts, watermarks, roll lag) stay deterministic. Alert rules
+//! that must replay bit-identically simply reference deterministic series.
+//!
+//! # Storage model
+//!
+//! One series per (family, label set, sample field). Counters and gauges
+//! contribute one `value` series; histograms fan out into `count`, `sum`,
+//! `max`, `p50`, `p95`, `p99` sub-series (buckets are not retained). Each
+//! series is a bounded ring of `(tick, value)` samples with the tick stored
+//! as a `u32` delta from the series' base tick — 12 bytes per sample instead
+//! of 16. When a ring is full the oldest sample is evicted and counted;
+//! when the store holds [`TsdbConfig::max_series`] series, *new* series are
+//! dropped and counted. Nothing is silently lost.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{Registry, SnapshotValue};
+use crate::{Counter, Gauge, Histogram, Obs};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which scalar of a metric a series tracks. Counters and gauges only have
+/// [`SampleField::Value`]; histograms fan out into the remaining fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleField {
+    /// The counter or gauge value.
+    Value,
+    /// Histogram observation count.
+    Count,
+    /// Histogram sum of observations.
+    Sum,
+    /// Histogram maximum observation.
+    Max,
+    /// Histogram 50th percentile estimate.
+    P50,
+    /// Histogram 95th percentile estimate.
+    P95,
+    /// Histogram 99th percentile estimate.
+    P99,
+}
+
+impl SampleField {
+    /// Stable lowercase name (used in `/query` URLs and JSON output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SampleField::Value => "value",
+            SampleField::Count => "count",
+            SampleField::Sum => "sum",
+            SampleField::Max => "max",
+            SampleField::P50 => "p50",
+            SampleField::P95 => "p95",
+            SampleField::P99 => "p99",
+        }
+    }
+
+    /// Parse the name produced by [`SampleField::as_str`].
+    pub fn parse(s: &str) -> Option<SampleField> {
+        match s {
+            "value" => Some(SampleField::Value),
+            "count" => Some(SampleField::Count),
+            "sum" => Some(SampleField::Sum),
+            "max" => Some(SampleField::Max),
+            "p50" => Some(SampleField::P50),
+            "p95" => Some(SampleField::P95),
+            "p99" => Some(SampleField::P99),
+            _ => None,
+        }
+    }
+
+    /// The histogram sub-series, in storage order.
+    pub const HISTOGRAM_FIELDS: [SampleField; 6] = [
+        SampleField::Count,
+        SampleField::Sum,
+        SampleField::Max,
+        SampleField::P50,
+        SampleField::P95,
+        SampleField::P99,
+    ];
+}
+
+/// Identity of one stored series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Which scalar of the metric this series tracks.
+    pub field: SampleField,
+}
+
+impl SeriesKey {
+    /// A `value`-field key for a counter or gauge.
+    pub fn value(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        SeriesKey {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            field: SampleField::Value,
+        }
+    }
+
+    /// Estimated heap bytes held by this key.
+    fn heap_bytes(&self) -> usize {
+        self.name.len() + self.labels.iter().map(|(k, v)| k.len() + v.len() + 48).sum::<usize>()
+    }
+}
+
+/// One series ring: ticks are stored as `u32` deltas from `base_tick`.
+#[derive(Debug)]
+struct Series {
+    base_tick: u64,
+    /// `(tick - base_tick, value)`, oldest first, at most `capacity` long.
+    samples: VecDeque<(u32, f64)>,
+}
+
+impl Series {
+    fn push(&mut self, tick: u64, value: f64, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        // Ticks beyond the u32 delta range force a rebase onto the newest
+        // retained sample (drops everything older — counted honestly).
+        if tick.saturating_sub(self.base_tick) > u32::MAX as u64 {
+            evicted += self.samples.len() as u64;
+            self.samples.clear();
+            self.base_tick = tick;
+        }
+        while self.samples.len() >= capacity.max(1) {
+            self.samples.pop_front();
+            evicted += 1;
+        }
+        let delta = (tick - self.base_tick) as u32;
+        // Out-of-order ticks within one series are clamped forward so the
+        // ring stays sorted; the registry snapshot is taken at one tick, so
+        // this only triggers if a caller reuses a store across tick domains.
+        let delta = match self.samples.back() {
+            Some(&(last, _)) if last > delta => last,
+            _ => delta,
+        };
+        self.samples.push_back((delta, value));
+        evicted
+    }
+
+    fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let base = self.base_tick;
+        self.samples.iter().map(move |&(d, v)| (base + d as u64, v))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<(u32, f64)>()
+    }
+}
+
+/// Bounds of a [`Tsdb`].
+#[derive(Debug, Clone)]
+pub struct TsdbConfig {
+    /// Samples retained per series; the oldest is evicted beyond this.
+    pub capacity_per_series: usize,
+    /// Series retained in total; *new* series beyond this are dropped (and
+    /// counted on [`Tsdb::dropped_series`]).
+    pub max_series: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        TsdbConfig { capacity_per_series: 512, max_series: 4096 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TsdbInner {
+    series: BTreeMap<SeriesKey, Series>,
+    appended: u64,
+    evicted: u64,
+    dropped_series: u64,
+    last_tick: u64,
+}
+
+/// The bounded in-memory time-series store. Interior-mutable: share it as
+/// `Arc<Tsdb>` between the [`Scraper`], the alert engine, and the
+/// introspection server.
+#[derive(Debug)]
+pub struct Tsdb {
+    cfg: TsdbConfig,
+    inner: Mutex<TsdbInner>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+/// A label matcher (`key` must equal `value`) for [`Query`].
+pub type Matcher = (String, String);
+
+/// A series selection: all fields optional, all conditions conjunctive.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Exact family name to match (`None` matches every family).
+    pub name: Option<String>,
+    /// Label pairs the series must carry (subset match).
+    pub matchers: Vec<Matcher>,
+    /// Restrict to one sample field.
+    pub field: Option<SampleField>,
+    /// Inclusive lower tick bound.
+    pub from: Option<u64>,
+    /// Inclusive upper tick bound.
+    pub to: Option<u64>,
+}
+
+impl Query {
+    /// Select one family by name.
+    pub fn family(name: &str) -> Query {
+        Query { name: Some(name.to_string()), ..Query::default() }
+    }
+
+    /// Require label `key` = `value` (builder style).
+    pub fn with_label(mut self, key: &str, value: &str) -> Query {
+        self.matchers.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Restrict to one sample field (builder style).
+    pub fn with_field(mut self, field: SampleField) -> Query {
+        self.field = Some(field);
+        self
+    }
+
+    fn matches(&self, key: &SeriesKey) -> bool {
+        if self.name.as_deref().is_some_and(|n| n != key.name) {
+            return false;
+        }
+        if self.field.is_some_and(|f| f != key.field) {
+            return false;
+        }
+        self.matchers.iter().all(|(mk, mv)| key.labels.iter().any(|(k, v)| k == mk && v == mv))
+    }
+}
+
+/// One series returned by [`Tsdb::query`].
+#[derive(Debug, Clone)]
+pub struct SeriesData {
+    /// The series identity.
+    pub key: SeriesKey,
+    /// `(tick, value)` samples, oldest first, within the query range.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Tsdb {
+    /// An empty store with the given bounds.
+    pub fn new(cfg: TsdbConfig) -> Tsdb {
+        Tsdb { cfg, inner: Mutex::new(TsdbInner::default()) }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> &TsdbConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TsdbInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Append one sample. Out-of-order ticks within a series are clamped
+    /// onto the newest retained tick so rings stay sorted.
+    pub fn append(&self, key: SeriesKey, tick: u64, value: f64) {
+        let capacity = self.cfg.capacity_per_series;
+        let max_series = self.cfg.max_series;
+        let mut inner = self.lock();
+        inner.last_tick = inner.last_tick.max(tick);
+        if !inner.series.contains_key(&key) && inner.series.len() >= max_series {
+            inner.dropped_series += 1;
+            return;
+        }
+        let series = inner
+            .series
+            .entry(key)
+            .or_insert_with(|| Series { base_tick: tick, samples: VecDeque::new() });
+        let evicted = series.push(tick, value, capacity);
+        inner.evicted += evicted;
+        inner.appended += 1;
+    }
+
+    /// Series currently retained.
+    pub fn series_count(&self) -> usize {
+        self.lock().series.len()
+    }
+
+    /// Samples appended over the store's lifetime (including later-evicted).
+    pub fn appended_samples(&self) -> u64 {
+        self.lock().appended
+    }
+
+    /// Samples evicted by ring capacity over the store's lifetime.
+    pub fn evicted_samples(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    /// Series dropped because [`TsdbConfig::max_series`] was reached.
+    pub fn dropped_series(&self) -> u64 {
+        self.lock().dropped_series
+    }
+
+    /// Highest tick ever appended.
+    pub fn last_tick(&self) -> u64 {
+        self.lock().last_tick
+    }
+
+    /// Estimated heap footprint of the retained data, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let inner = self.lock();
+        inner.series.iter().map(|(k, s)| k.heap_bytes() + s.heap_bytes() + 64).sum()
+    }
+
+    /// All matching series, keys in deterministic (name, labels, field)
+    /// order, each with its in-range points oldest-first.
+    pub fn query(&self, q: &Query) -> Vec<SeriesData> {
+        let inner = self.lock();
+        inner
+            .series
+            .iter()
+            .filter(|(key, _)| q.matches(key))
+            .map(|(key, series)| SeriesData {
+                key: key.clone(),
+                points: series
+                    .points()
+                    .filter(|(t, _)| {
+                        q.from.is_none_or(|f| *t >= f) && q.to.is_none_or(|to| *t <= to)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The newest sample at or before `tick` of the first series matching
+    /// `q` (queries meant for alerting should select exactly one series).
+    pub fn latest_at(&self, q: &Query, tick: u64) -> Option<(u64, f64)> {
+        let inner = self.lock();
+        inner
+            .series
+            .iter()
+            .find(|(key, _)| q.matches(key))
+            .and_then(|(_, s)| s.points().take_while(|(t, _)| *t <= tick).last())
+    }
+
+    /// Increase of a (cumulative) series over the `window` ticks ending at
+    /// `tick`: newest value at or before `tick` minus the newest value at or
+    /// before `tick - window` (falling back to the oldest retained sample
+    /// when the window start predates retention — a documented undercount
+    /// for series born mid-window). `None` when the series has no sample at
+    /// or before `tick`.
+    pub fn window_delta(&self, q: &Query, window: u64, tick: u64) -> Option<f64> {
+        let inner = self.lock();
+        let (_, series) = inner.series.iter().find(|(key, _)| q.matches(key))?;
+        let upto: Vec<(u64, f64)> = series.points().take_while(|(t, _)| *t <= tick).collect();
+        let (_, end) = *upto.last()?;
+        let floor = tick.saturating_sub(window);
+        let start = upto
+            .iter()
+            .take_while(|(t, _)| *t <= floor)
+            .last()
+            .or_else(|| upto.first())
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        Some(end - start)
+    }
+
+    /// Render a query result as JSON:
+    /// `{"series":[{"name":..,"labels":{..},"field":..,"points":[[tick,value],..]},..]}`.
+    /// Output is deterministic for deterministic inputs (tick-keyed, no
+    /// wall-clock timestamps).
+    pub fn query_json(&self, q: &Query) -> String {
+        let mut out = String::from("{\"series\":[");
+        for (i, s) in self.query(q).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&crate::export::json_str(&s.key.name));
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in s.key.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&crate::export::json_str(k));
+                out.push(':');
+                out.push_str(&crate::export::json_str(v));
+            }
+            out.push_str("},\"field\":\"");
+            out.push_str(s.key.field.as_str());
+            out.push_str("\",\"points\":[");
+            for (j, (t, v)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&t.to_string());
+                out.push(',');
+                out.push_str(&crate::export::json_f64(*v));
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Samples every family of a [`Registry`] into a [`Tsdb`] on each tick, and
+/// reports its own cost and the store's occupancy as `commgraph_tsdb_*`
+/// metrics (which the *next* tick then samples — the store observes itself
+/// one tick behind).
+#[derive(Debug)]
+pub struct Scraper {
+    registry: Arc<Registry>,
+    store: Arc<Tsdb>,
+    samples: Counter,
+    evicted: Counter,
+    scrape_seconds: Histogram,
+    series_gauge: Gauge,
+    memory_gauge: Gauge,
+    evicted_seen: AtomicU64,
+}
+
+impl Scraper {
+    /// A scraper from `registry` into `store`. Self-metrics are resolved in
+    /// the same registry immediately, so they are present from the first
+    /// scrape onward.
+    pub fn new(registry: Arc<Registry>, store: Arc<Tsdb>) -> Scraper {
+        let o = Obs::new(registry.clone());
+        Scraper {
+            samples: o.counter(
+                "commgraph_tsdb_samples_total",
+                "Samples appended to the in-memory time-series store.",
+                &[],
+            ),
+            evicted: o.counter(
+                "commgraph_tsdb_evicted_samples_total",
+                "Samples evicted from full series rings (bounded-retention loss).",
+                &[],
+            ),
+            scrape_seconds: o.histogram(
+                "commgraph_tsdb_scrape_seconds",
+                "Wall-clock seconds per registry scrape into the time-series store.",
+                &[],
+            ),
+            series_gauge: o.gauge(
+                "commgraph_tsdb_series_entries",
+                "Series currently retained by the time-series store.",
+                &[],
+            ),
+            memory_gauge: o.gauge(
+                "commgraph_tsdb_memory_bytes",
+                "Estimated heap bytes held by the time-series store.",
+                &[],
+            ),
+            registry,
+            store,
+            evicted_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<Tsdb> {
+        &self.store
+    }
+
+    /// The scraped registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Sample every metric in the registry at logical time `tick`. Counters
+    /// and gauges append one `value` sample; histograms append their
+    /// [`SampleField::HISTOGRAM_FIELDS`] scalars. Returns the number of
+    /// samples appended.
+    pub fn scrape(&self, tick: u64) -> usize {
+        let t0 = std::time::Instant::now();
+        let mut appended = 0usize;
+        for snap in self.registry.snapshot() {
+            let key = |field: SampleField| SeriesKey {
+                name: snap.name.clone(),
+                labels: snap.labels.clone(),
+                field,
+            };
+            match &snap.value {
+                SnapshotValue::Counter(v) => {
+                    self.store.append(key(SampleField::Value), tick, *v as f64);
+                    appended += 1;
+                }
+                SnapshotValue::Gauge(v) => {
+                    self.store.append(key(SampleField::Value), tick, *v);
+                    appended += 1;
+                }
+                SnapshotValue::Histogram(h) => {
+                    for field in SampleField::HISTOGRAM_FIELDS {
+                        self.store.append(key(field), tick, histogram_field(h, field));
+                        appended += 1;
+                    }
+                }
+            }
+        }
+        self.samples.add(appended as u64);
+        let evicted_now = self.store.evicted_samples();
+        let seen = self.evicted_seen.swap(evicted_now, Ordering::Relaxed);
+        self.evicted.add(evicted_now.saturating_sub(seen));
+        self.series_gauge.set(self.store.series_count() as f64);
+        self.memory_gauge.set(self.store.memory_bytes() as f64);
+        self.scrape_seconds.record(t0.elapsed().as_secs_f64());
+        appended
+    }
+
+    /// Spawn a wall-clock tick source: a thread that calls
+    /// [`Scraper::scrape`] with a monotone tick counter every `interval`.
+    /// This is the live-server mode of the deterministic-tick contract; the
+    /// returned handle stops the thread on [`ScraperHandle::shutdown`] or
+    /// drop.
+    pub fn spawn_wall_clock(self: Arc<Self>, interval: Duration) -> std::io::Result<ScraperHandle> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let join =
+            std::thread::Builder::new().name("obs-tsdb-scraper".to_string()).spawn(move || {
+                let mut tick = 0u64;
+                while !thread_stop.load(Ordering::SeqCst) {
+                    tick += 1;
+                    self.scrape(tick);
+                    // Sleep in small slices so shutdown is prompt.
+                    let mut left = interval;
+                    while !thread_stop.load(Ordering::SeqCst) && left > Duration::ZERO {
+                        let step = left.min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        left = left.saturating_sub(step);
+                    }
+                }
+            })?;
+        Ok(ScraperHandle { stop, join: Some(join) })
+    }
+}
+
+/// Extract one scalar field from a histogram snapshot.
+fn histogram_field(h: &HistogramSnapshot, field: SampleField) -> f64 {
+    match field {
+        SampleField::Value => f64::NAN,
+        SampleField::Count => h.count as f64,
+        SampleField::Sum => h.sum,
+        SampleField::Max => h.max,
+        SampleField::P50 => h.p50,
+        SampleField::P95 => h.p95,
+        SampleField::P99 => h.p99,
+    }
+}
+
+/// Owns the wall-clock scraper thread; stops it on shutdown or drop.
+#[derive(Debug)]
+pub struct ScraperHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ScraperHandle {
+    /// Stop the scraper thread and join it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(join) = self.join.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = join.join();
+    }
+}
+
+impl Drop for ScraperHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_query_round_trip() {
+        let db = Tsdb::default();
+        for t in 1..=5u64 {
+            db.append(SeriesKey::value("a_total", &[("k", "x")]), t, t as f64);
+            db.append(SeriesKey::value("b_total", &[]), t, 10.0 * t as f64);
+        }
+        let all = db.query(&Query::default());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].key.name, "a_total");
+        assert_eq!(all[0].points, (1..=5).map(|t| (t, t as f64)).collect::<Vec<_>>());
+
+        let ranged = db.query(&Query { from: Some(2), to: Some(4), ..Query::family("b_total") });
+        assert_eq!(ranged.len(), 1);
+        assert_eq!(ranged[0].points, vec![(2, 20.0), (3, 30.0), (4, 40.0)]);
+
+        let labeled = db.query(&Query::family("a_total").with_label("k", "x"));
+        assert_eq!(labeled.len(), 1);
+        assert!(db.query(&Query::family("a_total").with_label("k", "y")).is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest_and_counts_honestly() {
+        let db = Tsdb::new(TsdbConfig { capacity_per_series: 3, max_series: 10 });
+        for t in 1..=7u64 {
+            db.append(SeriesKey::value("x_total", &[]), t, t as f64);
+        }
+        let s = &db.query(&Query::default())[0];
+        assert_eq!(s.points, vec![(5, 5.0), (6, 6.0), (7, 7.0)], "oldest evicted first");
+        assert_eq!(db.appended_samples(), 7);
+        assert_eq!(db.evicted_samples(), 4);
+        // Conservation: retained + evicted == appended.
+        assert_eq!(s.points.len() as u64 + db.evicted_samples(), db.appended_samples());
+    }
+
+    #[test]
+    fn max_series_drops_new_series_and_counts() {
+        let db = Tsdb::new(TsdbConfig { capacity_per_series: 8, max_series: 2 });
+        db.append(SeriesKey::value("a_total", &[]), 1, 1.0);
+        db.append(SeriesKey::value("b_total", &[]), 1, 1.0);
+        db.append(SeriesKey::value("c_total", &[]), 1, 1.0);
+        // Existing series still accept samples at the cap.
+        db.append(SeriesKey::value("a_total", &[]), 2, 2.0);
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.dropped_series(), 1);
+        assert_eq!(db.appended_samples(), 3);
+    }
+
+    #[test]
+    fn window_delta_and_latest() {
+        let db = Tsdb::default();
+        let q = Query::family("c_total");
+        for (t, v) in [(1u64, 0.0), (2, 10.0), (3, 10.0), (4, 25.0)] {
+            db.append(SeriesKey::value("c_total", &[]), t, v);
+        }
+        assert_eq!(db.latest_at(&q, 4), Some((4, 25.0)));
+        assert_eq!(db.latest_at(&q, 3), Some((3, 10.0)));
+        assert_eq!(db.latest_at(&q, 0), None);
+        assert_eq!(db.window_delta(&q, 2, 4), Some(15.0), "v(4) - v(2)");
+        assert_eq!(db.window_delta(&q, 10, 4), Some(25.0), "clamps to oldest retained");
+        assert_eq!(db.window_delta(&q, 2, 0), None, "no sample at or before tick 0");
+    }
+
+    #[test]
+    fn scraper_samples_counters_gauges_and_histogram_fields() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("demo_total", "h", &[]).add(3);
+        registry.gauge("demo_depth_entries", "h", &[]).set(2.0);
+        let h = registry.histogram("demo_seconds", "h", &[]);
+        h.record(1.0);
+        h.record(2.0);
+
+        let scraper = Scraper::new(registry.clone(), Arc::new(Tsdb::default()));
+        let appended = scraper.scrape(1);
+        let db = scraper.store();
+        let counter = db.query(&Query::family("demo_total"));
+        assert_eq!(counter[0].points, vec![(1, 3.0)]);
+        let hist = db.query(&Query::family("demo_seconds"));
+        assert_eq!(hist.len(), 6, "histograms fan out into scalar sub-series");
+        let count = db.query(&Query::family("demo_seconds").with_field(SampleField::Count));
+        assert_eq!(count[0].points, vec![(1, 2.0)]);
+        let sum = db.query(&Query::family("demo_seconds").with_field(SampleField::Sum));
+        assert_eq!(sum[0].points, vec![(1, 3.0)]);
+        assert!(appended >= 12, "user metrics plus scraper self-metrics: {appended}");
+        assert_eq!(db.appended_samples(), appended as u64);
+
+        // Second scrape sees the scraper's own scrape_seconds histogram.
+        scraper.scrape(2);
+        let self_cost = db.query(&Query::family("commgraph_tsdb_scrape_seconds"));
+        assert!(!self_cost.is_empty(), "store observes its own cost one tick behind");
+        assert_eq!(db.last_tick(), 2);
+    }
+
+    #[test]
+    fn query_json_is_tick_keyed_and_parseable_shape() {
+        let db = Tsdb::default();
+        db.append(SeriesKey::value("a_total", &[("sub", "t-1")]), 3, 7.5);
+        let json = db.query_json(&Query::family("a_total"));
+        assert_eq!(
+            json,
+            "{\"series\":[{\"name\":\"a_total\",\"labels\":{\"sub\":\"t-1\"},\
+             \"field\":\"value\",\"points\":[[3,7.5]]}]}"
+        );
+    }
+
+    #[test]
+    fn memory_estimate_tracks_growth() {
+        let db = Tsdb::default();
+        let before = db.memory_bytes();
+        for t in 0..100u64 {
+            db.append(SeriesKey::value("m_total", &[]), t, t as f64);
+        }
+        assert!(db.memory_bytes() > before, "samples cost memory");
+    }
+
+    #[test]
+    fn wall_clock_scraper_ticks_and_stops() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("wc_total", "h", &[]).inc();
+        let scraper = Arc::new(Scraper::new(registry, Arc::new(Tsdb::default())));
+        let handle = scraper.clone().spawn_wall_clock(Duration::from_millis(5)).unwrap();
+        let t0 = std::time::Instant::now();
+        while scraper.store().last_tick() < 2 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.shutdown();
+        assert!(scraper.store().last_tick() >= 2, "wall-clock ticks advanced");
+        let points = &scraper.store().query(&Query::family("wc_total"))[0].points;
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0), "monotone ticks");
+    }
+}

@@ -129,6 +129,98 @@ fn histogram_quantiles_track_exact_sorted_baseline() {
     assert_eq!(h.count(), 20_000);
 }
 
+/// Property: across any condition sequence, the alert state machine never
+/// skips the pending state on the way to firing, only resolves out of
+/// firing, and re-fires a resolved alert through pending again. Driven by a
+/// deterministic pseudo-random signal against rules at several hold times.
+#[test]
+fn alert_state_machine_transitions_are_well_formed_under_random_signals() {
+    use obs::alert::{Op, Selector};
+    use obs::AlertState::{Firing, Inactive, Pending, Resolved};
+
+    let store = obs::Tsdb::new(obs::TsdbConfig::default());
+    let engine = obs::AlertEngine::new(Obs::noop());
+    for hold in [0u64, 1, 2, 4] {
+        engine.add_rule(obs::AlertRule::threshold(
+            &format!("prop_hold_{hold}"),
+            Selector::value("prop_signal"),
+            Op::Gt,
+            0.5,
+            hold,
+        ));
+    }
+    let key = obs::SeriesKey::value("prop_signal", &[]);
+    let mut next = lcg();
+    let mut all = Vec::new();
+    for tick in 1..=600u64 {
+        store.append(key.clone(), tick, next());
+        all.extend(engine.evaluate(tick, &store));
+    }
+    assert!(all.len() > 50, "random signal exercises the machine: {}", all.len());
+
+    let mut last = std::collections::HashMap::new();
+    let mut prev_tick = 0u64;
+    for t in &all {
+        assert!(t.tick >= prev_tick, "transitions are tick-ordered");
+        prev_tick = t.tick;
+        let from = last.get(&t.rule).copied().unwrap_or(Inactive);
+        assert_eq!(t.from, from, "{}: transitions chain without gaps", t.rule);
+        match t.to {
+            Pending => assert!(matches!(t.from, Inactive | Resolved), "{t:?}"),
+            Firing => assert_eq!(t.from, Pending, "firing only enters from pending: {t:?}"),
+            Resolved => assert_eq!(t.from, Firing, "resolved only exits firing: {t:?}"),
+            Inactive => assert!(matches!(t.from, Pending | Resolved), "{t:?}"),
+        }
+        last.insert(t.rule.clone(), t.to);
+    }
+    // Replaying the full transition log lands exactly on the live statuses.
+    for s in engine.statuses() {
+        assert_eq!(s.state, last.get(&s.rule).copied().unwrap_or(Inactive), "{}", s.rule);
+    }
+}
+
+/// Property: under any label stream, the cardinality cap admits at most
+/// `cap` distinct values, routes everything else to the shared overflow
+/// bucket, and never loses a count — per-label tallies plus the overflow
+/// bucket always sum to the number of events.
+#[test]
+fn label_cap_conserves_counts_under_random_label_streams() {
+    let r = Arc::new(Registry::new());
+    let o = Obs::new(r.clone());
+    let cap = obs::LabelCap::new(&o, "prop", 8);
+    let mut next = lcg();
+    let mut sim_admitted = std::collections::HashSet::new();
+    let mut expected = std::collections::HashMap::<String, u64>::new();
+    const EVENTS: u64 = 5_000;
+    for _ in 0..EVENTS {
+        let label = format!("tenant-{}", (next() * 40.0) as usize);
+        let routed = cap.resolve(&label);
+        r.counter("prop_events_total", "h", &[("tenant", &routed)]).inc();
+        if sim_admitted.contains(&label) || sim_admitted.len() < 8 {
+            sim_admitted.insert(label.clone());
+            assert_eq!(routed, label, "admitted labels pass through unchanged");
+        } else {
+            assert_eq!(routed, obs::cardinality::OVERFLOW, "late labels route to overflow");
+        }
+        *expected.entry(routed).or_default() += 1;
+    }
+    assert_eq!(cap.admitted(), 8, "pool of 40 labels saturates a cap of 8");
+    let mut total = 0u64;
+    for m in r.snapshot() {
+        if m.name != "prop_events_total" {
+            continue;
+        }
+        let obs::SnapshotValue::Counter(v) = m.value else { panic!("counter family") };
+        let label = &m.labels[0].1;
+        assert_eq!(Some(&v), expected.get(label.as_str()), "tally for {label}");
+        total += v;
+    }
+    assert_eq!(total, EVENTS, "no event lost or double-counted across the cap");
+    let routed_overflow =
+        r.counter("commgraph_obs_label_overflow_total", "", &[("family", "prop")]).get();
+    assert_eq!(routed_overflow, expected.get(obs::cardinality::OVERFLOW).copied().unwrap_or(0));
+}
+
 #[test]
 fn spans_feed_stage_histograms_through_the_handle() {
     let r = Arc::new(Registry::new());

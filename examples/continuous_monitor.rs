@@ -13,7 +13,8 @@
 use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
 use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
 use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
-use commgraph::obs::{trace, Obs, Registry, Tracer};
+use commgraph::obs::alert::default_pack;
+use commgraph::obs::{trace, AlertEngine, Obs, Registry, Scraper, Tracer, Tsdb, TsdbConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -41,7 +42,11 @@ fn main() {
     // flight recorder.
     let registry = Arc::new(Registry::new());
     let tracer = Arc::new(Tracer::new(512));
-    let obs = Obs::new(registry).with_tracer(tracer.clone());
+    let obs = Obs::new(registry.clone()).with_tracer(tracer.clone());
+    // Metrics history + alerting: each closed window is one logical tick.
+    let store = Arc::new(Tsdb::new(TsdbConfig::default()));
+    let scraper = Arc::new(Scraper::new(registry, store.clone()));
+    let alerts = Arc::new(AlertEngine::new(obs.clone()));
     let mut monitor = SecurityMonitor::with_obs(
         MonitorConfig { window_len: 1200, learn_windows: 3, ..Default::default() },
         monitored,
@@ -49,12 +54,22 @@ fn main() {
     );
     monitor.max_violation_events = 3; // headline examples only
 
+    // The default pack's freshness SLO is sized by expected records per
+    // tick; each WindowSummary below advances one tick.
+    alerts.add_rules(default_pack(2000.0));
+    let mut tick = 0u64;
+
     println!("streaming two hours of '{}' telemetry through the monitor …\n", preset.name());
     let root = obs.trace_root("monitor_run");
     let mut events = Vec::new();
     let mut recorder_dumped = false;
     sim.run(120, |_, batch| {
         for e in monitor.ingest(batch) {
+            if matches!(e, MonitorEvent::WindowSummary { .. }) {
+                tick += 1;
+                scraper.scrape(tick);
+                alerts.evaluate(tick, &store);
+            }
             // First incident → dump the flight recorder: the trace of every
             // window closed so far, with the anomaly event on its span.
             let incident = matches!(e, MonitorEvent::PolicyViolation(_))
@@ -109,4 +124,14 @@ fn main() {
     println!("immediately (lateral probes are tiny — far too small to disturb the");
     println!("byte-matrix eigenstructure, so the anomaly score stays flat; bulk");
     println!("exfiltration is what trips that detector — see exp_anomaly).");
+
+    let firing = alerts.firing();
+    if firing.is_empty() {
+        println!("\nno metric alerts firing after {tick} ticks");
+    } else {
+        println!("\nmetric alerts firing after {tick} ticks:");
+        for a in firing {
+            println!("  ⚠ {} [{}] since tick {}", a.rule, a.severity, a.since_tick);
+        }
+    }
 }

@@ -22,7 +22,10 @@ use commgraph::cloudsim::{ClusterPreset, Simulator};
 use commgraph::graph::Facet;
 use commgraph::linalg::quantize::{log_normalize, to_ascii};
 use commgraph::linalg::Matrix;
-use commgraph::obs::{trace, IntrospectionServer, Obs, Registry, Tracer};
+use commgraph::obs::alert::default_pack;
+use commgraph::obs::{
+    trace, AlertEngine, IntrospectionServer, Obs, Registry, Scraper, Tracer, Tsdb, TsdbConfig,
+};
 use commgraph::pipeline::{Pipeline, PipelineConfig};
 use std::io::{Read as _, Write as _};
 use std::sync::Arc;
@@ -50,6 +53,12 @@ fn main() {
     let registry = Arc::new(Registry::new());
     let tracer = Arc::new(Tracer::new(2048));
     let obs = Obs::new(registry.clone()).with_tracer(tracer.clone());
+    // Metrics history + alerting: every displayed hour is one logical tick —
+    // the registry is scraped into the TSDB and the default alert pack is
+    // evaluated against the fresh history.
+    let store = Arc::new(Tsdb::new(TsdbConfig::default()));
+    let scraper = Arc::new(Scraper::new(registry.clone(), store.clone()));
+    let alerts = Arc::new(AlertEngine::new(obs.clone()));
     let mut pipeline = Pipeline::new(PipelineConfig {
         facet: Facet::Ip,
         window_len: 3600,
@@ -79,7 +88,11 @@ fn main() {
         "volume moves"
     );
     let seq = &out.sequence;
+    alerts.add_rules(default_pack(out.total_records as f64 / seq.len().max(1) as f64));
     for (i, g) in seq.graphs().iter().enumerate() {
+        let tick = i as u64 + 1;
+        scraper.scrape(tick);
+        alerts.evaluate(tick, &store);
         let (ej, added, removed, changed) = if i == 0 {
             (1.0, 0, 0, 0)
         } else {
@@ -130,11 +143,16 @@ fn main() {
     // this is exactly what a Prometheus scraper (or curl) would see.
     let server = IntrospectionServer::new(registry.clone())
         .with_tracer(tracer.clone())
+        .with_tsdb(store.clone())
+        .with_alerts(alerts.clone())
         .start("127.0.0.1:0")
         .expect("bind an ephemeral port");
     println!("\nintrospection server listening on http://{}", server.addr());
     println!("── /metrics (scraped over HTTP) ────────────────────────────────");
     print!("{}", http_get(server.addr(), "/metrics"));
+
+    println!("── /alerts (scraped over HTTP) ─────────────────────────────────");
+    println!("{}", http_get(server.addr(), "/alerts"));
 
     println!("── flight recorder (/trace.txt) ────────────────────────────────");
     print!("{}", trace::render_tree(&tracer.dump()));
@@ -144,12 +162,22 @@ fn main() {
         std::env::var("COMMGRAPH_SERVE_SECS").ok().and_then(|s| s.parse::<u64>().ok())
     {
         println!(
-            "\nserving http://{} for {secs}s — try /metrics, /healthz, /trace (Perfetto), /trace.txt",
+            "\nserving http://{} for {secs}s — try /metrics, /query?name=..., /alerts, /slo, /trace",
             server.addr()
         );
         std::thread::sleep(std::time::Duration::from_secs(secs));
     }
     server.shutdown();
+
+    let firing = alerts.firing();
+    if firing.is_empty() {
+        println!("\nno alerts firing after {} ticks", seq.len());
+    } else {
+        println!("\nalerts firing after {} ticks:", seq.len());
+        for a in firing {
+            println!("  ⚠ {} [{}] since tick {}", a.rule, a.severity, a.since_tick);
+        }
+    }
 }
 
 /// Minimal HTTP/1.0 GET against our own introspection server.

@@ -5,15 +5,18 @@
 //!    family in the canonical `obs::names` table — nothing is registered
 //!    lazily enough to be invisible to a dashboard that scrapes once.
 //! 2. The flight recorder's Chrome trace-event export (the same bytes
-//!    `/trace` serves and `bench_report` writes to `TRACE_PR6.json`) parses
+//!    `/trace` serves and `bench_report` writes to `TRACE_PR7.json`) parses
 //!    as JSON with at least one root `pipeline_run` span whose stage
 //!    children nest correctly by both explicit parent id and time
 //!    containment.
+//! 3. The metrics-history endpoints (`/query`, `/alerts`, `/slo`) serve the
+//!    scraped TSDB and the alert engine over the same HTTP pass.
 //!
 //! This test runs as its own process, so installing the global registry here
 //! cannot leak into other tests.
 
 use commgraph::analytics::engine::{EngineConfig, StreamEngine};
+use commgraph::analytics::sharded::{ShardedConfig, ShardedEngine};
 use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
 use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
 use commgraph::linalg::Parallelism;
@@ -39,7 +42,7 @@ fn http_get(addr: SocketAddr, path: &str) -> String {
 
 /// Run every instrumented subsystem once so each canonical family has a
 /// registration (values may be zero — presence is the contract).
-fn exercise_everything(o: &obs::Obs) {
+fn exercise_everything(o: &obs::Obs, scraper: &Arc<obs::Scraper>, alerts: &Arc<obs::AlertEngine>) {
     let preset = ClusterPreset::MicroserviceBench;
     let mut sim =
         Simulator::new(preset.topology_scaled(0.25), preset.default_sim_config()).unwrap();
@@ -62,9 +65,25 @@ fn exercise_everything(o: &obs::Obs) {
     }
     engine.finish().unwrap();
 
+    // The sharded front door registers the per-subscription and per-shard
+    // health families (records/watermark/roll-lag/residency) plus the
+    // cardinality-cap overflow counter.
+    let mut sharded = ShardedEngine::new(ShardedConfig {
+        obs: o.clone(),
+        engine: EngineConfig { workers: 2, ..Default::default() },
+        ..Default::default()
+    })
+    .unwrap();
+    let half = records.len() / 2;
+    sharded.ingest("tenant-a", &records[..half]).unwrap();
+    sharded.ingest("tenant-b", &records[half..]).unwrap();
+    sharded.finish().unwrap();
+
     // Two 240 s windows over the 8-minute trace: the second is warm, so the
     // incremental analyzer records `commgraph_incremental_savings_seconds`
-    // alongside the pipeline's dirty-node samples.
+    // alongside the pipeline's dirty-node samples. Telemetry is attached,
+    // so each analyzed window also advances one TSDB scrape tick and one
+    // alert evaluation.
     let mut p = Pipeline::new(PipelineConfig {
         monitored: Some(monitored.clone()),
         obs: o.clone(),
@@ -73,8 +92,12 @@ fn exercise_everything(o: &obs::Obs) {
     });
     p.ingest(&records);
     let out = p.finish().unwrap();
-    let mut analyzer = WindowAnalyzer::new(monitored.clone(), true).with_obs(o.clone());
+    let mut analyzer = WindowAnalyzer::new(monitored.clone(), true)
+        .with_obs(o.clone())
+        .with_subscription("tenant-a")
+        .with_telemetry(scraper.clone(), alerts.clone());
     analyzer.analyze_output(&out, &records).unwrap();
+    assert!(analyzer.tick() >= 2, "telemetry ticks advanced with the windows");
 
     // Parallelism 2 drives the par scheduler (tiles/busy families) and the
     // Louvain counters through the global registry installed by the caller.
@@ -151,11 +174,20 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
     let tracer = Arc::new(obs::Tracer::new(4096));
     let o = obs::Obs::new(registry.clone()).with_tracer(tracer.clone());
 
-    exercise_everything(&o);
+    // Metrics history + alerting ride the same run: window rolls drive the
+    // scrape ticks, and the default pack registers the alert families.
+    let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
+    let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
+    let alerts = Arc::new(obs::AlertEngine::new(o.clone()));
+    alerts.add_rules(commgraph::obs::alert::default_pack(1000.0));
+
+    exercise_everything(&o, &scraper, &alerts);
     record_lint_sweep(&registry);
 
     let server = obs::IntrospectionServer::new(registry.clone())
         .with_tracer(tracer.clone())
+        .with_tsdb(store.clone())
+        .with_alerts(alerts.clone())
         .start("127.0.0.1:0")
         .expect("bind an ephemeral port");
     let addr = server.addr();
@@ -179,8 +211,37 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
     let listed = snapshot["metrics"].as_array().expect("metrics array");
     assert!(listed.len() >= obs::names::METRICS.len(), "snapshot lists every family");
 
+    // The metrics-history endpoints serve in the same HTTP pass: `/query`
+    // returns the scraped per-tick history of a canonical family, filtered
+    // down by label matcher and field…
+    let query: Value = serde_json::from_str(&http_get(
+        addr,
+        "/query?name=commgraph_ingest_watermark_seconds&label.source=pipeline&field=value",
+    ))
+    .expect("valid /query JSON");
+    let series = query["series"].as_array().expect("series array");
+    assert_eq!(series.len(), 1, "one matching series");
+    let points = series[0]["points"].as_array().expect("points array");
+    assert!(!points.is_empty(), "window-roll ticks scraped history");
+    assert_eq!(points[0][0].as_u64(), Some(1), "ticks are logical, starting at 1");
+
+    // …`/alerts` carries the evaluated rule states and transition log…
+    let alerts_doc: Value =
+        serde_json::from_str(&http_get(addr, "/alerts")).expect("valid /alerts JSON");
+    let listed = alerts_doc["alerts"].as_array().expect("alerts array");
+    assert_eq!(
+        listed.len(),
+        commgraph::obs::alert::default_pack(1000.0).len(),
+        "every default-pack rule reports a state"
+    );
+    assert!(listed.iter().all(|a| a["state"].as_str().is_some()));
+
+    // …and `/slo` exposes the burn-rate picture of the SLO-backed rules.
+    let slo_doc: Value = serde_json::from_str(&http_get(addr, "/slo")).expect("valid /slo JSON");
+    assert!(!slo_doc["slos"].as_array().expect("slos array").is_empty());
+
     // `/trace` serves the same Chrome trace-event document bench_report
-    // writes to TRACE_PR6.json. Validate the acceptance-criterion shape.
+    // writes to TRACE_PR7.json. Validate the acceptance-criterion shape.
     let trace = http_get(addr, "/trace");
     server.shutdown();
     let doc: Value = serde_json::from_str(&trace).expect("valid Chrome trace JSON");
