@@ -30,7 +30,7 @@ use flowlog::record::ConnSummary;
 use flowlog::time::bucket_start;
 use obs::Obs;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the multi-subscription front door.
 #[derive(Debug, Clone)]
@@ -69,6 +69,7 @@ struct SubTelemetry {
     records: obs::Counter,
     watermark: obs::Gauge,
     roll_lag: obs::Gauge,
+    dedup_dropped: obs::Counter,
     /// High-water record timestamp of this subscription.
     watermark_ts: u64,
     /// Start of the newest window any record opened.
@@ -114,6 +115,9 @@ pub struct ShardedEngine {
     shards: Vec<BTreeMap<String, StreamEngine>>,
     cap: obs::LabelCap,
     telemetry: BTreeMap<String, SubTelemetry>,
+    /// Delivery dedup state for [`ShardedEngine::ingest_sequenced`]:
+    /// subscription → source → sequence numbers already accepted.
+    delivered: BTreeMap<String, BTreeMap<String, BTreeSet<u64>>>,
 }
 
 impl ShardedEngine {
@@ -134,7 +138,13 @@ impl ShardedEngine {
         }
         let shards = (0..cfg.shards).map(|_| BTreeMap::new()).collect();
         let cap = obs::LabelCap::new(&cfg.obs, "subscription", cfg.label_cap);
-        Ok(ShardedEngine { cfg, shards, cap, telemetry: BTreeMap::new() })
+        Ok(ShardedEngine {
+            cfg,
+            shards,
+            cap,
+            telemetry: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+        })
     }
 
     /// The shard slot a subscription lives in.
@@ -163,6 +173,11 @@ impl ShardedEngine {
                 roll_lag: o.gauge(
                     "commgraph_subscription_roll_lag_seconds",
                     "Lag between the newest window's nominal start and the record that rolled it open, per subscription.",
+                    &[("subscription", &label)],
+                ),
+                dedup_dropped: o.counter(
+                    "commgraph_subscription_dedup_dropped_records_total",
+                    "Duplicate flush batches discarded by delivery dedup at the sharded front door, in records, per subscription.",
                     &[("subscription", &label)],
                 ),
                 watermark_ts: 0,
@@ -211,6 +226,38 @@ impl ShardedEngine {
             Some(engine) => engine.ingest(records),
             None => Err(Error::WorkerFailed("subscription engine vanished".into())),
         }
+    }
+
+    /// Offer a flush batch with at-least-once delivery semantics: `source`
+    /// names the producing agent (e.g. its IP) and `seq` its monotone batch
+    /// sequence number. The first `(source, seq)` arrival is ingested like
+    /// [`ShardedEngine::ingest`] and returns `Ok(true)`; any re-delivery —
+    /// a duplicated packet, or a crashed agent replaying its last flush —
+    /// is discarded whole, counted on
+    /// `commgraph_subscription_dedup_dropped_records_total`, and returns
+    /// `Ok(false)`. Delivery dedup is per subscription, so sources in
+    /// different subscriptions never collide.
+    pub fn ingest_sequenced(
+        &mut self,
+        subscription: &str,
+        source: &str,
+        seq: u64,
+        records: &[ConnSummary],
+    ) -> Result<bool> {
+        let fresh = self
+            .delivered
+            .entry(subscription.to_string())
+            .or_default()
+            .entry(source.to_string())
+            .or_default()
+            .insert(seq);
+        if !fresh {
+            let dropped = records.len() as u64;
+            self.telemetry(subscription).dedup_dropped.add(dropped);
+            return Ok(false);
+        }
+        self.ingest(subscription, records)?;
+        Ok(true)
     }
 
     /// Subscriptions currently resident, across all shards.
@@ -499,6 +546,30 @@ mod tests {
         let (reports, merged) = front.finish().unwrap();
         assert_eq!(reports.len(), 5);
         assert_eq!(merged.records_in, expected_total);
+    }
+
+    #[test]
+    fn sequenced_ingest_discards_redelivered_batches() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let cfg = ShardedConfig { obs: Obs::new(registry.clone()), ..Default::default() };
+        let mut front = ShardedEngine::new(cfg).unwrap();
+        let recs = records(1, 60);
+        assert!(front.ingest_sequenced("tenant-a", "10.1.0.1", 0, &recs[..30]).unwrap());
+        assert!(front.ingest_sequenced("tenant-a", "10.1.0.1", 1, &recs[30..]).unwrap());
+        // Replay of flush 1 (crash + replay, or a duplicated packet).
+        assert!(!front.ingest_sequenced("tenant-a", "10.1.0.1", 1, &recs[30..]).unwrap());
+        // Same (source, seq) under another subscription is independent.
+        assert!(front.ingest_sequenced("tenant-b", "10.1.0.1", 1, &records(2, 10)).unwrap());
+        let dropped = registry
+            .counter(
+                "commgraph_subscription_dedup_dropped_records_total",
+                "",
+                &[("subscription", "tenant-a")],
+            )
+            .get();
+        assert_eq!(dropped, 30, "the whole replayed batch is counted, in records");
+        let (reports, _) = front.finish().unwrap();
+        assert_eq!(reports[0].stats.records_in, 60, "replay never reaches the engine");
     }
 
     #[test]

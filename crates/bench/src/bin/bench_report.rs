@@ -2,8 +2,8 @@
 //! a fully instrumented + traced pipeline run, a continuous-monitor run, a
 //! timed static-analysis sweep, a metrics-history + alerting overhead
 //! measurement, and a live self-scrape of the introspection server —
-//! written to `BENCH_PR7.json`, with the run's span timeline exported to
-//! `TRACE_PR7.json` (Chrome trace-event format; open it in Perfetto or
+//! written to `BENCH_PR8.json`, with the run's span timeline exported to
+//! `TRACE_PR8.json` (Chrome trace-event format; open it in Perfetto or
 //! `about:tracing`).
 //!
 //! Sections:
@@ -36,6 +36,12 @@
 //!    report scrapes its own `/metrics`, `/healthz`, `/query`, `/alerts`,
 //!    and `/slo` over real HTTP, verifying every canonical `obs::names`
 //!    family appears in one scrape.
+//! 7. **Faultsim** — the `cloudsim::net` delivery fabric: a clean-network
+//!    run checked bit-identical to direct in-process ingest, each shipped
+//!    fault script (crash/replay, delayed flush, duplicates, clock skew,
+//!    partition, lossy jitter) run twice for a determinism verdict with
+//!    its delivery/loss/dedup/lateness counters tabulated, and the raw
+//!    tick throughput of the fabric.
 //!
 //! Usage: `cargo run --release -p commgraph-bench --bin bench_report`
 //! Flags: `--n 500` (similarity/eigen dimension), `--workers 4`,
@@ -756,6 +762,223 @@ fn incremental_report() -> serde_json::Value {
     })
 }
 
+/// Section 7: the fault simulator — clean-run bit-identity against direct
+/// ingest, a per-fault-script outcome table (delivery, loss, dedup, and
+/// lateness counters, each run twice for a determinism verdict), and raw
+/// tick throughput of the delivery fabric.
+fn faultsim_report() -> serde_json::Value {
+    use cloudsim::net::{scripts, Delivery, FaultScript, NetConfig, NetSim};
+
+    /// Wall-clock-free identity of a finished front door: per subscription,
+    /// the engine counters plus each window's node/edge/byte shape.
+    type Digest = Vec<(String, u64, u64, usize, Vec<(u64, usize, u64, u64)>)>;
+    fn digest(front: ShardedEngine) -> Digest {
+        let (reports, _) = front.finish().expect("front door drains");
+        reports
+            .into_iter()
+            .map(|r| {
+                let windows = r
+                    .graphs
+                    .iter()
+                    .map(|g| {
+                        let (mut edges, mut bytes) = (0u64, 0u64);
+                        for i in 0..g.node_count() as u32 {
+                            for (j, st) in g.neighbors(i) {
+                                if i <= *j {
+                                    edges += 1;
+                                    bytes += st.bytes();
+                                }
+                            }
+                        }
+                        (g.window_start(), g.node_count(), edges, bytes)
+                    })
+                    .collect();
+                (
+                    r.subscription,
+                    r.stats.records_in,
+                    r.stats.records_kept,
+                    r.stats.edge_entries,
+                    windows,
+                )
+            })
+            .collect()
+    }
+    let front = || ShardedEngine::new(ShardedConfig::default()).expect("valid sharded config");
+
+    // Bit-identity: a simulated workload routed through a clean network must
+    // finish identical to handing the same batches straight to the engine.
+    let preset = ClusterPreset::MicroserviceBench;
+    let minutes = 8;
+    let simulator = || {
+        Simulator::new(preset.topology_scaled(0.2), preset.default_sim_config())
+            .expect("valid preset")
+    };
+    let mut direct = front();
+    simulator().run(minutes, |_, batch| {
+        direct.ingest("tenant-a", batch).expect("front door accepts batches");
+    });
+    let mut batches: Vec<Vec<ConnSummary>> = Vec::new();
+    simulator().run(minutes, |_, batch| batches.push(batch.to_vec()));
+    let mut net = NetSim::new(NetConfig::clean(), FaultScript::new()).expect("valid net config");
+    let mut routed = front();
+    for batch in &batches {
+        net.offer(batch);
+        net.step(|d| {
+            routed
+                .ingest_sequenced("tenant-a", &d.source.to_string(), d.seq, &d.records)
+                .expect("seam ingest");
+        });
+    }
+    net.drain(|d| {
+        routed
+            .ingest_sequenced("tenant-a", &d.source.to_string(), d.seq, &d.records)
+            .expect("seam ingest");
+    });
+    let clean_bit_identical = digest(routed) == digest(direct);
+
+    // Per-script outcome table over a fixed two-host workload, one window
+    // per six ticks; every scenario runs twice for a determinism verdict.
+    const TICKS: u64 = 12;
+    let host = |d: u8| std::net::Ipv4Addr::new(10, 0, 0, d);
+    let batch = |t: u64| -> Vec<ConnSummary> {
+        (1u8..=2)
+            .map(|h| ConnSummary {
+                ts: t * 600,
+                key: FlowKey::tcp(host(h), 40_000 + t as u16, host(99), 443),
+                pkts_sent: 3,
+                pkts_rcvd: 2,
+                bytes_sent: 1_200,
+                bytes_rcvd: 300,
+            })
+            .collect()
+    };
+    let run_script = |name: &str, cfg: NetConfig, script: FaultScript| {
+        let exec = || {
+            let registry = std::sync::Arc::new(obs::Registry::new());
+            let o = obs::Obs::new(registry.clone());
+            let mut pipeline = Pipeline::new(PipelineConfig { obs: o, ..Default::default() });
+            let mut net = NetSim::new(cfg.clone(), script.clone()).expect("valid net config");
+            let mut fr = front();
+            let mut dedup_dropped = 0u64;
+            let mut sink = |fr: &mut ShardedEngine, p: &mut Pipeline, d: &Delivery| {
+                let fresh = fr
+                    .ingest_sequenced("tenant-a", &d.source.to_string(), d.seq, &d.records)
+                    .expect("seam ingest");
+                if fresh {
+                    p.ingest(&d.records);
+                } else {
+                    dedup_dropped += d.records.len() as u64;
+                }
+            };
+            for t in 0..TICKS {
+                net.offer(&batch(t));
+                net.step(|d| sink(&mut fr, &mut pipeline, d));
+            }
+            net.drain(|d| sink(&mut fr, &mut pipeline, d));
+            let late = registry.counter("commgraph_pipeline_late_records_total", "", &[]).get();
+            let dropped_late =
+                registry.counter("commgraph_pipeline_dropped_late_records_total", "", &[]).get();
+            (net.stats().clone(), dedup_dropped, late, dropped_late, digest(fr))
+        };
+        let first = exec();
+        let deterministic = exec() == first;
+        let (stats, dedup_dropped, late, dropped_late, _) = first;
+        println!(
+            "faultsim {name:<14} delivered {:>4}  net-dropped {:>3}  agent-lost {:>3}  \
+             dedup-dropped {:>3}  late {:>2}  dropped-late {:>2}  deterministic {deterministic}",
+            stats.delivered_records,
+            stats.dropped_records,
+            stats.lost_at_agent_records,
+            dedup_dropped,
+            late,
+            dropped_late,
+        );
+        json!({
+            "name": name,
+            "offered_records": stats.offered_records,
+            "delivered_records": stats.delivered_records,
+            "dropped_records": stats.dropped_records,
+            "lost_at_agent_records": stats.lost_at_agent_records,
+            "duplicated_packets": stats.duplicated_packets,
+            "replayed_packets": stats.replayed_packets,
+            "reordered_packets": stats.reordered_packets,
+            "dedup_dropped_records": dedup_dropped,
+            "late_records": late,
+            "dropped_late_records": dropped_late,
+            "deterministic": deterministic,
+        })
+    };
+    let table = vec![
+        run_script("clean", NetConfig::clean(), FaultScript::new()),
+        run_script(
+            "crash_lose",
+            NetConfig { flush_every: 2, ..NetConfig::clean() },
+            scripts::crash_lose(host(1), 2),
+        ),
+        run_script(
+            "crash_replay",
+            NetConfig { flush_every: 2, ..NetConfig::clean() },
+            scripts::crash_replay(host(1), 2),
+        ),
+        run_script(
+            "delayed_flush",
+            NetConfig::clean(),
+            FaultScript::parse("at 3 delay 10.0.0.1 for 3").expect("valid script"),
+        ),
+        run_script(
+            "duplicate",
+            NetConfig { duplicate_rate: 1.0, ..NetConfig::clean() },
+            FaultScript::new(),
+        ),
+        run_script(
+            "clock_skew",
+            NetConfig::clean(),
+            FaultScript::parse("at 6 skew 10.0.0.1 -3600").expect("valid script"),
+        ),
+        run_script(
+            "partition",
+            NetConfig::clean(),
+            FaultScript::parse("at 1 partition 10.0.0.1,10.0.0.2 for 4").expect("valid script"),
+        ),
+        run_script(
+            "lossy_jitter",
+            NetConfig {
+                latency_ticks: (0, 3),
+                drop_rate: 0.2,
+                duplicate_rate: 0.2,
+                ..NetConfig::default()
+            },
+            FaultScript::new(),
+        ),
+    ];
+
+    // Raw fabric throughput: agents + jitter + delivery, no analytics.
+    let bench_ticks = 20_000u64;
+    let cfg = NetConfig { latency_ticks: (0, 3), ..NetConfig::default() };
+    let mut net = NetSim::new(cfg, FaultScript::new()).expect("valid net config");
+    let mut delivered = 0u64;
+    let t0 = Instant::now();
+    for t in 0..bench_ticks {
+        net.offer(&batch(t));
+        net.step(|d| delivered += d.records.len() as u64);
+    }
+    net.drain(|d| delivered += d.records.len() as u64);
+    let secs = t0.elapsed().as_secs_f64();
+    let ticks_per_sec = obs::rate::per_second(net.stats().ticks, secs);
+    println!(
+        "faultsim fabric               {bench_ticks} ticks, {delivered} records in {:7.2} ms \
+         ({ticks_per_sec:>9.0} ticks/s)",
+        secs * 1e3,
+    );
+
+    json!({
+        "clean_bit_identical": clean_bit_identical,
+        "ticks": net.stats().ticks,
+        "ticks_per_sec": ticks_per_sec,
+        "scripts": table,
+    })
+}
+
 fn main() {
     let n: usize = arg("n", "500").parse().unwrap_or(500);
     let workers: usize = arg("workers", "4").parse().unwrap_or(4);
@@ -845,6 +1068,7 @@ fn main() {
     );
 
     let incremental = incremental_report();
+    let faultsim = faultsim_report();
     let (pipeline, trace_json) = stage_report(workers, scale, minutes);
 
     let out = json!({
@@ -853,12 +1077,13 @@ fn main() {
         "reps": reps,
         "kernels": serde_json::Value::Object(report),
         "incremental": incremental,
+        "faultsim": faultsim,
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR7.json";
+    let path = "BENCH_PR8.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
-    let trace_path = "TRACE_PR7.json";
+    let trace_path = "TRACE_PR8.json";
     std::fs::write(trace_path, trace_json).expect("write trace");
     println!(
         "\nwrote {path} and {trace_path} (host has {cores} core(s); speedups need \

@@ -24,6 +24,8 @@
 //! * [`topology`] — a named set of roles, replicas, and role-to-role edges.
 //! * [`load`] — time-of-day modulation: diurnal curves, flash crowds, steps.
 //! * [`churn`] — autoscaling and pod-migration events.
+//! * [`net`] — seeded delivery-network simulation: per-host agents, latency,
+//!   loss, duplication, and scripted faults (crashes, partitions, skew).
 //! * [`attack`] — breach and attack-simulation injectors with labeled flows.
 //! * [`sim`] — the minute-stepped engine that turns all of the above into a
 //!   connection-summary stream plus ground truth.
@@ -38,6 +40,7 @@ pub mod attack;
 pub mod churn;
 pub mod error;
 pub mod load;
+pub mod net;
 pub mod presets;
 pub mod randx;
 pub mod roles;

@@ -118,44 +118,48 @@ impl ClusterPreset {
         use crate::attack::{AttackKind, AttackScenario};
         let mut cfg = self.default_sim_config();
         if self == ClusterPreset::MicroserviceBench {
-            let breach = |role: u16| {
-                topo.ip_of(crate::roles::RoleId(role), 0)
-                    .expect("slot 0 of every preset role exists at any scale")
-            };
-            cfg.attacks = vec![
-                // Lateral movement from a compromised frontend replica.
-                AttackScenario {
-                    kind: AttackKind::LateralMovement,
-                    start_min: 5,
-                    duration_min: 50,
-                    breached: breach(0),
-                    intensity: 4,
-                },
-                // Port sweep from the (attacker-controlled) load generator.
-                AttackScenario {
-                    kind: AttackKind::PortScan,
-                    start_min: 10,
-                    duration_min: 30,
-                    breached: breach(11),
-                    intensity: 120,
-                },
-                // Exfiltration from the payment service.
-                AttackScenario {
-                    kind: AttackKind::Exfiltration,
-                    start_min: 20,
-                    duration_min: 25,
-                    breached: breach(4),
-                    intensity: 4_000_000,
-                },
-                // Low-and-slow C2 beacon from the cart service.
-                AttackScenario {
-                    kind: AttackKind::C2Beacon,
-                    start_min: 0,
-                    duration_min: 60,
-                    breached: breach(1),
-                    intensity: 5,
-                },
-            ];
+            // Slot 0 of every preset role exists at any scale, so all four
+            // breach points resolve; if a foreign topology is passed in,
+            // the attacks are simply not injected rather than panicking.
+            let breach = |role: u16| topo.ip_of(crate::roles::RoleId(role), 0).ok();
+            if let (Some(frontend), Some(loadgen), Some(payment), Some(cart)) =
+                (breach(0), breach(11), breach(4), breach(1))
+            {
+                cfg.attacks = vec![
+                    // Lateral movement from a compromised frontend replica.
+                    AttackScenario {
+                        kind: AttackKind::LateralMovement,
+                        start_min: 5,
+                        duration_min: 50,
+                        breached: frontend,
+                        intensity: 4,
+                    },
+                    // Port sweep from the (attacker-controlled) load generator.
+                    AttackScenario {
+                        kind: AttackKind::PortScan,
+                        start_min: 10,
+                        duration_min: 30,
+                        breached: loadgen,
+                        intensity: 120,
+                    },
+                    // Exfiltration from the payment service.
+                    AttackScenario {
+                        kind: AttackKind::Exfiltration,
+                        start_min: 20,
+                        duration_min: 25,
+                        breached: payment,
+                        intensity: 4_000_000,
+                    },
+                    // Low-and-slow C2 beacon from the cart service.
+                    AttackScenario {
+                        kind: AttackKind::C2Beacon,
+                        start_min: 0,
+                        duration_min: 60,
+                        breached: cart,
+                        intensity: 5,
+                    },
+                ];
+            }
         }
         cfg
     }
@@ -180,7 +184,7 @@ fn portal(n: impl Fn(usize) -> usize) -> Topology {
     b.connect(roaming, fe, TrafficProfile::rpc(0.08, 600.0, 18_000.0));
     b.connect(fe, api, TrafficProfile::rpc(2.0, 900.0, 5_000.0));
     b.connect(fe, tele, TrafficProfile::bulk(0.3, 40_000.0, 500.0));
-    b.build().expect("portal preset is statically valid")
+    b.build_unvalidated()
 }
 
 /// µserviceBench: the Online-Boutique-style microservice mesh, 16 VMs.
@@ -226,7 +230,7 @@ fn microservice_bench(n: impl Fn(usize) -> usize) -> Topology {
     // Outbound dependencies (payment gateways, geo APIs, …).
     b.connect(payment, extsvc, TrafficProfile::rpc(150.0, 1_200.0, 900.0));
     b.connect(shipping, extsvc, TrafficProfile::rpc(80.0, 800.0, 1_000.0));
-    b.build().expect("microservice preset is statically valid")
+    b.build_unvalidated()
 }
 
 /// K8s PaaS: the paper's default cluster. Control-plane hubs every pod talks
@@ -332,7 +336,7 @@ fn k8s_paas(n: impl Fn(usize) -> usize) -> Topology {
         ingress,
         TrafficProfile::rpc(0.3, 600.0, 6_000.0).with_fanout(Fanout::Zipf(0.8)),
     );
-    b.build().expect("k8s preset is statically valid")
+    b.build_unvalidated()
 }
 
 /// KQuery: in-memory SQL. Workers shuffle all-to-all (chatty clique),
@@ -373,7 +377,7 @@ fn kquery(n: impl Fn(usize) -> usize) -> Topology {
         coord,
         TrafficProfile::rpc(0.25, 2_000.0, 500_000.0).with_fanout(Fanout::Zipf(0.7)),
     );
-    b.build().expect("kquery preset is statically valid")
+    b.build_unvalidated()
 }
 
 #[cfg(test)]
@@ -382,11 +386,15 @@ mod tests {
     use crate::sim::Simulator;
 
     #[test]
-    fn all_presets_validate_at_full_scale() {
+    fn all_presets_validate_at_every_scale() {
+        // Presets finish through the unvalidated builder path, so this test
+        // (plus Simulator::new's own validate) is what keeps them honest.
         for p in ClusterPreset::all() {
-            let t = p.topology();
-            t.validate().unwrap();
-            assert!(t.monitored_count() > 0);
+            for scale in [0.02, 0.1, 0.25, 1.0] {
+                let t = p.topology_scaled(scale);
+                t.validate().unwrap();
+                assert!(t.monitored_count() > 0, "{} at scale {scale}", p.name());
+            }
         }
     }
 

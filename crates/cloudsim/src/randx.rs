@@ -133,7 +133,9 @@ impl Zipf {
     /// Sample an index.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF has no NaN")) {
+        // `total_cmp` is a total order over f64, so NaN (which `new` cannot
+        // produce anyway) degrades to an ordinary comparison, not a panic.
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

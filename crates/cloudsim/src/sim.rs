@@ -264,9 +264,11 @@ impl Simulator {
                 let keep_at_least = 1;
                 for _ in 0..(-ev.delta) {
                     if self.replicas[role_idx].len() > keep_at_least {
-                        let gone = self.replicas[role_idx].pop().expect("checked non-empty");
-                        // Kill flows touching the retired address.
-                        self.active.retain(|f| f.key.local_ip != gone && f.key.remote_ip != gone);
+                        if let Some(gone) = self.replicas[role_idx].pop() {
+                            // Kill flows touching the retired address.
+                            self.active
+                                .retain(|f| f.key.local_ip != gone && f.key.remote_ip != gone);
+                        }
                     }
                 }
             }
@@ -342,10 +344,12 @@ impl Simulator {
                         {
                             self.zipf_cache[edge_idx] = Some(Zipf::new(dsts.len(), s));
                         }
-                        let z = self.zipf_cache[edge_idx].as_ref().expect("just built");
+                        let z = self.zipf_cache[edge_idx]
+                            .get_or_insert_with(|| Zipf::new(dsts.len(), s));
                         dsts[z.sample(&mut self.rng)]
                     }
-                    Fanout::All => unreachable!("handled above"),
+                    // All-fanout already drew every destination above.
+                    Fanout::All => continue,
                 };
                 if dst == src {
                     continue; // self-loops carry no network traffic
@@ -423,7 +427,7 @@ impl Simulator {
                     Err(_) => continue, // breached IP churned away before start
                 }
             }
-            let st = self.attacks[i].as_mut().expect("just initialized");
+            let Some(st) = self.attacks[i].as_mut() else { continue };
             let flows = st.step(minute, &population, &mut self.rng);
             self.truth.infected.extend(st.infected().iter().copied());
             for af in flows {

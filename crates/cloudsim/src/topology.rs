@@ -74,6 +74,15 @@ impl TopologyBuilder {
         self.topo.validate()?;
         Ok(self.topo)
     }
+
+    /// Finish without validating — a panic-free path for statically
+    /// known-good construction sites (the built-in presets), whose output
+    /// is re-validated by every consumer anyway ([`crate::sim::Simulator::new`]
+    /// runs [`Topology::validate`] before simulating). Prefer
+    /// [`TopologyBuilder::build`] for user-assembled topologies.
+    pub fn build_unvalidated(self) -> Topology {
+        self.topo
+    }
 }
 
 impl Topology {

@@ -120,6 +120,7 @@ struct PipelineMetrics {
     watermark: obs::Gauge,
     roll_lag: obs::Histogram,
     late: obs::Counter,
+    dropped_late: obs::Counter,
     dirty_nodes: obs::Histogram,
 }
 
@@ -143,7 +144,12 @@ impl PipelineMetrics {
             ),
             late: o.counter(
                 "commgraph_pipeline_late_records_total",
-                "Records arriving behind the pipeline's ingest watermark (out-of-order input).",
+                "Dedup-surviving records arriving behind the pipeline's ingest watermark (out-of-order input).",
+                &[],
+            ),
+            dropped_late: o.counter(
+                "commgraph_pipeline_dropped_late_records_total",
+                "Dedup-surviving records dropped because their window had already closed when they arrived.",
                 &[],
             ),
         }
@@ -199,16 +205,24 @@ impl Pipeline {
         self.parallelism
     }
 
-    /// Ingest a batch of records (non-decreasing timestamps across calls).
+    /// Ingest a batch of records. Timestamps may jitter within the open
+    /// window; a record whose window has already closed is excluded from
+    /// the graphs deterministically (and counted on
+    /// `commgraph_pipeline_dropped_late_records_total`).
+    ///
+    /// Lateness accounting is dedup-aware: only records that survive
+    /// vantage dedup can bump the late or dropped-late counters — the
+    /// non-canonical copy of a double-reported flow never contributes to a
+    /// graph, so counting it as "late" would conflate duplication with
+    /// out-of-order delivery.
     pub fn ingest(&mut self, records: &[ConnSummary]) {
         let mut span = self.obs.stage_span("ingest");
         if span.trace_enabled() {
             span.trace_attr("records", &records.len().to_string());
         }
         for r in records {
-            if self.total > 0 && r.ts < self.watermark {
-                self.metrics.late.inc();
-            }
+            let survives = self.builder.survives_dedup(r);
+            let behind_watermark = self.total > 0 && r.ts < self.watermark;
             self.watermark = self.watermark.max(r.ts);
             let window = bucket_start(r.ts, self.window_len);
             if self.current_window.is_some_and(|cur| window > cur) {
@@ -221,7 +235,15 @@ impl Pipeline {
             }
             *self.per_minute.entry(bucket_start(r.ts, 60)).or_insert(0) += 1;
             self.total += 1;
-            self.builder.add(r);
+            if self.builder.add(r) {
+                if survives && behind_watermark {
+                    self.metrics.late.inc();
+                }
+            } else if survives {
+                // Behind the last closed window: excluded from graphs, so
+                // it is a *drop*, not merely late.
+                self.metrics.dropped_late.inc();
+            }
         }
         self.metrics.watermark.set(self.watermark as f64);
     }
@@ -571,6 +593,67 @@ mod tests {
         assert_eq!(late, 1, "ts 3603 arrived behind the 3607 watermark");
         let out = p.finish().unwrap();
         assert_eq!(out.total_records, 3, "metrics never change what is computed");
+    }
+
+    #[test]
+    fn vantage_duplicates_behind_watermark_are_not_late() {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let monitored: HashSet<Ipv4Addr> =
+            [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1)].into_iter().collect();
+        let mut p = Pipeline::new(PipelineConfig {
+            monitored: Some(monitored),
+            obs: Obs::new(registry.clone()),
+            ..Default::default()
+        });
+        // The canonical copy of a double-monitored flow, a later record
+        // that advances the watermark, then the interleaved non-canonical
+        // duplicate: behind the watermark by timestamp, but dedup-doomed.
+        let a = rec(100, 1);
+        p.ingest(&[a, rec(200, 2), a.mirrored()]);
+        let late = registry.counter("commgraph_pipeline_late_records_total", "", &[]).get();
+        assert_eq!(late, 0, "a duplicate dedup drops anyway is not out-of-order input");
+        // A genuinely out-of-order record that survives dedup still counts.
+        p.ingest(&[rec(150, 3)]);
+        let late = registry.counter("commgraph_pipeline_late_records_total", "", &[]).get();
+        assert_eq!(late, 1);
+        let out = p.finish().unwrap();
+        assert_eq!(out.total_records, 4, "rate accounting still counts raw records");
+    }
+
+    #[test]
+    fn records_behind_closed_windows_are_dropped_deterministically() {
+        let run = || {
+            let registry = std::sync::Arc::new(obs::Registry::new());
+            let mut p = Pipeline::new(PipelineConfig {
+                obs: Obs::new(registry.clone()),
+                ..Default::default()
+            });
+            // The reordered fixture: window 0 closes when ts 3700 arrives,
+            // then a straggler from window 0 shows up.
+            p.ingest(&[rec(100, 1), rec(3700, 2)]);
+            p.ingest(&[rec(200, 3), rec(3800, 4)]);
+            let dropped =
+                registry.counter("commgraph_pipeline_dropped_late_records_total", "", &[]).get();
+            let late = registry.counter("commgraph_pipeline_late_records_total", "", &[]).get();
+            let out = p.finish().unwrap();
+            let shape: Vec<(u64, u64)> = out
+                .sequence
+                .graphs()
+                .iter()
+                .map(|g| (g.window_start(), g.totals().conns))
+                .collect();
+            (dropped, late, out.total_records, shape)
+        };
+        let (dropped, late, total, shape) = run();
+        assert_eq!(dropped, 1, "the straggler is counted as a dropped-late record");
+        assert_eq!(late, 0, "a drop is not additionally counted as merely late");
+        assert_eq!(total, 4, "rate accounting still counts raw records");
+        assert_eq!(
+            shape,
+            vec![(0, 1), (3600, 2)],
+            "window 0 emitted exactly once, without the straggler"
+        );
+        assert_eq!((dropped, late, total, shape), run(), "replay is bit-identical");
     }
 
     /// A slowly-churning three-window stream: a stable three-tier core with

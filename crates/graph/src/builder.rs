@@ -139,8 +139,11 @@ impl GraphBuilder {
 
 /// Splits a record stream into fixed windows, emitting one [`CommGraph`]
 /// per window — the "time-series of graphs" the paper's dynamic analyses
-/// consume. Records must arrive in non-decreasing timestamp order (the
-/// telemetry pipeline delivers per-minute batches, so this holds naturally).
+/// consume. Timestamps may jitter *within* the currently open window
+/// (vantage duplicates and mildly reordered delivery land correctly), but a
+/// record whose window has already closed is **dropped deterministically**
+/// and counted in [`WindowedBuilder::dropped_behind`] — re-opening a closed
+/// window would emit it twice and corrupt the time series.
 #[derive(Debug)]
 pub struct WindowedBuilder {
     facet: Facet,
@@ -148,6 +151,8 @@ pub struct WindowedBuilder {
     window_len: u64,
     current: Option<GraphBuilder>,
     finished: Vec<CommGraph>,
+    /// Records rejected because their window closed before they arrived.
+    dropped_behind: u64,
     /// When true, each closed window is diffed against its predecessor and
     /// the dirty node set (see [`crate::diff::dirty_nodes`]) is retained,
     /// aligned with `finished`.
@@ -168,6 +173,7 @@ impl WindowedBuilder {
             window_len,
             current: None,
             finished: Vec::new(),
+            dropped_behind: 0,
             track_dirty: false,
             dirty: Vec::new(),
             last_closed: None,
@@ -228,18 +234,49 @@ impl WindowedBuilder {
         self.finished.push(g);
     }
 
-    /// Offer one record, rolling windows as timestamps advance.
-    pub fn add(&mut self, r: &ConnSummary) {
+    /// Whether `r` would survive vantage dedup under this builder's
+    /// monitored inventory (the [`GraphBuilder::with_monitored`] rule):
+    /// flows reported by both monitored endpoints keep only the canonical
+    /// vantage's copy. Callers use this to attribute lateness and drops to
+    /// records that actually contribute to graphs, not to vantage copies
+    /// dedup discards anyway.
+    pub fn survives_dedup(&self, r: &ConnSummary) -> bool {
+        match &self.monitored {
+            Some(set) if set.contains(&r.key.remote_ip) && set.contains(&r.key.local_ip) => {
+                r.key.is_canonical()
+            }
+            _ => true,
+        }
+    }
+
+    /// Records rejected so far because their window had already closed when
+    /// they arrived (see [`WindowedBuilder::add`]).
+    pub fn dropped_behind(&self) -> u64 {
+        self.dropped_behind
+    }
+
+    /// Offer one record, rolling windows as timestamps advance. Returns
+    /// whether the record was applied: a record whose window start is behind
+    /// the currently open window lands in a graph that already closed, so it
+    /// is dropped (counted in [`WindowedBuilder::dropped_behind`]) instead
+    /// of re-opening — and double-emitting — that window.
+    pub fn add(&mut self, r: &ConnSummary) -> bool {
         let w = flowlog::time::bucket_start(r.ts, self.window_len);
         let builder = match self.current.take() {
             Some(b) if b.window_start == w => b,
-            Some(b) => {
+            Some(b) if w > b.window_start => {
                 self.close(b);
                 self.fresh(w)
+            }
+            Some(b) => {
+                self.current = Some(b);
+                self.dropped_behind += 1;
+                return false;
             }
             None => self.fresh(w),
         };
         self.current.insert(builder).add(r);
+        true
     }
 
     /// Offer a batch.
@@ -401,6 +438,39 @@ mod tests {
         assert_eq!(graphs[0].totals().conns, 2);
         assert_eq!(graphs[1].window_start(), 3600);
         assert_eq!(graphs[2].window_start(), 7200);
+    }
+
+    #[test]
+    fn records_behind_closed_windows_drop_deterministically() {
+        let mut wb = WindowedBuilder::new(Facet::Ip, 60);
+        assert!(wb.add(&rec(0, 1, 40_000, 2, 443, 100, 10)));
+        assert!(wb.add(&rec(65, 1, 40_001, 2, 443, 100, 10)), "rolls to window 60");
+        // Window 0 closed when ts 65 rolled; a straggler from it must not
+        // re-open window 0 (which would emit it twice), nor land in 60.
+        assert!(!wb.add(&rec(59, 1, 40_002, 2, 443, 700, 70)));
+        assert_eq!(wb.dropped_behind(), 1);
+        // Jitter *within* the open window is still accepted.
+        assert!(wb.add(&rec(61, 1, 40_003, 2, 443, 100, 10)));
+        let graphs = wb.finish();
+        assert_eq!(graphs.len(), 2, "each window emitted exactly once");
+        assert_eq!(graphs[0].window_start(), 0);
+        assert_eq!(graphs[0].totals().conns, 1, "the straggler is excluded");
+        assert_eq!(graphs[1].totals().conns, 2);
+    }
+
+    #[test]
+    fn survives_dedup_matches_builder_keep_rule() {
+        let monitored: HashSet<Ipv4Addr> = [ip(1), ip(2)].into_iter().collect();
+        let wb = WindowedBuilder::new(Facet::Ip, 60).with_monitored(monitored);
+        let flow = rec(0, 1, 40_000, 2, 443, 100, 10);
+        assert_ne!(wb.survives_dedup(&flow), wb.survives_dedup(&flow.mirrored()));
+        // Only one endpoint monitored ⇒ single vantage, both orientations kept.
+        let half: HashSet<Ipv4Addr> = [ip(2)].into_iter().collect();
+        let wb2 = WindowedBuilder::new(Facet::Ip, 60).with_monitored(half);
+        assert!(wb2.survives_dedup(&flow) && wb2.survives_dedup(&flow.mirrored()));
+        // No inventory ⇒ everything survives.
+        let wb3 = WindowedBuilder::new(Facet::Ip, 60);
+        assert!(wb3.survives_dedup(&flow) && wb3.survives_dedup(&flow.mirrored()));
     }
 
     #[test]

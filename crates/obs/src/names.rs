@@ -214,9 +214,15 @@ pub const METRICS: &[MetricDef] = &[
         labels: &["shape"],
     },
     MetricDef {
+        name: "commgraph_pipeline_dropped_late_records_total",
+        kind: MetricKind::Counter,
+        help: "Dedup-surviving records dropped because their window had already closed when they arrived.",
+        labels: &[],
+    },
+    MetricDef {
         name: "commgraph_pipeline_late_records_total",
         kind: MetricKind::Counter,
-        help: "Records arriving behind the pipeline's ingest watermark (out-of-order input).",
+        help: "Dedup-surviving records arriving behind the pipeline's ingest watermark (out-of-order input).",
         labels: &[],
     },
     MetricDef {
@@ -236,6 +242,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         help: "Wall-clock seconds spent per streaming-pipeline stage.",
         labels: &["stage"],
+    },
+    MetricDef {
+        name: "commgraph_subscription_dedup_dropped_records_total",
+        kind: MetricKind::Counter,
+        help: "Duplicate flush batches discarded by delivery dedup at the sharded front door, in records, per subscription.",
+        labels: &["subscription"],
     },
     MetricDef {
         name: "commgraph_subscription_dirty_nodes",

@@ -5,7 +5,7 @@
 //!    family in the canonical `obs::names` table — nothing is registered
 //!    lazily enough to be invisible to a dashboard that scrapes once.
 //! 2. The flight recorder's Chrome trace-event export (the same bytes
-//!    `/trace` serves and `bench_report` writes to `TRACE_PR7.json`) parses
+//!    `/trace` serves and `bench_report` writes to `TRACE_PR8.json`) parses
 //!    as JSON with at least one root `pipeline_run` span whose stage
 //!    children nest correctly by both explicit parent id and time
 //!    containment.
@@ -241,7 +241,7 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
     assert!(!slo_doc["slos"].as_array().expect("slos array").is_empty());
 
     // `/trace` serves the same Chrome trace-event document bench_report
-    // writes to TRACE_PR7.json. Validate the acceptance-criterion shape.
+    // writes to TRACE_PR8.json. Validate the acceptance-criterion shape.
     let trace = http_get(addr, "/trace");
     server.shutdown();
     let doc: Value = serde_json::from_str(&trace).expect("valid Chrome trace JSON");
