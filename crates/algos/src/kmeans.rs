@@ -54,10 +54,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> KMea
             }
             chosen
         };
-        centers.push(points[next].clone());
+        let new_center = points[next].clone();
         for (i, p) in points.iter().enumerate() {
-            d2[i] = d2[i].min(sq_dist(p, centers.last().expect("just pushed")));
+            d2[i] = d2[i].min(sq_dist(p, &new_center));
         }
+        centers.push(new_center);
     }
 
     // Lloyd iterations.
@@ -66,12 +67,8 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> KMea
         let mut moved = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..centers.len())
-                .min_by(|&a, &b| {
-                    sq_dist(p, &centers[a])
-                        .partial_cmp(&sq_dist(p, &centers[b]))
-                        .expect("distances are finite")
-                })
-                .expect("k >= 1");
+                .min_by(|&a, &b| sq_dist(p, &centers[a]).total_cmp(&sq_dist(p, &centers[b])))
+                .unwrap_or(0);
             if labels[i] != best {
                 labels[i] = best;
                 moved = true;
@@ -111,14 +108,18 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> KMea
             })
         })
         .collect();
+    // Invert the (dense) compaction map so the inertia pass is a lookup.
+    let mut orig_of = vec![0usize; next];
+    for (&orig, &compact) in &remap {
+        orig_of[compact] = orig;
+    }
     let inertia: f64 = points
         .iter()
         .zip(&labels)
         .map(|(p, &l)| {
             // Labels were compacted; recompute against member means is
             // overkill — use nearest original center distance.
-            let c = remap.iter().find(|(_, &v)| v == l).map(|(&orig, _)| orig).expect("mapped");
-            sq_dist(p, &centers[c])
+            sq_dist(p, &centers[orig_of[l]])
         })
         .sum();
     KMeansResult { labels, k: next, inertia }

@@ -129,11 +129,14 @@ fn iterate(n: usize, w: &Matrix, cfg: SimRankConfig, parallelism: Parallelism) -
     let mut s = Matrix::identity(n);
     let wt = w.transpose();
     for _ in 0..cfg.iterations {
-        let mut next = wt
-            .matmul_with(&s, parallelism)
-            .expect("shapes agree")
-            .matmul_with(w, parallelism)
-            .expect("shapes agree");
+        // Both products are n×n by construction; should a shape mismatch
+        // ever slip in, stop iterating and pack the last good iterate
+        // instead of panicking mid-pipeline.
+        let Ok(mut next) =
+            wt.matmul_with(&s, parallelism).and_then(|x| x.matmul_with(w, parallelism))
+        else {
+            break;
+        };
         for i in 0..n {
             for j in 0..n {
                 next[(i, j)] *= cfg.decay;

@@ -62,7 +62,7 @@ pub fn byte_gini(g: &CommGraph) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("byte totals are finite"));
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     let total: f64 = v.iter().sum();
     if total == 0.0 {

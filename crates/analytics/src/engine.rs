@@ -208,6 +208,7 @@ impl StreamEngine {
         self.metrics.records_in.add(records.len() as u64);
         self.metrics.batches.inc();
         self.metrics.batch_records.record(records.len() as f64);
+        // lint:allow(clock-hygiene) wall-clock uptime for stats reporting only; never gates window logic
         self.started.get_or_insert_with(Instant::now);
         self.records_in += records.len() as u64;
         let n = self.workers.len();
@@ -337,6 +338,7 @@ fn worker_loop(
         match msg {
             Msg::Finish => break,
             Msg::Batch(records) => {
+                // lint:allow(clock-hygiene) worker busy-time telemetry only; window outputs are driven by record watermarks
                 let t0 = busy.is_enabled().then(Instant::now);
                 for r in &records {
                     if !keep(&monitored, r) {

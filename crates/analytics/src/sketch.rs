@@ -88,9 +88,11 @@ impl<T: Hash + Eq + Ord + Clone> SpaceSaving<T> {
             return;
         }
         // Evict the minimum counter; the newcomer inherits its count as
-        // the error bound.
-        let (min_count, min_item) =
-            self.order.pop_first().expect("capacity > 0 so counters is non-empty");
+        // the error bound. A zero-capacity sketch has nothing to evict —
+        // drop the item (it still counts toward `total`).
+        let Some((min_count, min_item)) = self.order.pop_first() else {
+            return;
+        };
         self.counters.remove(&min_item);
         self.counters.insert(item.clone(), (min_count + weight, min_count));
         self.order.insert((min_count + weight, item));

@@ -2,8 +2,8 @@
 //! a fully instrumented + traced pipeline run, a continuous-monitor run, a
 //! timed static-analysis sweep, a metrics-history + alerting overhead
 //! measurement, and a live self-scrape of the introspection server —
-//! written to `BENCH_PR8.json`, with the run's span timeline exported to
-//! `TRACE_PR8.json` (Chrome trace-event format; open it in Perfetto or
+//! written to `BENCH_PR9.json`, with the run's span timeline exported to
+//! `TRACE_PR9.json` (Chrome trace-event format; open it in Perfetto or
 //! `about:tracing`).
 //!
 //! Sections:
@@ -182,6 +182,20 @@ fn lintcheck_report(registry: &obs::Registry) -> serde_json::Value {
             &[],
         )
         .record(secs);
+    registry
+        .gauge(
+            "commgraph_lint_callgraph_nodes",
+            "Functions indexed by the latest lintcheck interprocedural sweep.",
+            &[],
+        )
+        .set(report.callgraph_nodes as f64);
+    registry
+        .gauge(
+            "commgraph_lint_callgraph_edges",
+            "Call edges resolved by the latest lintcheck interprocedural sweep.",
+            &[],
+        )
+        .set(report.callgraph_edges as f64);
     for lint in lintcheck::LintId::all() {
         let count =
             report.fresh.iter().chain(report.baselined.iter()).filter(|f| f.lint == lint).count();
@@ -195,8 +209,10 @@ fn lintcheck_report(registry: &obs::Registry) -> serde_json::Value {
     }
 
     println!(
-        "lintcheck sweep               files {:<4} findings {:<3} ({} baselined, {} fresh) in {:7.2} ms",
+        "lintcheck sweep               files {:<4} graph {}/{} findings {:<3} ({} baselined, {} fresh) in {:7.2} ms",
         report.files_scanned,
+        report.callgraph_nodes,
+        report.callgraph_edges,
         report.fresh.len() + report.baselined.len(),
         report.baselined.len(),
         report.fresh.len(),
@@ -204,6 +220,8 @@ fn lintcheck_report(registry: &obs::Registry) -> serde_json::Value {
     );
     json!({
         "files_scanned": report.files_scanned,
+        "callgraph_nodes": report.callgraph_nodes,
+        "callgraph_edges": report.callgraph_edges,
         "findings_total": report.fresh.len() + report.baselined.len(),
         "baselined": report.baselined.len(),
         "fresh": report.fresh.len(),
@@ -1080,10 +1098,10 @@ fn main() {
         "faultsim": faultsim,
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR8.json";
+    let path = "BENCH_PR9.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
-    let trace_path = "TRACE_PR8.json";
+    let trace_path = "TRACE_PR9.json";
     std::fs::write(trace_path, trace_json).expect("write trace");
     println!(
         "\nwrote {path} and {trace_path} (host has {cores} core(s); speedups need \

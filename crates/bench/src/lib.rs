@@ -14,6 +14,18 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
 
+/// Experiment-binary error handling: print a diagnostic and exit instead
+/// of unwinding — these helpers back CLI tools, not library callers.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("benchkit: {what}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Simulation products an experiment consumes.
 pub struct SimRun {
     /// All records of the simulated span.
@@ -34,7 +46,7 @@ pub struct SimRun {
 pub fn simulate(preset: ClusterPreset, scale: f64, minutes: u64) -> SimRun {
     let topo = preset.topology_scaled(scale);
     let cfg = preset.paper_sim_config(&topo);
-    let mut sim = Simulator::new(topo, cfg).expect("presets are statically valid");
+    let mut sim = or_die(Simulator::new(topo, cfg), "preset simulator config rejected");
     let records = sim.collect(minutes);
     let truth = sim.ground_truth().clone();
     let monitored = monitored_of(&truth);
@@ -51,7 +63,7 @@ pub fn simulate_streaming(
 ) -> (GroundTruth, HashSet<Ipv4Addr>) {
     let topo = preset.topology_scaled(scale);
     let cfg = preset.paper_sim_config(&topo);
-    let mut sim = Simulator::new(topo, cfg).expect("presets are statically valid");
+    let mut sim = or_die(Simulator::new(topo, cfg), "preset simulator config rejected");
     sim.run(minutes, |m, batch| sink(m, batch));
     let truth = sim.ground_truth().clone();
     let monitored = monitored_of(&truth);
@@ -106,14 +118,14 @@ pub fn collapsed_ip_graph(run: &SimRun) -> commgraph_graph::CommGraph {
 /// Output directory for one experiment's artifacts.
 pub fn out_dir(exp: &str) -> PathBuf {
     let dir = PathBuf::from(env_or("EXP_OUT", "target/experiments")).join(exp);
-    std::fs::create_dir_all(&dir).expect("create experiment output dir");
+    or_die(std::fs::create_dir_all(&dir), "create experiment output dir");
     dir
 }
 
 /// Write one artifact file, returning its path.
 pub fn write_artifact(exp: &str, name: &str, content: &str) -> PathBuf {
     let path = out_dir(exp).join(name);
-    std::fs::write(&path, content).expect("write experiment artifact");
+    or_die(std::fs::write(&path, content), "write experiment artifact");
     path
 }
 

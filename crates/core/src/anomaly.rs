@@ -93,7 +93,7 @@ impl PatternModel {
         let nodes: Vec<NodeId> = baseline.nodes().to_vec();
         let index = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         let mut model = PatternModel { nodes, index, basis, k, baseline_residual: 0.0 };
-        model.baseline_residual = model.residual_of(&m);
+        model.baseline_residual = model.residual_of(&m).map_err(AnomalyError::Fit)?;
         Ok(model)
     }
 
@@ -103,8 +103,9 @@ impl PatternModel {
     }
 
     /// Project a matrix onto the retained eigenspace and return the
-    /// relative L1 residual.
-    fn residual_of(&self, m: &Matrix) -> f64 {
+    /// relative L1 residual. The `Err` arm carries a shape-mismatch
+    /// message; callers wrap it in their phase's [`AnomalyError`] variant.
+    fn residual_of(&self, m: &Matrix) -> Result<f64, String> {
         let n = self.nodes.len();
         // P(M) = Σ_c v_c v_cᵀ M v_c v_cᵀ is the full two-sided projection;
         // for symmetric M with an orthonormal basis V_k, use
@@ -116,15 +117,13 @@ impl PatternModel {
             }
         }
         let vkt = vk.transpose();
-        let inner =
-            vkt.matmul(m).and_then(|x| x.matmul(&vk)).expect("shapes agree by construction");
-        let proj =
-            vk.matmul(&inner).and_then(|x| x.matmul(&vkt)).expect("shapes agree by construction");
+        let inner = vkt.matmul(m).and_then(|x| x.matmul(&vk)).map_err(|e| e.to_string())?;
+        let proj = vk.matmul(&inner).and_then(|x| x.matmul(&vkt)).map_err(|e| e.to_string())?;
         let denom = m.abs_sum();
         if denom == 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
-        m.sub(&proj).expect("same shape").abs_sum() / denom
+        Ok(m.sub(&proj).map_err(|e| e.to_string())?.abs_sum() / denom)
     }
 
     /// Score a later window against the learned patterns.
@@ -151,7 +150,7 @@ impl PatternModel {
                 }
             }
         }
-        let residual = self.residual_of(&m);
+        let residual = self.residual_of(&m).map_err(AnomalyError::Score)?;
         // A perfectly low-rank baseline has a ~zero self-residual; floor the
         // denominator so the score stays a meaningful ratio (1% relative
         // residual is treated as the minimum credible noise floor).

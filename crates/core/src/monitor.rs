@@ -275,7 +275,25 @@ impl SecurityMonitor {
                 if *windows_done >= self.cfg.learn_windows {
                     let learned = std::mem::take(learned);
                     let done = *windows_done;
-                    let baseline = self.build_baseline(learned, done);
+                    let baseline = match self.build_baseline(learned, done) {
+                        Ok(b) => b,
+                        Err((learned, reason)) => {
+                            // Degenerate learning data (e.g. an empty or
+                            // unscorable first window): keep the records,
+                            // stay in learning, retry next boundary.
+                            if self.obs.logs(Level::Warn) {
+                                self.obs.event(
+                                    Level::Warn,
+                                    "monitor",
+                                    "baseline deferred",
+                                    &[("reason", reason)],
+                                );
+                            }
+                            self.phase =
+                                Phase::Learning { windows_done: done, records: learned };
+                            return;
+                        }
+                    };
                     self.metrics.baseline_segments.set(baseline.segmentation.len() as f64);
                     self.metrics.baseline_allow_rules.set(baseline.policy.rule_count() as f64);
                     self.metrics.baseline_threshold.set(baseline.threshold);
@@ -393,7 +411,13 @@ impl SecurityMonitor {
         }
     }
 
-    fn build_baseline(&self, records: Vec<ConnSummary>, windows: usize) -> Baseline {
+    /// Build the enforcement baseline from the learned records. On failure
+    /// the records come back to the caller so learning can continue.
+    fn build_baseline(
+        &self,
+        records: Vec<ConnSummary>,
+        windows: usize,
+    ) -> Result<Baseline, (Vec<ConnSummary>, String)> {
         // Split the learning records by window: the first window fits the
         // pattern model, the rest calibrate the threshold; segmentation and
         // policy learn from everything.
@@ -413,12 +437,19 @@ impl SecurityMonitor {
             b.add_all(records.iter().filter(|r| bucket_start(r.ts, self.cfg.window_len) == w));
             windows_graphs.push(collapse_default(&b.finish()));
         }
-        let model = PatternModel::fit(&windows_graphs[0], self.cfg.anomaly_k)
-            .expect("learning windows carry traffic");
-        let threshold = model
-            .calibrate_threshold(&windows_graphs[1..], self.cfg.anomaly_margin)
-            .expect("calibration windows are scorable");
-        Baseline { segmentation, policy, model, threshold, previous_window: None }
+        let Some(first) = windows_graphs.first() else {
+            return Err((records, "no learning windows carried traffic".into()));
+        };
+        let model = match PatternModel::fit(first, self.cfg.anomaly_k) {
+            Ok(m) => m,
+            Err(e) => return Err((records, e.to_string())),
+        };
+        let threshold = match model.calibrate_threshold(&windows_graphs[1..], self.cfg.anomaly_margin)
+        {
+            Ok(t) => t,
+            Err(e) => return Err((records, e.to_string())),
+        };
+        Ok(Baseline { segmentation, policy, model, threshold, previous_window: None })
     }
 }
 

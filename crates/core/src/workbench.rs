@@ -152,8 +152,12 @@ impl Workbench {
                 let monitored = self.monitored.clone();
                 let roles = self.roles().clone();
                 let g = self.ip_graph().clone();
+                // The roles come from this same ip-facet graph, so the
+                // label counts match by construction; should that ever
+                // break, degrade to the empty segmentation (no members ⇒
+                // downstream policies learn nothing) instead of panicking.
                 Segmentation::from_inference(&g, &roles, |ip| monitored.contains(&ip))
-                    .expect("workbench builds ip-facet graphs with matching labels")
+                    .unwrap_or_else(|_| Segmentation::empty())
             }
         };
         self.segmentation.insert(seg)

@@ -165,7 +165,10 @@ impl FlowTable {
     fn evict_lru(&mut self, now: u64) -> Option<ConnSummary> {
         let (last_seen, victim) = self.lru.first().copied()?;
         self.lru.remove(&(last_seen, victim));
-        let st = self.flows.remove(&victim).expect("LRU index mirrors the flow map");
+        // The LRU index mirrors the flow map; if they ever diverge, the
+        // stale index entry is already dropped above — skip this round
+        // rather than panic inside the hot eviction path.
+        let st = self.flows.remove(&victim)?;
         self.stats.evictions += 1;
         if st.is_empty() {
             return None;

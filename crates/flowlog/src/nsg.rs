@@ -233,10 +233,12 @@ pub fn decode_document(doc: &NsgDocument) -> Result<Vec<ConnSummary>> {
     Ok(out)
 }
 
-/// Encode straight to a JSON string.
-pub fn encode_json(records: &[ConnSummary]) -> String {
+/// Encode straight to a JSON string. Serialization of the plain-struct
+/// document cannot fail in practice; the `Err` arm surfaces a serde bug
+/// instead of panicking.
+pub fn encode_json(records: &[ConnSummary]) -> Result<String> {
     serde_json::to_string_pretty(&encode_document(records))
-        .expect("document serialization is infallible")
+        .map_err(|e| Error::BadBinary(format!("NSG JSON encode error: {e}")))
 }
 
 /// Decode from a JSON string.
@@ -305,7 +307,7 @@ mod tests {
     fn document_round_trip() {
         let records: Vec<ConnSummary> =
             (0..20).map(|i| client_side(60 * (i as u64 % 3), i)).collect();
-        let json = encode_json(&records);
+        let json = encode_json(&records).unwrap();
         let mut decoded = decode_json(&json).unwrap();
         let mut expect = records.clone();
         decoded.sort_by_key(|r| (r.ts, r.key));

@@ -72,7 +72,7 @@ impl ProviderPreset {
         ProviderPreset {
             cloud: Cloud::Gcp,
             agg_interval_secs: 5,
-            sampling: SamplingConfig::new(0.50, 0.03).expect("static GCP sampling rates are valid"),
+            sampling: SamplingConfig { flow_rate: 0.50, packet_rate: 0.03 },
             price_per_gb_usd: 0.5,
         }
     }

@@ -125,6 +125,7 @@ where
     let sched = SchedObs::resolve("tile");
     sched.tiles.add(n_tiles as u64);
     if par.is_serial() || n_tiles <= 1 {
+        // lint:allow(clock-hygiene) busy-time telemetry only; results are order-insensitive and clock-free
         let t0 = sched.busy.is_enabled().then(Instant::now);
         let mut start = 0;
         while start < n {
@@ -143,6 +144,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(move || {
+                // lint:allow(clock-hygiene) busy-time telemetry only; results are order-insensitive and clock-free
                 let t0 = sched.busy.is_enabled().then(Instant::now);
                 loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +178,7 @@ where
     let sched = SchedObs::resolve("task");
     sched.tiles.add(tasks.len() as u64);
     if par.is_serial() || tasks.len() <= 1 {
+        // lint:allow(clock-hygiene) busy-time telemetry only; results are order-insensitive and clock-free
         let t0 = sched.busy.is_enabled().then(Instant::now);
         for t in tasks {
             body(t);
@@ -192,13 +195,20 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(move || {
+                // lint:allow(clock-hygiene) busy-time telemetry only; results are order-insensitive and clock-free
                 let t0 = sched.busy.is_enabled().then(Instant::now);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= slots.len() {
                         break;
                     }
-                    let task = slots[i].lock().expect("task slot poisoned").take();
+                    // Each slot is locked exactly once; a poisoned slot can
+                    // only mean another worker unwound mid-`body`, and the
+                    // task inside is still intact — recover it.
+                    let task = slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take();
                     if let Some(task) = task {
                         body(task);
                     }
@@ -306,16 +316,16 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let n = items.len();
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let tile = tile_size(n, par);
-    let tasks: Vec<(usize, &mut [Option<U>])> =
-        out.chunks_mut(tile).enumerate().map(|(t, chunk)| (t * tile, chunk)).collect();
-    for_each_task(par, tasks, |(start, chunk)| {
-        for (k, slot) in chunk.iter_mut().enumerate() {
-            *slot = Some(f(&items[start + k]));
-        }
+    // One owned Vec per tile: each task fills its own buffer completely,
+    // so reassembly is a flatten — no placeholder slots to unwrap.
+    let mut chunks: Vec<Vec<U>> = (0..n.div_ceil(tile)).map(|_| Vec::new()).collect();
+    let tasks: Vec<(usize, &mut Vec<U>)> =
+        chunks.iter_mut().enumerate().map(|(t, buf)| (t * tile, buf)).collect();
+    for_each_task(par, tasks, |(start, buf)| {
+        *buf = items[start..(start + tile).min(n)].iter().map(&f).collect();
     });
-    out.into_iter().map(|v| v.expect("every slot filled")).collect()
+    chunks.into_iter().flatten().collect()
 }
 
 /// A reasonable tile size: enough tiles per worker for dynamic balancing

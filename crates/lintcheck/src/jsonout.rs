@@ -7,15 +7,19 @@ use crate::{Finding, Report};
 /// Render a [`Report`] as a JSON document:
 ///
 /// ```json
-/// {"files_scanned": 140, "total": 3, "baselined": 2, "fresh": 1,
+/// {"files_scanned": 140, "callgraph_nodes": 900, "callgraph_edges": 1200,
+///  "total": 3, "baselined": 2, "fresh": 1,
 ///  "findings": [{"lint": "panic-path", "file": "crates/x/src/lib.rs",
 ///                "line": 10, "col": 13, "baselined": false,
 ///                "message": "...", "excerpt": "..."}]}
 /// ```
 pub fn report_json(report: &Report) -> String {
     let mut out = format!(
-        "{{\"files_scanned\":{},\"total\":{},\"baselined\":{},\"fresh\":{},\"findings\":[",
+        "{{\"files_scanned\":{},\"callgraph_nodes\":{},\"callgraph_edges\":{},\
+         \"total\":{},\"baselined\":{},\"fresh\":{},\"findings\":[",
         report.files_scanned,
+        report.callgraph_nodes,
+        report.callgraph_edges,
         report.baselined.len() + report.fresh.len(),
         report.baselined.len(),
         report.fresh.len()
@@ -85,11 +89,16 @@ mod tests {
         };
         let report = Report {
             files_scanned: 5,
+            callgraph_nodes: 40,
+            callgraph_edges: 40,
             baselined: vec![f(LintId::PanicPath, "a.rs")],
             fresh: vec![f(LintId::NondetIter, "b.rs")],
         };
         let j = report_json(&report);
-        assert!(j.starts_with("{\"files_scanned\":5,\"total\":2,\"baselined\":1,\"fresh\":1,"));
+        assert!(j.starts_with(
+            "{\"files_scanned\":5,\"callgraph_nodes\":40,\"callgraph_edges\":40,\
+             \"total\":2,\"baselined\":1,\"fresh\":1,"
+        ));
         assert!(j.contains("\"lint\":\"nondet-iter\",\"file\":\"b.rs\""));
         assert!(j.contains("\"baselined\":true"));
         assert!(j.contains("msg \\\"quoted\\\""));

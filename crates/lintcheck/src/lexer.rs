@@ -260,9 +260,23 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`.
-    /// Returns false when the `r`/`b`/`c` starts a plain identifier.
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`, and raw
+    /// identifiers (`r#fn`). Returns false when the `r`/`b`/`c` starts a
+    /// plain identifier.
     fn raw_or_byte_string(&mut self, start: usize, line: u32, col: u32) -> bool {
+        // Raw identifier `r#ident`: one Ident token. Without this, `r#fn`
+        // lexes as `r`, `#`, `fn` and the stray keyword corrupts symbol
+        // extraction with a phantom function.
+        if self.peek(0) == Some(b'r')
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(|b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80)
+        {
+            self.bump(); // r
+            self.bump(); // #
+            self.take_ident();
+            self.push(TokKind::Ident, start, line, col);
+            return true;
+        }
         let mut prefix_len = 1usize;
         if (self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r'))
             || (self.peek(0) == Some(b'r') && self.peek(1) == Some(b'b'))
@@ -440,6 +454,76 @@ mod tests {
         let l = lex("a\n  b");
         assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
         assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_token() {
+        // `r#fn` must not shed a bare `fn` keyword into the stream.
+        assert_eq!(
+            kinds("let r#fn = r#type + 1;"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "r#fn"),
+                (TokKind::Punct, "="),
+                (TokKind::Ident, "r#type"),
+                (TokKind::Punct, "+"),
+                (TokKind::Num, "1"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+        // A genuine raw-named function still shows its `fn` keyword once.
+        assert_eq!(
+            kinds("fn r#match() {}"),
+            vec![
+                (TokKind::Ident, "fn"),
+                (TokKind::Ident, "r#match"),
+                (TokKind::Punct, "("),
+                (TokKind::Punct, ")"),
+                (TokKind::Punct, "{"),
+                (TokKind::Punct, "}"),
+            ]
+        );
+        // `r#"…"#` stays a raw string, not a raw identifier.
+        assert_eq!(kinds(r###"r#"text"#"###), vec![(TokKind::Str, r###"r#"text"#"###)]);
+    }
+
+    #[test]
+    fn brace_char_literals_do_not_unbalance_the_stream() {
+        // `'{'` / `'}'` are Char tokens; the only Punct braces are the
+        // real block delimiters, so downstream brace matching stays sound.
+        let l = lex("fn f() { let a = '{'; let b = '}'; let c = b'{'; }");
+        let punct_braces: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && (t.text == "{" || t.text == "}"))
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(punct_braces, vec!["{", "}"]);
+        let chars: Vec<&str> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Char).map(|t| t.text).collect();
+        assert_eq!(chars, vec!["'{'", "'}'", "b'{'"]);
+    }
+
+    #[test]
+    fn raw_strings_and_comments_hide_code_shaped_text() {
+        // A raw string and a nested block comment both containing `fn` and
+        // an unbalanced `{` must contribute no Ident/Punct tokens.
+        let src = r###"
+            fn real() { let s = r#"fn fake() {"#; }
+            /* fn also_fake() { /* nested { */ still hidden */
+            fn real2() {}
+        "###;
+        let fns: Vec<&str> = lex(src)
+            .toks
+            .windows(2)
+            .filter(|w| w[0].is_ident("fn"))
+            .map(|w| w[1].text)
+            .collect();
+        assert_eq!(fns, vec!["real", "real2"]);
+        let l = lex(src);
+        let opens = l.toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = l.toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, closes, "braces balance once strings/comments are hidden");
     }
 
     #[test]

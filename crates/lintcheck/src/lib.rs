@@ -16,6 +16,22 @@
 //!   only on workspace crates or `shims/` path deps (hermetic offline
 //!   build), and `unsafe` is forbidden outside an allow-list.
 //!
+//! L5–L7 are *interprocedural*: the sweep indexes every library function
+//! ([`symbols`]), resolves call sites into a workspace call graph
+//! ([`callgraph`]), and propagates properties across it:
+//!
+//! * [`lints::clock_hygiene`] (**L5** `clock-hygiene`) — ambient clock and
+//!   entropy reads (`Instant::now`, `SystemTime::now`, `thread_rng`,
+//!   `RandomState`) must be unreachable from the deterministic-tick
+//!   surfaces; taint flows backward through the graph.
+//! * [`lints::lock_order`] (**L6** `lock-order`) — every mutex
+//!   acquisition classifies to a named lock class, nested acquisitions
+//!   (including transitive ones through callees and guard-returning
+//!   helpers) must follow the canonical order in [`Config::lock_order`].
+//! * [`lints::panic_prop`] (**L7** `panic-propagation`) — a library
+//!   function that can reach a panicking helper at any call depth is
+//!   itself a finding, anchored at the propagating call site.
+//!
 //! Individual sites opt out with a justified marker on the same or the
 //! preceding line:
 //!
@@ -33,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod jsonout;
 pub mod lexer;
 pub mod lints;
 pub mod source;
+pub mod symbols;
 pub mod walk;
 
 use source::SourceFile;
@@ -57,6 +75,12 @@ pub enum LintId {
     MetricRegistry,
     /// L4: non-hermetic dependencies / forbidden `unsafe`.
     DependencyPolicy,
+    /// L5: ambient clock/entropy reachable from deterministic surfaces.
+    ClockHygiene,
+    /// L6: lock acquisitions off the canonical order.
+    LockOrder,
+    /// L7: panics reachable through the call graph.
+    PanicPropagation,
     /// Malformed allow-markers (unknown lint name or missing reason).
     LintMarker,
 }
@@ -69,13 +93,24 @@ impl LintId {
             LintId::PanicPath => "panic-path",
             LintId::MetricRegistry => "metric-registry",
             LintId::DependencyPolicy => "dependency-policy",
+            LintId::ClockHygiene => "clock-hygiene",
+            LintId::LockOrder => "lock-order",
+            LintId::PanicPropagation => "panic-propagation",
             LintId::LintMarker => "lint-marker",
         }
     }
 
-    /// All selectable lints, in L1..L4 order.
-    pub fn all() -> [LintId; 4] {
-        [LintId::NondetIter, LintId::PanicPath, LintId::MetricRegistry, LintId::DependencyPolicy]
+    /// All selectable lints, in L1..L7 order.
+    pub fn all() -> [LintId; 7] {
+        [
+            LintId::NondetIter,
+            LintId::PanicPath,
+            LintId::MetricRegistry,
+            LintId::DependencyPolicy,
+            LintId::ClockHygiene,
+            LintId::LockOrder,
+            LintId::PanicPropagation,
+        ]
     }
 
     /// Parse a CLI/marker name.
@@ -85,6 +120,9 @@ impl LintId {
             "panic-path" => Some(LintId::PanicPath),
             "metric-registry" => Some(LintId::MetricRegistry),
             "dependency-policy" => Some(LintId::DependencyPolicy),
+            "clock-hygiene" => Some(LintId::ClockHygiene),
+            "lock-order" => Some(LintId::LockOrder),
+            "panic-propagation" => Some(LintId::PanicPropagation),
             "lint-marker" => Some(LintId::LintMarker),
             _ => None,
         }
@@ -149,6 +187,14 @@ pub struct Config {
     pub nondet_prefixes: Vec<String>,
     /// Files allowed to contain `unsafe`.
     pub unsafe_allowed: Vec<String>,
+    /// Workspace-relative path prefixes of the deterministic-tick
+    /// surfaces (L5): functions defined under these must not reach the
+    /// ambient clock or process entropy.
+    pub det_prefixes: Vec<String>,
+    /// The canonical lock acquisition order (L6), outermost first. Every
+    /// discovered lock class must appear here, and nested acquisitions
+    /// must go strictly down the list.
+    pub lock_order: Vec<String>,
 }
 
 impl Config {
@@ -176,8 +222,37 @@ impl Config {
             metric_table_file: "crates/obs/src/names.rs".to_string(),
             nondet_prefixes: vec!["crates/algos/".to_string(), "crates/linalg/".to_string()],
             unsafe_allowed: Vec::new(),
+            det_prefixes: vec![
+                "crates/obs/src/tsdb.rs".to_string(),
+                "crates/obs/src/alert.rs".to_string(),
+                "crates/cloudsim/src/net.rs".to_string(),
+                "crates/analytics/".to_string(),
+                "crates/algos/".to_string(),
+                "crates/linalg/".to_string(),
+            ],
+            lock_order: workspace_lock_order(),
         }
     }
+}
+
+/// The canonical lock acquisition order for this workspace, outermost
+/// first. DESIGN §7 documents the rationale per entry; the invariant the
+/// order encodes: registry locks nest *outside* event buffers, the alert
+/// manager queries the TSDB (never the reverse), and leaf task slots are
+/// always innermost.
+pub fn workspace_lock_order() -> Vec<String> {
+    [
+        "obs::Registry.families",
+        "obs::Registry.events",
+        "obs::AlertEngine.inner",
+        "obs::Tsdb.inner",
+        "obs::Tracer.inner",
+        "obs::LabelCap.admitted",
+        "linalg::par.slots",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
 }
 
 /// The result of one sweep, after marker suppression (but before baseline
@@ -188,6 +263,10 @@ pub struct Sweep {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files lexed.
     pub files_scanned: usize,
+    /// Indexed library functions (0 when no interprocedural lint ran).
+    pub callgraph_nodes: usize,
+    /// Resolved call edges (0 when no interprocedural lint ran).
+    pub callgraph_edges: usize,
 }
 
 /// A sweep partitioned against a baseline.
@@ -195,6 +274,10 @@ pub struct Sweep {
 pub struct Report {
     /// Number of `.rs` files lexed.
     pub files_scanned: usize,
+    /// Indexed library functions (0 when no interprocedural lint ran).
+    pub callgraph_nodes: usize,
+    /// Resolved call edges (0 when no interprocedural lint ran).
+    pub callgraph_edges: usize,
     /// Findings matched by the baseline (tolerated debt).
     pub baselined: Vec<Finding>,
     /// Fresh findings — these fail CI.
@@ -206,59 +289,96 @@ pub fn sweep(cfg: &Config) -> io::Result<Sweep> {
     let files = walk::walk(&cfg.root)?;
     let mut findings: Vec<Finding> = Vec::new();
     let mut metric_scan = lints::metric_registry::MetricScan::default();
-    let run_l1 = cfg.lints.contains(&LintId::NondetIter);
-    let run_l2 = cfg.lints.contains(&LintId::PanicPath);
-    let run_l3 = cfg.lints.contains(&LintId::MetricRegistry);
-    let run_l4 = cfg.lints.contains(&LintId::DependencyPolicy);
+    let run = |l: LintId| cfg.lints.contains(&l);
+    let interproc =
+        run(LintId::ClockHygiene) || run(LintId::LockOrder) || run(LintId::PanicPropagation);
 
-    let mut files_scanned = 0usize;
+    // Phase 1: read and parse every source file once. The interprocedural
+    // lints need all files alive at the same time (the call graph crosses
+    // them), so the sweep is no longer a streaming per-file loop.
+    let mut texts: Vec<(String, String)> = Vec::with_capacity(files.sources.len());
     for rel_path in &files.sources {
         let text = fs::read_to_string(cfg.root.join(rel_path))?;
-        let rel = walk::rel_str(&cfg.root, rel_path);
-        let file = SourceFile::parse(rel, &text);
-        files_scanned += 1;
+        texts.push((walk::rel_str(&cfg.root, rel_path), text));
+    }
+    let mut manifests: Vec<(String, String)> = Vec::with_capacity(files.manifests.len());
+    for rel_path in &files.manifests {
+        let text = fs::read_to_string(cfg.root.join(rel_path))?;
+        manifests.push((walk::rel_str(&cfg.root, rel_path), text));
+    }
+    let parsed: Vec<SourceFile<'_>> =
+        texts.iter().map(|(rel, text)| SourceFile::parse(rel.clone(), text)).collect();
+    let files_scanned = parsed.len();
 
+    // Phase 2: per-file lints, marker suppression, marker hygiene.
+    for file in &parsed {
         let mut raw: Vec<Finding> = Vec::new();
-        if run_l1 && lints::nondet_iter::in_scope(&file, &cfg.nondet_prefixes) {
-            raw.extend(lints::nondet_iter::check(&file));
+        if run(LintId::NondetIter) && lints::nondet_iter::in_scope(file, &cfg.nondet_prefixes) {
+            raw.extend(lints::nondet_iter::check(file));
         }
-        if run_l2 && lints::panic_path::in_scope(&file) {
-            raw.extend(lints::panic_path::check(&file));
+        if run(LintId::PanicPath) && lints::panic_path::in_scope(file) {
+            raw.extend(lints::panic_path::check(file));
         }
-        if run_l4 {
-            raw.extend(lints::dep_policy::check_unsafe(&file, &cfg.unsafe_allowed));
+        if run(LintId::DependencyPolicy) {
+            raw.extend(lints::dep_policy::check_unsafe(file, &cfg.unsafe_allowed));
         }
-        if run_l3 && lints::metric_registry::in_scope(&file) {
+        if run(LintId::MetricRegistry) && lints::metric_registry::in_scope(file) {
             lints::metric_registry::check_file(
                 &mut metric_scan,
-                &file,
+                file,
                 &cfg.metric_table,
                 &cfg.metric_table_file,
             );
         }
-        // Marker suppression + marker hygiene.
         findings.extend(raw.into_iter().filter(|f| !file.allowed(f.lint.name(), f.line)));
-        findings.extend(marker_hygiene(&file));
+        findings.extend(marker_hygiene(file));
     }
 
-    if run_l3 {
+    if run(LintId::MetricRegistry) {
         lints::metric_registry::finish(&mut metric_scan, &cfg.metric_table, &cfg.metric_table_file);
         // Metric findings are cross-file (unreferenced entries have no call
         // site to hang a marker on); the baseline is their escape hatch.
         findings.extend(metric_scan.findings);
     }
 
-    if run_l4 {
-        for rel_path in &files.manifests {
-            let text = fs::read_to_string(cfg.root.join(rel_path))?;
-            let rel = walk::rel_str(&cfg.root, rel_path);
-            findings.extend(lints::dep_policy::check_manifest(&rel, &text));
+    if run(LintId::DependencyPolicy) {
+        for (rel, text) in &manifests {
+            findings.extend(lints::dep_policy::check_manifest(rel, text));
         }
+    }
+
+    // Phase 3: symbol index, call graph, interprocedural lints.
+    let mut callgraph_nodes = 0usize;
+    let mut callgraph_edges = 0usize;
+    if interproc {
+        let crates = symbols::crate_names(&manifests);
+        let in_scope: Vec<bool> =
+            parsed.iter().map(|f| f.kind == source::FileKind::Lib).collect();
+        let index = symbols::index(&parsed, &in_scope, &crates);
+        let graph = callgraph::build(&index);
+        callgraph_nodes = graph.nodes();
+        callgraph_edges = graph.edges;
+
+        let mut raw: Vec<Finding> = Vec::new();
+        if run(LintId::ClockHygiene) {
+            raw.extend(lints::clock_hygiene::check(&index, &graph, &parsed, &cfg.det_prefixes));
+        }
+        if run(LintId::LockOrder) {
+            raw.extend(lints::lock_order::check(&index, &graph, &parsed, &cfg.lock_order));
+        }
+        if run(LintId::PanicPropagation) {
+            raw.extend(lints::panic_prop::check(&index, &graph, &parsed));
+        }
+        let by_rel: BTreeMap<&str, &SourceFile<'_>> =
+            parsed.iter().map(|f| (f.rel.as_str(), f)).collect();
+        findings.extend(raw.into_iter().filter(|f| {
+            by_rel.get(f.file.as_str()).is_none_or(|sf| !sf.allowed(f.lint.name(), f.line))
+        }));
     }
 
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
-    Ok(Sweep { findings, files_scanned })
+    Ok(Sweep { findings, files_scanned, callgraph_nodes, callgraph_edges })
 }
 
 /// Validate the markers themselves: unknown lint names and missing reasons
@@ -298,7 +418,13 @@ fn marker_hygiene(file: &SourceFile<'_>) -> Vec<Finding> {
 pub fn run(cfg: &Config, baseline: &baseline::Baseline) -> io::Result<Report> {
     let s = sweep(cfg)?;
     let (baselined, fresh) = baseline.partition(s.findings);
-    Ok(Report { files_scanned: s.files_scanned, baselined, fresh })
+    Ok(Report {
+        files_scanned: s.files_scanned,
+        callgraph_nodes: s.callgraph_nodes,
+        callgraph_edges: s.callgraph_edges,
+        baselined,
+        fresh,
+    })
 }
 
 #[cfg(test)]

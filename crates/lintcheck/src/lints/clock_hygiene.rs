@@ -1,0 +1,252 @@
+//! L5 `clock-hygiene`: ambient clock and entropy reads must be
+//! unreachable from the deterministic-tick surfaces.
+//!
+//! PR 7 proved the scrape/evaluate loop deterministic dynamically
+//! (bit-identical `/alerts` replays); this lint proves it statically.
+//! `Instant::now` / `SystemTime::now` / `thread_rng` / `RandomState`
+//! anywhere in a function body make that function an **entropy source**,
+//! and taint propagates backward through the call graph: a deterministic
+//! surface that can *reach* a source — at any call depth — is a finding.
+//!
+//! Measurement-only instrumentation (span timing, busy-time histograms)
+//! is the sanctioned exception: a
+//! `// lint:allow(clock-hygiene) <reason>` marker on the clock-read line
+//! stops the function from becoming a source at all, so its callers stay
+//! clean too. The marker therefore carries a stronger obligation than
+//! most: the justification must argue the value never feeds outputs.
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
+use crate::{Finding, LintId};
+use std::collections::BTreeMap;
+
+/// The marker name.
+pub const NAME: &str = "clock-hygiene";
+
+/// One ambient read inside a function body.
+struct Source {
+    line: u32,
+    col: u32,
+    what: &'static str,
+}
+
+/// Scan a body token range for ambient clock/entropy reads. Marker-allowed
+/// lines are skipped here — before taint seeding — so a justified read
+/// does not poison callers.
+fn body_sources(file: &SourceFile<'_>, body: (usize, usize)) -> Option<Source> {
+    let toks = &file.lexed.toks;
+    for i in body.0..body.1.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text {
+            // `Instant::now(` / `SystemTime::now(` (also matches a bare
+            // `Instant::now` passed as a fn pointer, e.g. `.then(Instant::now)`).
+            "now" if i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("Instant") =>
+            {
+                "Instant::now"
+            }
+            "now" if i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("SystemTime") =>
+            {
+                "SystemTime::now"
+            }
+            // Ambient RNG constructors.
+            "thread_rng" | "from_entropy"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                if t.text == "thread_rng" {
+                    "thread_rng"
+                } else {
+                    "from_entropy"
+                }
+            }
+            // Hash-seed entropy: mentioning the type at all (as a bound,
+            // default param, or constructor) pulls in a random seed.
+            "RandomState" => "RandomState",
+            _ => continue,
+        };
+        if file.allowed(NAME, t.line) {
+            continue;
+        }
+        return Some(Source { line: t.line, col: t.col, what });
+    }
+    None
+}
+
+/// Run the lint: seed entropy sources, propagate taint over reversed call
+/// edges, report every tainted function on a deterministic surface.
+pub fn check(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    files: &[SourceFile<'_>],
+    det_prefixes: &[String],
+) -> Vec<Finding> {
+    let mut sources: Vec<usize> = Vec::new();
+    let mut src_info: BTreeMap<usize, Source> = BTreeMap::new();
+    for (i, sym) in index.fns.iter().enumerate() {
+        if sym.is_test {
+            continue;
+        }
+        if let Some(s) = body_sources(&files[sym.file_idx], sym.body) {
+            sources.push(i);
+            src_info.insert(i, s);
+        }
+    }
+    let hops = callgraph::reach_sources(graph, &sources);
+
+    let mut out = Vec::new();
+    for (&i, &next) in hops.iter() {
+        let sym = &index.fns[i];
+        if sym.is_test || !det_prefixes.iter().any(|p| sym.file.starts_with(p.as_str())) {
+            continue;
+        }
+        let file = &files[sym.file_idx];
+        if next == i {
+            // The surface function reads the clock itself: anchor at the
+            // read so a marker there can sanction it.
+            let s = &src_info[&i];
+            out.push(Finding {
+                lint: LintId::ClockHygiene,
+                file: sym.file.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "`{}` reads ambient `{}` on a deterministic-tick surface; inject the \
+                     value (logical tick / seeded rng) or justify with \
+                     `// lint:allow({NAME}) <reason>`",
+                    sym.qname, s.what
+                ),
+                excerpt: file.line_text(s.line).to_string(),
+            });
+        } else {
+            // Transitive taint: anchor at the definition and render the
+            // call chain down to the ultimate read.
+            let mut end = i;
+            while let Some(&n) = hops.get(&end) {
+                if n == end {
+                    break;
+                }
+                end = n;
+            }
+            let s = &src_info[&end];
+            out.push(Finding {
+                lint: LintId::ClockHygiene,
+                file: sym.file.clone(),
+                line: sym.line,
+                col: sym.col,
+                message: format!(
+                    "`{}` reaches ambient `{}` via {}; deterministic-tick surfaces must not \
+                     depend on the wall clock or process entropy",
+                    sym.qname,
+                    s.what,
+                    callgraph::chain(index, &hops, i)
+                ),
+                excerpt: file.line_text(sym.line).to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::symbols;
+    use std::collections::BTreeMap as Map;
+
+    fn run(files: &[(&str, &str)], det: &[&str]) -> Vec<Finding> {
+        let mut crates = Map::new();
+        crates.insert("crates/a".to_string(), "a".to_string());
+        crates.insert("crates/b".to_string(), "b".to_string());
+        let parsed: Vec<SourceFile<'_>> =
+            files.iter().map(|(rel, text)| SourceFile::parse(rel.to_string(), text)).collect();
+        let in_scope: Vec<bool> = parsed.iter().map(|_| true).collect();
+        let idx = symbols::index(&parsed, &in_scope, &crates);
+        let g = build(&idx);
+        let det: Vec<String> = det.iter().map(|s| s.to_string()).collect();
+        check(&idx, &g, &parsed, &det)
+    }
+
+    #[test]
+    fn direct_read_on_surface_is_flagged_at_the_read() {
+        let f = run(
+            &[("crates/a/src/lib.rs", "pub fn tick() { let t = Instant::now(); drop(t); }")],
+            &["crates/a/"],
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Instant::now"));
+        assert!(f[0].excerpt.contains("Instant::now"));
+    }
+
+    #[test]
+    fn transitive_taint_crosses_crates_with_a_chain() {
+        let f = run(
+            &[
+                ("crates/b/src/lib.rs", "pub fn stamp() -> u64 { SystemTime::now(); 0 }"),
+                (
+                    "crates/a/src/lib.rs",
+                    "use b::stamp;\npub fn surface() -> u64 { helper() }\n\
+                     fn helper() -> u64 { stamp() }",
+                ),
+            ],
+            &["crates/a/"],
+        );
+        // `surface` and `helper` are both tainted; `stamp` is off-surface.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.file == "crates/a/src/lib.rs"));
+        let surface = f.iter().find(|x| x.message.contains("`a::surface`")).unwrap();
+        assert!(
+            surface.message.contains("a::surface -> a::helper -> b::stamp"),
+            "chain rendered: {}",
+            surface.message
+        );
+    }
+
+    #[test]
+    fn marker_at_the_read_untaints_every_caller() {
+        let f = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn surface() { timed() }\nfn timed() {\n  \
+                 // lint:allow(clock-hygiene) measurement only, never feeds outputs\n  \
+                 let t = Instant::now(); drop(t);\n}",
+            )],
+            &["crates/a/"],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn off_surface_reads_are_not_findings() {
+        let f = run(
+            &[("crates/b/src/lib.rs", "pub fn free_clock() { Instant::now(); }")],
+            &["crates/a/"],
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn random_state_and_thread_rng_are_sources() {
+        let f = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn seed() -> RandomState { RandomState::new() }\n\
+                 pub fn roll() { thread_rng(); }",
+            )],
+            &["crates/a/"],
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.message.contains("RandomState")));
+        assert!(f.iter().any(|x| x.message.contains("thread_rng")));
+    }
+}

@@ -1,0 +1,174 @@
+//! L7 `panic-propagation`: panics cross function boundaries, so the lint
+//! does too. A library function that calls — at any depth — a helper
+//! containing a non-allowed `unwrap`/`expect`/`panic!`/`unreachable!` is
+//! itself a finding, anchored at its call site with the full chain down
+//! to the ultimate panic rendered in the message.
+//!
+//! L2 `panic-path` already flags the panicking site itself; this lint
+//! covers the callers L2 cannot see, which is what makes the baseline
+//! burn-down real: an `.expect()` buried in a leaf taints every public
+//! entry point above it, so debt can no longer hide behind one file.
+//! A `// lint:allow(panic-path) <reason>` marker at the panicking site
+//! sanctions the whole chain (the justification argues the panic cannot
+//! fire, which holds for every caller); a `lint:allow(panic-propagation)`
+//! marker at a call site exempts just that edge.
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
+use crate::{Finding, LintId};
+
+/// The marker name.
+pub const NAME: &str = "panic-propagation";
+
+/// True when the body range contains a panic site that is neither inside
+/// a test region nor sanctioned by an L2 allow-marker.
+fn body_panics(file: &SourceFile<'_>, body: (usize, usize)) -> bool {
+    let toks = &file.lexed.toks;
+    for i in body.0..body.1.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || file.in_test_region(i) {
+            continue;
+        }
+        let hit = match t.text {
+            "unwrap" | "expect" => {
+                i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            }
+            "panic" | "unreachable" => {
+                toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+            }
+            _ => false,
+        };
+        if hit && !file.allowed("panic-path", t.line) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the lint: seed directly-panicking functions, propagate over
+/// reversed call edges, and report each calling function at the edge that
+/// leads toward the panic.
+pub fn check(index: &SymbolIndex, graph: &CallGraph, files: &[SourceFile<'_>]) -> Vec<Finding> {
+    let mut sources: Vec<usize> = Vec::new();
+    for (i, sym) in index.fns.iter().enumerate() {
+        if !sym.is_test && body_panics(&files[sym.file_idx], sym.body) {
+            sources.push(i);
+        }
+    }
+    let hops = callgraph::reach_sources(graph, &sources);
+
+    let mut out = Vec::new();
+    for (&i, &next) in hops.iter() {
+        if next == i {
+            continue; // the panicking function itself is L2's finding
+        }
+        let sym = &index.fns[i];
+        if sym.is_test {
+            continue;
+        }
+        let file = &files[sym.file_idx];
+        // Every edge from here into the panicking set is a propagation
+        // path; flag each distinct (callee, line) so the marker goes on
+        // the exact call that needs justifying.
+        let mut flagged: Vec<(usize, u32)> = Vec::new();
+        for e in &graph.out[i] {
+            if !hops.contains_key(&e.callee) || flagged.contains(&(e.callee, e.line)) {
+                continue;
+            }
+            flagged.push((e.callee, e.line));
+            let callee = &index.fns[e.callee];
+            out.push(Finding {
+                lint: LintId::PanicPropagation,
+                file: sym.file.clone(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "`{}` calls `{}`, which can panic ({}); handle the failure or justify \
+                     the leaf with `// lint:allow(panic-path) <reason>`",
+                    sym.qname,
+                    callee.qname,
+                    callgraph::chain(index, &hops, e.callee)
+                ),
+                excerpt: file.line_text(e.line).to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::symbols;
+    use std::collections::BTreeMap as Map;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let mut crates = Map::new();
+        crates.insert("crates/a".to_string(), "a".to_string());
+        crates.insert("crates/b".to_string(), "b".to_string());
+        let parsed: Vec<SourceFile<'_>> =
+            files.iter().map(|(rel, text)| SourceFile::parse(rel.to_string(), text)).collect();
+        let in_scope: Vec<bool> = parsed.iter().map(|_| true).collect();
+        let idx = symbols::index(&parsed, &in_scope, &crates);
+        let g = build(&idx);
+        check(&idx, &g, &parsed)
+    }
+
+    #[test]
+    fn transitive_chain_flags_every_caller_at_its_call_site() {
+        let f = run(&[(
+            "crates/a/src/m.rs",
+            "pub fn entry() {\n  mid();\n}\nfn mid() {\n  leaf();\n}\n\
+             fn leaf() {\n  None::<u8>.unwrap();\n}",
+        )]);
+        // `entry` and `mid` are propagation findings; `leaf` is L2's.
+        assert_eq!(f.len(), 2, "{f:?}");
+        let entry = f.iter().find(|x| x.message.contains("`a::m::entry`")).unwrap();
+        assert_eq!(entry.line, 2, "anchored at the call");
+        assert!(
+            entry.message.contains("a::m::mid -> a::m::leaf"),
+            "chain rendered: {}",
+            entry.message
+        );
+    }
+
+    #[test]
+    fn allow_marker_at_the_leaf_sanctions_the_chain() {
+        let f = run(&[(
+            "crates/a/src/m.rs",
+            "pub fn entry() { leaf(); }\nfn leaf() {\n  \
+             // lint:allow(panic-path) value proven Some by construction\n  \
+             None::<u8>.unwrap();\n}",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cross_crate_propagation_via_imports() {
+        let f = run(&[
+            ("crates/b/src/lib.rs", "pub fn boom() { panic!(\"x\"); }"),
+            ("crates/a/src/lib.rs", "use b::boom;\npub fn caller() { boom(); }"),
+        ]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].file, "crates/a/src/lib.rs");
+        assert!(f[0].message.contains("`b::boom`"));
+    }
+
+    #[test]
+    fn test_functions_neither_seed_nor_receive() {
+        let f = run(&[(
+            "crates/a/src/m.rs",
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { helper(); }\n}\n\
+             pub fn helper() { }\n\
+             #[cfg(test)]\nmod more {\n  fn panicky() { None::<u8>.unwrap(); }\n  \
+             #[test]\n  fn u() { panicky(); }\n}",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

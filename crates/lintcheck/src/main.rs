@@ -76,9 +76,12 @@ fn print_help() {
         "lintcheck: the workspace's own static-analysis pass\n\n\
          USAGE: lintcheck [--root DIR] [--json] [--no-baseline] \
          [--write-baseline] [--baseline FILE] [--lint NAME]...\n\n\
-         Lints: nondet-iter, panic-path, metric-registry, dependency-policy\n\
-         (allow-marker hygiene always runs). Default baseline file:\n\
-         <root>/lintcheck.baseline; missing file = empty baseline."
+         Lints: nondet-iter, panic-path, metric-registry, dependency-policy,\n\
+         clock-hygiene, lock-order, panic-propagation\n\
+         (allow-marker hygiene always runs; the last three are\n\
+         interprocedural — they build a workspace call graph first).\n\
+         Default baseline file: <root>/lintcheck.baseline; missing file =\n\
+         empty baseline."
     );
 }
 
@@ -149,8 +152,11 @@ fn main() -> ExitCode {
         }
         let _ = writeln!(
             out,
-            "lintcheck: {} file(s) scanned, {} finding(s) ({} baselined, {} fresh)",
+            "lintcheck: {} file(s) scanned, call graph {}/{} fns/edges, \
+             {} finding(s) ({} baselined, {} fresh)",
             report.files_scanned,
+            report.callgraph_nodes,
+            report.callgraph_edges,
             report.fresh.len() + report.baselined.len(),
             report.baselined.len(),
             report.fresh.len()

@@ -1,0 +1,23 @@
+//! Seeded call-chain material: a clock helper that taints cross-crate
+//! callers and a two-hop transitive panic chain.
+
+/// Clock helper: not itself on a deterministic surface, so only its
+/// deterministic callers are flagged.
+pub fn wall_stamp() -> f64 {
+    std::time::Instant::now().elapsed().as_secs_f64()
+}
+
+/// Panicking leaf (a direct panic-path finding in its own right).
+pub fn leaf(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// First hop of the propagation chain: calls the panicking leaf.
+pub fn mid(v: Option<u32>) -> u32 {
+    leaf(v) + 1
+}
+
+/// Second hop: two edges from the panic, still flagged.
+pub fn top(v: Option<u32>) -> u32 {
+    mid(v) * 2
+}

@@ -1,0 +1,24 @@
+//! Seeded clock-hygiene violations: this crate's files sit under the
+//! fixture config's deterministic prefixes, so wall-clock reads reachable
+//! from here are findings.
+
+use std::time::Instant;
+
+/// Direct violation: a deterministic surface reading the wall clock.
+pub fn window_roll() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_secs()
+}
+
+/// Transitive violation: calls a clock helper in another crate; the taint
+/// propagates back through the cross-crate call edge.
+pub fn tick() -> f64 {
+    fx_chain::wall_stamp() + 1.0
+}
+
+/// Marker-suppressed read: measurement-only by declaration.
+pub fn measured() -> u64 {
+    // lint:allow(clock-hygiene) fixture demonstrates marker suppression
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,39 @@
+//! Seeded lock-order violations. The fixture config's canonical order is
+//! `fx_locks::Pair.a` before `fx_locks::Pair.b` (plus a stale entry
+//! `fx_locks::Pair.gone` that no code acquires).
+
+use std::sync::Mutex;
+
+/// Two counters guarded by separately-locked cells, plus an undeclared one.
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+impl Pair {
+    /// Correct nesting: `a` then `b`, matching the canonical table.
+    pub fn sum(&self) -> u64 {
+        if let Ok(x) = self.a.lock() {
+            if let Ok(y) = self.b.lock() {
+                return *x + *y;
+            }
+        }
+        0
+    }
+
+    /// Seeded inversion: `b` held while taking `a`.
+    pub fn inverted(&self) -> u64 {
+        if let Ok(y) = self.b.lock() {
+            if let Ok(x) = self.a.lock() {
+                return *x + *y;
+            }
+        }
+        0
+    }
+
+    /// Seeded undeclared class: `c` is not in the canonical table.
+    pub fn third(&self) -> u64 {
+        self.c.lock().map(|g| *g).unwrap_or(0)
+    }
+}

@@ -40,6 +40,12 @@ fn fixture_config(lints: Vec<LintId>) -> Config {
         metric_table_file: "crates/obs/src/names.rs".into(),
         nondet_prefixes: vec!["crates/algos/".into()],
         unsafe_allowed: Vec::new(),
+        det_prefixes: vec!["crates/det/".into()],
+        lock_order: vec![
+            "fx_locks::Pair.a".into(),
+            "fx_locks::Pair.b".into(),
+            "fx_locks::Pair.gone".into(),
+        ],
     }
 }
 
@@ -84,6 +90,21 @@ fn dependency_policy_golden() {
     check_golden(LintId::DependencyPolicy, "dependency_policy.json");
 }
 
+#[test]
+fn clock_hygiene_golden() {
+    check_golden(LintId::ClockHygiene, "clock_hygiene.json");
+}
+
+#[test]
+fn lock_order_golden() {
+    check_golden(LintId::LockOrder, "lock_order.json");
+}
+
+#[test]
+fn panic_propagation_golden() {
+    check_golden(LintId::PanicPropagation, "panic_propagation.json");
+}
+
 /// Every seeded violation class is detected in one full sweep: the lint
 /// totals stay pinned so a regression in any single rule is caught even
 /// before the per-lint goldens are consulted.
@@ -95,14 +116,22 @@ fn full_sweep_detects_every_seeded_class() {
     let count = |lint: LintId| report.fresh.iter().filter(|f| f.lint == lint).count();
     // algos: for-in loop + .values() product; BTreeMap sink and marker exempt.
     assert_eq!(count(LintId::NondetIter), 2);
-    // graph: unwrap, expect, panic!, unreachable!; marker + test mod exempt.
-    assert_eq!(count(LintId::PanicPath), 4);
+    // graph: unwrap, expect, panic!, unreachable!; chain: the leaf unwrap.
+    // Marker + test mod exempt.
+    assert_eq!(count(LintId::PanicPath), 5);
     // app/table: kind mismatch, typo, malformed entry, unreferenced entry.
     assert_eq!(count(LintId::MetricRegistry), 4);
     // evil: registry dep, escaping path, git dep, and two `unsafe` tokens.
     assert_eq!(count(LintId::DependencyPolicy), 5);
+    // det: one direct read, one taint through the cross-crate helper;
+    // the marker-suppressed read stays quiet.
+    assert_eq!(count(LintId::ClockHygiene), 2);
+    // locks: one inversion, one undeclared class, one stale table entry.
+    assert_eq!(count(LintId::LockOrder), 3);
+    // chain: mid calls the panicking leaf, top calls mid.
+    assert_eq!(count(LintId::PanicPropagation), 2);
     assert_eq!(count(LintId::LintMarker), 0, "fixture markers are well-formed");
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 8);
 }
 
 /// The baseline closes the loop: rendering the fixture findings and feeding

@@ -414,6 +414,7 @@ impl AlertEngine {
     /// transition is mirrored to the event log and counted on
     /// `commgraph_alert_transitions_total`.
     pub fn evaluate(&self, tick: u64, store: &Tsdb) -> Vec<Transition> {
+        // lint:allow(clock-hygiene) self-timing of the evaluate pass; rule state depends only on the injected tick
         let t0 = std::time::Instant::now();
         let mut transitions = Vec::new();
         let mut guard = self.lock();

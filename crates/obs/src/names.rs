@@ -41,6 +41,7 @@ pub const ALLOWED_SUFFIXES: &[&str] = &[
     "threshold",
     "ratio",
     "nodes",
+    "edges",
 ];
 
 /// Every metric family the workspace may emit, sorted by name.
@@ -122,6 +123,18 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Gauge,
         help: "High-water record timestamp (seconds since trace start) seen by an ingest path.",
         labels: &["source"],
+    },
+    MetricDef {
+        name: "commgraph_lint_callgraph_edges",
+        kind: MetricKind::Gauge,
+        help: "Call edges resolved by the latest lintcheck interprocedural sweep.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_lint_callgraph_nodes",
+        kind: MetricKind::Gauge,
+        help: "Functions indexed by the latest lintcheck interprocedural sweep.",
+        labels: &[],
     },
     MetricDef {
         name: "commgraph_lint_findings_total",

@@ -182,7 +182,7 @@ pub fn proportionality_assess<'a>(
     if raw.is_empty() {
         return Vec::new();
     }
-    ratios.sort_by(|x, y| x.partial_cmp(y).expect("ratios are not NaN"));
+    ratios.sort_by(f64::total_cmp);
     // Lower median: a conservative trend estimate, so that with few pairs a
     // single surging pair cannot drag the "cluster trend" up to meet itself.
     let cluster_ratio = ratios[(ratios.len() - 1) / 2];

@@ -35,6 +35,13 @@ pub struct Segmentation {
 }
 
 impl Segmentation {
+    /// The empty segmentation: no segments, no members. A graceful
+    /// fallback when a graph/inference pair cannot be segmented — every
+    /// lookup misses, so downstream policies learn nothing.
+    pub fn empty() -> Self {
+        Segmentation { segments: Vec::new(), ip_to_segment: HashMap::new() }
+    }
+
     /// Build from a role inference over an IP-facet graph.
     ///
     /// `is_internal` classifies addresses (the monitored inventory, which a

@@ -157,6 +157,8 @@ fn record_lint_sweep(registry: &obs::Registry) {
     let t0 = std::time::Instant::now();
     let report = lintcheck::run(&cfg, &baseline).expect("workspace tree is readable");
     registry.histogram("commgraph_lint_sweep_seconds", "", &[]).record(t0.elapsed().as_secs_f64());
+    registry.gauge("commgraph_lint_callgraph_nodes", "", &[]).set(report.callgraph_nodes as f64);
+    registry.gauge("commgraph_lint_callgraph_edges", "", &[]).set(report.callgraph_edges as f64);
     for lint in lintcheck::LintId::all() {
         let count =
             report.fresh.iter().chain(report.baselined.iter()).filter(|f| f.lint == lint).count();
