@@ -1,9 +1,9 @@
 //! Performance + observability report for the workspace: kernel speedups,
 //! a fully instrumented + traced pipeline run, a continuous-monitor run, a
-//! timed static-analysis sweep, a metrics-history + alerting overhead
-//! measurement, and a live self-scrape of the introspection server —
-//! written to `BENCH_PR9.json`, with the run's span timeline exported to
-//! `TRACE_PR9.json` (Chrome trace-event format; open it in Perfetto or
+//! timed static-analysis sweep, metrics-history + alerting and query-engine
+//! overhead measurements, and a live self-scrape of the introspection server —
+//! written to `BENCH_PR10.json`, with the run's span timeline exported to
+//! `TRACE_PR10.json` (Chrome trace-event format; open it in Perfetto or
 //! `about:tracing`).
 //!
 //! Sections:
@@ -32,11 +32,16 @@
 //!    TSDB and the default alert pack evaluated for a few hundred logical
 //!    ticks, timing the per-tick scrape + evaluate overhead against its
 //!    1 ms budget and reporting the store's memory footprint.
-//! 6. **Serve** — an `obs::IntrospectionServer` boots on port 0 and the
-//!    report scrapes its own `/metrics`, `/healthz`, `/query`, `/alerts`,
-//!    and `/slo` over real HTTP, verifying every canonical `obs::names`
-//!    family appears in one scrape.
-//! 7. **Faultsim** — the `cloudsim::net` delivery fabric: a clean-network
+//! 6. **Query** — the expression engine is timed against the fully
+//!    populated store: a dashboard pack of expressions parsed once and
+//!    evaluated at a few hundred distinct ticks against a 1 ms/tick
+//!    budget, with the scraper's recording rules and their synthetic
+//!    series counted.
+//! 7. **Serve** — an `obs::IntrospectionServer` boots on port 0 and the
+//!    report scrapes its own `/metrics`, `/healthz`, `/query`,
+//!    `/query_range`, `/alerts`, and `/slo` over real HTTP, verifying
+//!    every canonical `obs::names` family appears in one scrape.
+//! 8. **Faultsim** — the `cloudsim::net` delivery fabric: a clean-network
 //!    run checked bit-identical to direct in-process ingest, each shipped
 //!    fault script (crash/replay, delayed flush, duplicates, clock skew,
 //!    partition, lossy jitter) run twice for a determinism verdict with
@@ -325,6 +330,11 @@ fn serve_report(
     let trace_ok = trace_body.starts_with("{\"displayTimeUnit\"");
     let query_body = http_get(addr, "/query?name=commgraph_tsdb_samples_total&field=value");
     let query_ok = query_body.starts_with("{\"series\":[{") && query_body.contains("\"points\":[[");
+    let range_path = "/query_range?expr=rate(commgraph_tsdb_samples_total%5B8%5D)&step=1";
+    let range_body = http_get(addr, range_path);
+    let query_range_ok = range_body.starts_with("{\"expr\":\"")
+        && range_body.contains("\"points\":[[")
+        && http_get(addr, range_path) == range_body;
     let alerts_ok = http_get(addr, "/alerts").contains("\"alerts\":[{");
     let slo_ok = http_get(addr, "/slo").contains("\"slos\":[{");
     server.shutdown();
@@ -334,13 +344,14 @@ fn serve_report(
         obs::names::METRICS.len() - missing.len(),
         obs::names::METRICS.len(),
         if healthz_ok { "ok" } else { "FAILED" },
-        if query_ok && alerts_ok && slo_ok { "ok" } else { "FAILED" },
+        if query_ok && query_range_ok && alerts_ok && slo_ok { "ok" } else { "FAILED" },
     );
     json!({
         "addr": addr.to_string(),
         "healthz_ok": healthz_ok,
         "trace_endpoint_ok": trace_ok,
         "query_endpoint_ok": query_ok,
+        "query_range_endpoint_ok": query_range_ok,
         "alerts_endpoint_ok": alerts_ok,
         "slo_endpoint_ok": slo_ok,
         "families_total": obs::names::METRICS.len(),
@@ -399,6 +410,74 @@ fn tsdb_alert_report(
     })
 }
 
+/// Time the query engine against the fully populated store: parse a
+/// dashboard pack of expressions once, then evaluate the whole pack at a
+/// few hundred distinct ticks. Budget: 1 ms per tick for the pack —
+/// dashboards poll on window rolls, so this cost rides every tick the
+/// operator is watching. Also reports the recording rules installed on the
+/// scraper and the synthetic series they produced.
+fn query_report(scraper: &obs::Scraper, rule_names: &[&str]) -> serde_json::Value {
+    const TICKS: u64 = 200;
+    let store = scraper.store();
+    let exprs = [
+        "rate(commgraph_engine_records_in_total[8])",
+        "histogram_quantile(0.99, commgraph_window_roll_lag_seconds{source=\"pipeline\"})",
+        "sum by (subscription) (rate(commgraph_subscription_records_total[8]))",
+        "commgraph_engine_dropped_records_total / clamp_min(commgraph_engine_records_in_total, 1)",
+        "max_over_time(commgraph_tsdb_memory_bytes[8])",
+    ];
+    let t0 = Instant::now();
+    let parsed: Vec<obs::Expr> =
+        exprs.iter().map(|src| obs::query::parse(src).expect("bench expressions parse")).collect();
+    let parse_us = t0.elapsed().as_secs_f64() / exprs.len() as f64 * 1e6;
+
+    let last = store.last_tick();
+    let from = last.saturating_sub(TICKS - 1).max(1);
+    let (mut eval_s, mut max_tick_s, mut points) = (0.0f64, 0.0f64, 0usize);
+    for tick in from..=last {
+        let t0 = Instant::now();
+        for expr in &parsed {
+            if let obs::Value::Vector(samples) =
+                obs::query::eval(store, expr, tick).expect("bench expressions evaluate")
+            {
+                points += samples.len();
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        eval_s += dt;
+        max_tick_s = max_tick_s.max(dt);
+    }
+    let ticks = last - from + 1;
+    let per_tick_ms = eval_s / ticks as f64 * 1e3;
+    let within_budget = per_tick_ms < 1.0;
+    let rule_series: usize = rule_names
+        .iter()
+        .map(|name| {
+            store.query(&obs::Query { name: Some(name.to_string()), ..Default::default() }).len()
+        })
+        .sum();
+    println!(
+        "query engine                  {} exprs, parse {parse_us:7.1} µs/expr, per tick \
+         {per_tick_ms:6.3} ms over {ticks} ticks (budget 1 ms, {}); {} rules -> {} series",
+        exprs.len(),
+        if within_budget { "ok" } else { "OVER" },
+        scraper.recording_rule_count(),
+        rule_series,
+    );
+    json!({
+        "expressions": exprs.len(),
+        "ticks": ticks,
+        "parse_us_mean": parse_us,
+        "per_tick_ms_mean": per_tick_ms,
+        "per_tick_ms_max": max_tick_s * 1e3,
+        "per_tick_budget_ms": 1.0,
+        "within_budget": within_budget,
+        "vector_samples": points,
+        "rules": scraper.recording_rule_count(),
+        "rule_series_produced": rule_series,
+    })
+}
+
 /// Run the instrumented pipeline end to end and report the per-stage
 /// breakdown read back from the registry. Returns the JSON section plus the
 /// run's Chrome trace-event timeline.
@@ -418,6 +497,22 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     // ticks against the fully populated registry.
     let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
     let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
+    // Recording rules ride every scrape from here on: the analyzer's
+    // window-roll ticks, the tsdb_alert timing loop, and the query section
+    // below all see their synthetic series (and the query families register
+    // for the serve section's all-families check).
+    scraper.add_recording_rules(vec![
+        obs::RecordingRule::new(
+            "engine:records:rate8",
+            "rate(commgraph_engine_records_in_total[8])",
+        )
+        .expect("rule expression parses"),
+        obs::RecordingRule::new(
+            "subscription:records:rate8",
+            "sum by (subscription) (rate(commgraph_subscription_records_total[8]))",
+        )
+        .expect("rule expression parses"),
+    ]);
     let alerts = Arc::new(obs::AlertEngine::new(o.clone()));
     alerts.add_rules(obs::alert::default_pack(run.records.len() as f64));
 
@@ -497,6 +592,9 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
     // registry, continuing from the analyzer's window-roll ticks.
     let tsdb_alert = tsdb_alert_report(&scraper, &alerts, analyzer.tick());
 
+    // Query-engine overhead against the same fully populated store.
+    let query = query_report(&scraper, &["engine:records:rate8", "subscription:records:rate8"]);
+
     // Live self-scrape over HTTP.
     let serve = serve_report(&registry, &tracer, &store, &alerts);
 
@@ -538,6 +636,7 @@ fn stage_report(workers: usize, scale: f64, minutes: u64) -> (serde_json::Value,
         "monitor": monitor,
         "lintcheck": lint,
         "tsdb_alert": tsdb_alert,
+        "query": query,
         "serve": serve,
         "trace": {
             "spans_retained": dump.spans.len(),
@@ -1098,10 +1197,10 @@ fn main() {
         "faultsim": faultsim,
         "pipeline_run": pipeline,
     });
-    let path = "BENCH_PR9.json";
+    let path = "BENCH_PR10.json";
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
         .expect("write report");
-    let trace_path = "TRACE_PR9.json";
+    let trace_path = "TRACE_PR10.json";
     std::fs::write(trace_path, trace_json).expect("write trace");
     println!(
         "\nwrote {path} and {trace_path} (host has {cores} core(s); speedups need \

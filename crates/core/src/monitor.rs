@@ -289,8 +289,7 @@ impl SecurityMonitor {
                                     &[("reason", reason)],
                                 );
                             }
-                            self.phase =
-                                Phase::Learning { windows_done: done, records: learned };
+                            self.phase = Phase::Learning { windows_done: done, records: learned };
                             return;
                         }
                     };
@@ -444,11 +443,11 @@ impl SecurityMonitor {
             Ok(m) => m,
             Err(e) => return Err((records, e.to_string())),
         };
-        let threshold = match model.calibrate_threshold(&windows_graphs[1..], self.cfg.anomaly_margin)
-        {
-            Ok(t) => t,
-            Err(e) => return Err((records, e.to_string())),
-        };
+        let threshold =
+            match model.calibrate_threshold(&windows_graphs[1..], self.cfg.anomaly_margin) {
+                Ok(t) => t,
+                Err(e) => return Err((records, e.to_string())),
+            };
         Ok(Baseline { segmentation, policy, model, threshold, previous_window: None })
     }
 }

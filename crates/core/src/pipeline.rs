@@ -303,7 +303,10 @@ pub struct WindowAnalysis {
 /// The analyzer is also the deterministic tick source for metrics history
 /// and alerting: attach a [`Scraper`] and [`AlertEngine`] with
 /// [`WindowAnalyzer::with_telemetry`] and every analyzed window advances one
-/// logical tick — scrape first, evaluate second. Ticks never read the clock,
+/// logical tick — scrape first (which also evaluates any recording rules
+/// installed on the scraper, writing their synthetic series at the same
+/// tick), evaluate alerts second, so alert expressions can reference
+/// rule-produced series from the current tick. Ticks never read the clock,
 /// so the same input stream produces a bit-identical alert transition
 /// sequence on every run.
 #[derive(Debug)]
@@ -794,6 +797,16 @@ mod tests {
 
         let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
         let scraper = Arc::new(Scraper::new(registry.clone(), store));
+        // The analyzer's tick loop evaluates recording rules implicitly:
+        // each scrape writes this synthetic per-tick series back into the
+        // store, at the same tick as the registry samples it derives from.
+        scraper.add_recording_rule(
+            obs::RecordingRule::new(
+                "pipeline:late_records:delta1",
+                "delta(commgraph_pipeline_late_records_total[1])",
+            )
+            .unwrap(),
+        );
         let alerts = Arc::new(AlertEngine::new(o.clone()));
         // Total records never move between ticks once ingest is done, so
         // this threshold fires as soon as its hold elapses.
@@ -827,6 +840,16 @@ mod tests {
             vec![(1, obs::AlertState::Pending), (2, obs::AlertState::Firing)],
             "deterministic transition sequence"
         );
+        // The recording rule ran once per window tick, appending its
+        // synthetic series at the same ticks as the scraped samples.
+        assert_eq!(scraper.recording_rule_count(), 1);
+        let recorded = scraper.store().query(&obs::Query {
+            name: Some("pipeline:late_records:delta1".to_string()),
+            ..Default::default()
+        });
+        assert_eq!(recorded.len(), 1, "one synthetic series");
+        let ticks: Vec<u64> = recorded[0].points.iter().map(|p| p.0).collect();
+        assert_eq!(ticks, vec![1, 2, 3], "one rule sample per analyzed window");
     }
 
     #[test]

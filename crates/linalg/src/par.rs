@@ -205,10 +205,8 @@ where
                     // Each slot is locked exactly once; a poisoned slot can
                     // only mean another worker unwound mid-`body`, and the
                     // task inside is still intact — recover it.
-                    let task = slots[i]
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .take();
+                    let task =
+                        slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
                     if let Some(task) = task {
                         body(task);
                     }

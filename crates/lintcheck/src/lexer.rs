@@ -513,12 +513,8 @@ mod tests {
             /* fn also_fake() { /* nested { */ still hidden */
             fn real2() {}
         "###;
-        let fns: Vec<&str> = lex(src)
-            .toks
-            .windows(2)
-            .filter(|w| w[0].is_ident("fn"))
-            .map(|w| w[1].text)
-            .collect();
+        let fns: Vec<&str> =
+            lex(src).toks.windows(2).filter(|w| w[0].is_ident("fn")).map(|w| w[1].text).collect();
         assert_eq!(fns, vec!["real", "real2"]);
         let l = lex(src);
         let opens = l.toks.iter().filter(|t| t.is_punct('{')).count();

@@ -225,6 +225,7 @@ impl Config {
             det_prefixes: vec![
                 "crates/obs/src/tsdb.rs".to_string(),
                 "crates/obs/src/alert.rs".to_string(),
+                "crates/obs/src/query.rs".to_string(),
                 "crates/cloudsim/src/net.rs".to_string(),
                 "crates/analytics/".to_string(),
                 "crates/algos/".to_string(),
@@ -245,6 +246,7 @@ pub fn workspace_lock_order() -> Vec<String> {
         "obs::Registry.families",
         "obs::Registry.events",
         "obs::AlertEngine.inner",
+        "obs::Scraper.rules",
         "obs::Tsdb.inner",
         "obs::Tracer.inner",
         "obs::LabelCap.admitted",
@@ -352,8 +354,7 @@ pub fn sweep(cfg: &Config) -> io::Result<Sweep> {
     let mut callgraph_edges = 0usize;
     if interproc {
         let crates = symbols::crate_names(&manifests);
-        let in_scope: Vec<bool> =
-            parsed.iter().map(|f| f.kind == source::FileKind::Lib).collect();
+        let in_scope: Vec<bool> = parsed.iter().map(|f| f.kind == source::FileKind::Lib).collect();
         let index = symbols::index(&parsed, &in_scope, &crates);
         let graph = callgraph::build(&index);
         callgraph_nodes = graph.nodes();

@@ -45,24 +45,24 @@ fn body_sources(file: &SourceFile<'_>, body: (usize, usize)) -> Option<Source> {
         let what = match t.text {
             // `Instant::now(` / `SystemTime::now(` (also matches a bare
             // `Instant::now` passed as a fn pointer, e.g. `.then(Instant::now)`).
-            "now" if i >= 3
-                && toks[i - 1].is_punct(':')
-                && toks[i - 2].is_punct(':')
-                && toks[i - 3].is_ident("Instant") =>
+            "now"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("Instant") =>
             {
                 "Instant::now"
             }
-            "now" if i >= 3
-                && toks[i - 1].is_punct(':')
-                && toks[i - 2].is_punct(':')
-                && toks[i - 3].is_ident("SystemTime") =>
+            "now"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("SystemTime") =>
             {
                 "SystemTime::now"
             }
             // Ambient RNG constructors.
-            "thread_rng" | "from_entropy"
-                if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
-            {
+            "thread_rng" | "from_entropy" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
                 if t.text == "thread_rng" {
                     "thread_rng"
                 } else {

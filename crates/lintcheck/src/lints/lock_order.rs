@@ -75,7 +75,9 @@ pub fn check(
     // guard-returning callee.
     let mut ret_guard: BTreeMap<usize, String> = BTreeMap::new();
     let wants: Vec<usize> = (0..n)
-        .filter(|&i| !index.fns[i].is_test && returns_guard(&index.fns[i], &files[index.fns[i].file_idx]))
+        .filter(|&i| {
+            !index.fns[i].is_test && returns_guard(&index.fns[i], &files[index.fns[i].file_idx])
+        })
         .collect();
     for &i in &wants {
         if let Some(a) = acqs[i].first() {
@@ -135,15 +137,17 @@ pub fn check(
 
     // Transitive lock sets: classes a call to `f` may acquire, at any
     // depth. Plain fixpoint — the graph is small and cycles converge.
-    let mut locks_of: Vec<BTreeSet<String>> = (0..n)
-        .map(|i| acqs[i].iter().map(|a| a.class.clone()).collect())
-        .collect();
+    let mut locks_of: Vec<BTreeSet<String>> =
+        (0..n).map(|i| acqs[i].iter().map(|a| a.class.clone()).collect()).collect();
     loop {
         let mut changed = false;
         for i in 0..n {
             for e in &graph.out[i] {
-                let add: Vec<String> =
-                    locks_of[e.callee].iter().filter(|c| !locks_of[i].contains(*c)).cloned().collect();
+                let add: Vec<String> = locks_of[e.callee]
+                    .iter()
+                    .filter(|c| !locks_of[i].contains(*c))
+                    .cloned()
+                    .collect();
                 if !add.is_empty() {
                     locks_of[i].extend(add);
                     changed = true;
@@ -167,11 +171,8 @@ pub fn check(
         for a in &acqs[i] {
             seen_classes.insert(a.class.clone());
             if rank(&a.class).is_none() {
-                let e = undeclared.entry(a.class.clone()).or_insert((
-                    sym.file.clone(),
-                    a.line,
-                    a.col,
-                ));
+                let e =
+                    undeclared.entry(a.class.clone()).or_insert((sym.file.clone(), a.line, a.col));
                 if (sym.file.as_str(), a.line) < (e.0.as_str(), e.1) {
                     *e = (sym.file.clone(), a.line, a.col);
                 }
@@ -207,10 +208,7 @@ pub fn check(
                 }
             }
             for (inner, line, col, via) in pairs {
-                let through = via
-                    .as_deref()
-                    .map(|q| format!(" through `{q}`"))
-                    .unwrap_or_default();
+                let through = via.as_deref().map(|q| format!(" through `{q}`")).unwrap_or_default();
                 if inner == a.class {
                     out.push(Finding {
                         lint: LintId::LockOrder,
@@ -515,7 +513,8 @@ mod tests {
 
     #[test]
     fn drop_releases_the_guard_early() {
-        let src = "pub struct R { a: Mutex<u32>, b: Mutex<u32> }\nimpl R {\n  pub fn ok(&self) {\n    \
+        let src =
+            "pub struct R { a: Mutex<u32>, b: Mutex<u32> }\nimpl R {\n  pub fn ok(&self) {\n    \
                    let g = self.b.lock().unwrap_or_default();\n    drop(g);\n    \
                    let h = self.a.lock().unwrap_or_default();\n  }\n}";
         let f = run(&[("crates/a/src/m.rs", src)], &["a::R.a", "a::R.b"]);

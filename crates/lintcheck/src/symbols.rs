@@ -249,7 +249,11 @@ pub fn index(
             idx.by_owner_method.entry((owner.clone(), sym.name.clone())).or_default().push(i);
             idx.by_method_name.entry(sym.name.clone()).or_default().push(i);
         } else {
-            idx.by_module.entry(sym.module.clone()).or_default().entry(sym.name.clone()).or_insert(i);
+            idx.by_module
+                .entry(sym.module.clone())
+                .or_default()
+                .entry(sym.name.clone())
+                .or_insert(i);
         }
         idx.fns.push(sym);
         idx.calls.push(calls);
@@ -720,7 +724,9 @@ mod inner {\n\
             ]
         );
         let scrape = &idx.calls[idx.by_qname["obs::tsdb::Tsdb::scrape"]];
-        assert!(scrape.iter().any(|c| matches!(c, CallSite::SelfMethod { name, .. } if name == "lock")));
+        assert!(scrape
+            .iter()
+            .any(|c| matches!(c, CallSite::SelfMethod { name, .. } if name == "lock")));
         assert!(scrape.iter().any(
             |c| matches!(c, CallSite::Path { path, name, .. } if name == "thing" && path == &vec!["other".to_string()])
         ));
@@ -773,10 +779,15 @@ mod inner {\n\
         let idx = index(&[f], &[true], &ws_crates());
         let calls = &idx.calls[0];
         assert_eq!(
-            calls.iter().filter(|c| matches!(c, CallSite::Method { name, .. } if name == "poke")).count(),
+            calls
+                .iter()
+                .filter(|c| matches!(c, CallSite::Method { name, .. } if name == "poke"))
+                .count(),
             2,
             "self.field.poke() is a field method call, not a self method: {calls:?}"
         );
-        assert!(calls.iter().any(|c| matches!(c, CallSite::SelfMethod { name, .. } if name == "assoc")));
+        assert!(calls
+            .iter()
+            .any(|c| matches!(c, CallSite::SelfMethod { name, .. } if name == "assoc")));
     }
 }

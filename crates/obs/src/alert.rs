@@ -96,8 +96,7 @@ impl Selector {
             name: Some(self.name.clone()),
             matchers: self.labels.clone(),
             field: Some(self.field),
-            from: None,
-            to: None,
+            ..Query::default()
         }
     }
 }
@@ -203,6 +202,16 @@ pub enum Condition {
         /// Burn multiple both windows must exceed.
         factor: f64,
     },
+    /// A [`crate::query`] expression evaluated at each tick: true when the
+    /// result is a non-empty vector or a non-zero scalar. This is the
+    /// unified form the other three variants can be lowered to — see
+    /// [`query_pack`] for the expression-based twin of [`default_pack`].
+    Query {
+        /// The source expression (kept for display).
+        src: String,
+        /// The parsed expression.
+        expr: crate::query::Expr,
+    },
 }
 
 /// One declarative alert rule.
@@ -250,9 +259,25 @@ impl AlertRule {
         }
     }
 
+    /// A rule on a query-engine expression, with severity `page`.
+    pub fn query(name: &str, src: &str) -> Result<Self, crate::query::ParseError> {
+        Ok(AlertRule {
+            name: name.to_string(),
+            condition: Condition::Query { src: src.to_string(), expr: crate::query::parse(src)? },
+            for_ticks: 0,
+            severity: "page".to_string(),
+        })
+    }
+
     /// Override the pending hold (builder style).
     pub fn with_for_ticks(mut self, for_ticks: u64) -> Self {
         self.for_ticks = for_ticks;
+        self
+    }
+
+    /// Override the severity tag (builder style).
+    pub fn with_severity(mut self, severity: &str) -> Self {
+        self.severity = severity.to_string();
         self
     }
 }
@@ -618,6 +643,10 @@ fn eval_condition(cond: &Condition, store: &Tsdb, tick: u64) -> (bool, Option<f6
             let slow = slo.burn(store, *slow_ticks, tick);
             (fast > *factor && slow > *factor, Some(fast))
         }
+        Condition::Query { expr, .. } => match crate::query::eval(store, expr, tick) {
+            Ok(v) => (v.is_truthy(), v.first_value()),
+            Err(_) => (false, None),
+        },
     }
 }
 
@@ -679,6 +708,87 @@ pub fn default_pack(expected_records_per_tick: f64) -> Vec<AlertRule> {
             2,
         ),
     ]
+}
+
+/// A dual-window burn expression replicating [`Slo::burn`] for a
+/// fixed-per-tick denominator: `((max(Δbad, 0) / (rate · min(w, max(tick,
+/// 1)))) / budget) > factor`, conjoined over the fast and slow windows.
+/// The budget is embedded pre-computed (`1 - objective` in f64) so the
+/// arithmetic matches the hard-coded path bit for bit.
+fn burn_per_tick_expr(bad: &str, rate: f64, budget: f64, factor: f64, f: u64, s: u64) -> String {
+    let win = |w: u64| {
+        format!(
+            "(clamp_min(increase({bad}[{w}]), 0) / ({rate} * min({w}, max(tick(), 1))) \
+             / {budget} > {factor})"
+        )
+    };
+    format!("{} and {}", win(f), win(s))
+}
+
+/// A dual-window burn expression replicating [`Slo::burn`] for a series
+/// denominator. The extra `increase(total) > 0` conjunct reproduces the
+/// hard-coded "no traffic reads as zero burn" guard, which a bare division
+/// would turn into ±∞.
+fn burn_series_expr(bad: &str, total: &str, budget: f64, factor: f64, f: u64, s: u64) -> String {
+    let win = |w: u64| {
+        format!(
+            "(clamp_min(increase({bad}[{w}]), 0) / increase({total}[{w}]) / {budget} > {factor} \
+             and increase({total}[{w}]) > 0)"
+        )
+    };
+    format!("{} and {}", win(f), win(s))
+}
+
+/// The expression-based twin of [`default_pack`]: the same five rules, same
+/// names, same `for_ticks` and severities, but every condition is a
+/// [`Condition::Query`] expression instead of hard-coded Rust. Produces the
+/// exact same transition sequences as [`default_pack`] on any store (the
+/// `tests/alerting.rs` workload proves this transition-for-transition).
+/// Returns `Err` only if a template expression fails to parse, which the
+/// unit tests rule out.
+pub fn query_pack(
+    expected_records_per_tick: f64,
+) -> Result<Vec<AlertRule>, crate::query::ParseError> {
+    let rate = expected_records_per_tick.max(1.0);
+    Ok(vec![
+        AlertRule::query(
+            "window_roll_lag_high",
+            "commgraph_window_roll_lag_seconds{source=\"pipeline\",field=\"max\"} > 600",
+        )?
+        .with_for_ticks(2),
+        AlertRule::query(
+            "late_records_burn",
+            &burn_per_tick_expr(
+                "commgraph_pipeline_late_records_total",
+                rate,
+                1.0 - 0.99,
+                1.0,
+                2,
+                8,
+            ),
+        )?,
+        AlertRule::query(
+            "dedup_drops_burn",
+            &burn_series_expr(
+                "commgraph_engine_dropped_records_total",
+                "commgraph_engine_records_in_total",
+                1.0 - 0.2,
+                1.0,
+                2,
+                8,
+            ),
+        )?,
+        AlertRule::query(
+            "incremental_savings_stalled",
+            "absent_over_time(commgraph_incremental_savings_seconds{field=\"count\"}[4])",
+        )?
+        .with_severity("ticket"),
+        AlertRule::query(
+            "tsdb_scrape_stalled",
+            "absent_over_time(commgraph_tsdb_samples_total[2])",
+        )?
+        .with_severity("ticket"),
+    ])
 }
 
 #[cfg(test)]
@@ -893,5 +1003,35 @@ mod tests {
         // Absence rules fire on a silent store; that is their contract.
         let transitions = engine.evaluate(1, &db);
         assert!(transitions.iter().all(|t| t.rule.ends_with("_stalled")), "{transitions:?}");
+    }
+
+    #[test]
+    fn query_pack_parses_and_mirrors_default_pack_shape() {
+        let hard = default_pack(1000.0);
+        let exprs = query_pack(1000.0).expect("pack templates parse");
+        assert_eq!(hard.len(), exprs.len());
+        for (h, e) in hard.iter().zip(&exprs) {
+            assert_eq!(h.name, e.name);
+            assert_eq!(h.for_ticks, e.for_ticks, "{}", h.name);
+            assert_eq!(h.severity, e.severity, "{}", h.name);
+            assert!(matches!(e.condition, Condition::Query { .. }), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn query_pack_matches_default_pack_on_an_empty_store() {
+        let db = Tsdb::default();
+        let hard = AlertEngine::new(Obs::noop());
+        hard.add_rules(default_pack(1000.0));
+        let expr = AlertEngine::new(Obs::noop());
+        expr.add_rules(query_pack(1000.0).expect("pack templates parse"));
+        for tick in 1..=6 {
+            let a = hard.evaluate(tick, &db);
+            let b = expr.evaluate(tick, &db);
+            let strip = |v: Vec<Transition>| -> Vec<_> {
+                v.into_iter().map(|t| (t.tick, t.rule, t.from, t.to)).collect()
+            };
+            assert_eq!(strip(a), strip(b), "tick {tick}");
+        }
     }
 }

@@ -68,6 +68,7 @@ pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod names;
+pub mod query;
 pub mod rate;
 pub mod registry;
 pub mod serve;
@@ -79,6 +80,7 @@ pub use crate::alert::{AlertEngine, AlertRule, AlertState, Condition, Slo, SloTo
 pub use crate::cardinality::LabelCap;
 pub use crate::log::{Event, Level, LogFilter};
 pub use crate::metrics::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use crate::query::{EvalError, Expr, ParseError, QueryError, RecordingRule, Sample, Value};
 pub use crate::registry::{MetricKind, MetricSnapshot, Registry, SnapshotValue};
 pub use crate::serve::{IntrospectionServer, ServerHandle};
 pub use crate::span::SpanGuard;

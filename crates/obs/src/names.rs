@@ -239,6 +239,18 @@ pub const METRICS: &[MetricDef] = &[
         labels: &[],
     },
     MetricDef {
+        name: "commgraph_query_rule_eval_seconds",
+        kind: MetricKind::Histogram,
+        help: "Wall-clock seconds per recording-rule evaluation pass.",
+        labels: &[],
+    },
+    MetricDef {
+        name: "commgraph_query_rule_series_total",
+        kind: MetricKind::Counter,
+        help: "Series written per recording-rule evaluation.",
+        labels: &["rule"],
+    },
+    MetricDef {
         name: "commgraph_serve_requests_total",
         kind: MetricKind::Counter,
         help: "HTTP requests served by the introspection server, by endpoint.",

@@ -16,15 +16,26 @@
 //! | `/trace.txt`    | flight-recorder dump as an indented text tree       |
 //! | `/events`       | buffered structured events as JSON                  |
 //! | `/query`        | time-series store query as JSON (needs `with_tsdb`) |
+//! | `/query_range`  | query-language evaluation over a tick range (needs `with_tsdb`) |
 //! | `/alerts`       | alert statuses + transition history as JSON         |
 //! | `/slo`          | SLO burn-rate picture as JSON                       |
 //!
 //! `/query` filters with query-string parameters, all optional and
 //! conjunctive: `name=<family>`, `label.<key>=<value>` (repeatable),
-//! `field=value|count|sum|max|p50|p95|p99`, `from=<tick>`, `to=<tick>` —
-//! e.g. `/query?name=commgraph_subscription_records_total&label.subscription=t-1`.
+//! `field=value|count|sum|max|p50|p95|p99`, `from=<tick>`, `to=<tick>`,
+//! and `limit=<n>` (keep only the newest `n` in-range points per series,
+//! so full-ring dumps are opt-in rather than the default failure mode) —
+//! e.g. `/query?name=commgraph_subscription_records_total&label.subscription=t-1&limit=100`.
 //! Values are taken verbatim (no percent-decoding); metric names and label
 //! values in this workspace are URL-safe by construction.
+//!
+//! `/query_range?expr=<expression>&from=<tick>&to=<tick>&step=<ticks>`
+//! evaluates a [`crate::query`] expression at every step between `from`
+//! (default `1`) and `to` (default the store's last tick) and returns
+//! tick-keyed JSON. `expr` **is** percent-decoded (it carries `{`, `"`,
+//! and spaces); a malformed expression returns `400` with the parse error
+//! in the body. Responses are a pure function of store contents, so
+//! same-seed replays are byte-identical.
 //!
 //! Every request increments `commgraph_serve_requests_total{path=...}` with
 //! the path (query string stripped) normalized to the known endpoint set
@@ -189,6 +200,10 @@ fn handle_conn(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<()> {
                 Some(db) => ("200 OK", "application/json", db.query_json(&parse_query(query))),
                 None => unavailable("no time-series store attached"),
             },
+            "/query_range" => match &ctx.tsdb {
+                Some(db) => query_range_response(db, query),
+                None => unavailable("no time-series store attached"),
+            },
             "/alerts" => match &ctx.alerts {
                 Some(a) => ("200 OK", "application/json", a.alerts_json()),
                 None => unavailable("no alert engine attached"),
@@ -230,6 +245,7 @@ fn parse_query(query: &str) -> Query {
             "field" => q.field = SampleField::parse(value),
             "from" => q.from = value.parse().ok(),
             "to" => q.to = value.parse().ok(),
+            "limit" => q.limit = value.parse().ok(),
             _ => {
                 if let Some(label) = key.strip_prefix("label.") {
                     q.matchers.push((label.to_string(), value.to_string()));
@@ -238,6 +254,71 @@ fn parse_query(query: &str) -> Query {
         }
     }
     q
+}
+
+/// Minimal percent-decoding for `/query_range` expressions: `%XX` byte
+/// escapes and `+` as space. Invalid escapes pass through verbatim (the
+/// parser will reject them with a useful message).
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (
+                    bytes.get(i + 1).and_then(|b| hex(*b)),
+                    bytes.get(i + 2).and_then(|b| hex(*b)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 2;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Evaluate a `/query_range` request: `expr` (percent-decoded), `from`
+/// (default 1), `to` (default the store's last tick), `step` (default 1).
+fn query_range_response(db: &Arc<Tsdb>, query: &str) -> (&'static str, &'static str, String) {
+    let mut expr = None;
+    let (mut from, mut to, mut step) = (1u64, db.last_tick(), 1u64);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => continue,
+        };
+        match key {
+            "expr" => expr = Some(url_decode(value)),
+            "from" => from = value.parse().unwrap_or(from),
+            "to" => to = value.parse().unwrap_or(to),
+            "step" => step = value.parse().unwrap_or(step),
+            _ => {}
+        }
+    }
+    let Some(expr) = expr else {
+        return (
+            "400 Bad Request",
+            "application/json",
+            "{\"error\":\"missing expr parameter\"}".to_string(),
+        );
+    };
+    match crate::query::query_range_json(db, &expr, from, to, step) {
+        Ok(body) => ("200 OK", "application/json", body),
+        Err(e) => (
+            "400 Bad Request",
+            "application/json",
+            format!("{{\"error\":{}}}", export::json_str(&e.to_string())),
+        ),
+    }
 }
 
 /// A dump of the attached tracer, or an empty dump when none is attached
@@ -260,6 +341,7 @@ fn bump_request_counter(registry: &Arc<Registry>, path: &str) {
         "/trace.txt" => "trace.txt",
         "/events" => "events",
         "/query" => "query",
+        "/query_range" => "query_range",
         "/alerts" => "alerts",
         "/slo" => "slo",
         _ => "other",
@@ -404,6 +486,52 @@ mod tests {
         let (_, metrics) = get(addr, "/metrics");
         assert!(metrics.contains("commgraph_serve_requests_total{path=\"query\"} 2"), "{metrics}");
         assert!(metrics.contains("commgraph_serve_requests_total{path=\"alerts\"} 1"), "{metrics}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn query_range_endpoint_evaluates_expressions() {
+        use crate::tsdb::SeriesKey;
+
+        let registry = Arc::new(Registry::new());
+        let db = Arc::new(Tsdb::default());
+        for tick in 1..=4u64 {
+            db.append(SeriesKey::value("demo_total", &[("sub", "a")]), tick, (tick * 10) as f64);
+        }
+        let handle = IntrospectionServer::new(registry.clone())
+            .with_tsdb(db.clone())
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+
+        // `{`, `"` and spaces arrive percent-encoded; `+` means space.
+        let path =
+            "/query_range?expr=rate(demo_total%7Bsub%3D%22a%22%7D%5B2%5D)&from=2&to=4&step=2";
+        let (head, body) = get(addr, path);
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("\"expr\":\"rate(demo_total{sub=\\\"a\\\"}[2])\""), "{body}");
+        assert!(body.contains("\"points\":[[2,5],[4,10]]"), "{body}");
+        let (_, again) = get(addr, path);
+        assert_eq!(body, again, "byte-identical across requests");
+
+        // Defaults: from=1, to=last_tick, step=1.
+        let (_, defaulted) = get(addr, "/query_range?expr=demo_total");
+        assert!(defaulted.contains("\"from\":1,\"to\":4,\"step\":1"), "{defaulted}");
+
+        let (head, err) = get(addr, "/query_range?expr=rate(demo_total)");
+        assert!(head.starts_with("HTTP/1.0 400"), "{head}");
+        assert!(err.contains("\"error\":"), "{err}");
+        let (head, _) = get(addr, "/query_range");
+        assert!(head.starts_with("HTTP/1.0 400"), "missing expr: {head}");
+
+        let (_, limited) = get(addr, "/query?name=demo_total&limit=2");
+        assert!(limited.contains("[[3,30],[4,40]]") && !limited.contains("[1,10]"), "{limited}");
+
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("commgraph_serve_requests_total{path=\"query_range\"} 5"),
+            "{metrics}"
+        );
         handle.shutdown();
     }
 

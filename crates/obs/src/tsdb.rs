@@ -234,6 +234,9 @@ pub struct Query {
     pub from: Option<u64>,
     /// Inclusive upper tick bound.
     pub to: Option<u64>,
+    /// Keep only the newest this-many in-range points per series (`None`
+    /// returns the full retained history).
+    pub limit: Option<usize>,
 }
 
 impl Query {
@@ -348,14 +351,19 @@ impl Tsdb {
             .series
             .iter()
             .filter(|(key, _)| q.matches(key))
-            .map(|(key, series)| SeriesData {
-                key: key.clone(),
-                points: series
+            .map(|(key, series)| {
+                let mut points: Vec<(u64, f64)> = series
                     .points()
                     .filter(|(t, _)| {
                         q.from.is_none_or(|f| *t >= f) && q.to.is_none_or(|to| *t <= to)
                     })
-                    .collect(),
+                    .collect();
+                if let Some(limit) = q.limit {
+                    if points.len() > limit {
+                        points.drain(..points.len() - limit);
+                    }
+                }
+                SeriesData { key: key.clone(), points }
             })
             .collect()
     }
@@ -448,6 +456,19 @@ pub struct Scraper {
     series_gauge: Gauge,
     memory_gauge: Gauge,
     evicted_seen: AtomicU64,
+    /// Recording rules evaluated after each registry pass, with their
+    /// per-rule output-series counters. Lock class `obs::Scraper.rules`:
+    /// held across `Tsdb::append`, so it precedes `obs::Tsdb.inner` in the
+    /// workspace lock order.
+    rules: Mutex<Vec<RuleSlot>>,
+    rule_eval_seconds: Histogram,
+}
+
+/// One installed recording rule plus its output-series counter.
+#[derive(Debug)]
+struct RuleSlot {
+    rule: crate::query::RecordingRule,
+    series_total: Counter,
 }
 
 impl Scraper {
@@ -482,10 +503,47 @@ impl Scraper {
                 "Estimated heap bytes held by the time-series store.",
                 &[],
             ),
+            rule_eval_seconds: o.histogram(
+                "commgraph_query_rule_eval_seconds",
+                "Wall-clock seconds per recording-rule evaluation pass.",
+                &[],
+            ),
             registry,
             store,
             evicted_seen: AtomicU64::new(0),
+            rules: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Install a recording rule: from the next [`Scraper::scrape`] onward
+    /// its expression is evaluated each tick (after the registry pass, so
+    /// it sees the tick's fresh samples) and the result is appended to the
+    /// store as synthetic series named after the rule. Output series go
+    /// through [`Tsdb::append`] and are therefore subject to the same
+    /// eviction and max-series accounting as scraped ones.
+    pub fn add_recording_rule(&self, rule: crate::query::RecordingRule) {
+        let series_total = Obs::new(self.registry.clone()).counter(
+            "commgraph_query_rule_series_total",
+            "Series written per recording-rule evaluation.",
+            &[("rule", rule.name())],
+        );
+        let mut rules = self.rules.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        rules.push(RuleSlot { rule, series_total });
+    }
+
+    /// Install several recording rules at once.
+    pub fn add_recording_rules(
+        &self,
+        rules: impl IntoIterator<Item = crate::query::RecordingRule>,
+    ) {
+        for r in rules {
+            self.add_recording_rule(r);
+        }
+    }
+
+    /// Number of installed recording rules.
+    pub fn recording_rule_count(&self) -> usize {
+        self.rules.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).len()
     }
 
     /// The backing store.
@@ -527,6 +585,23 @@ impl Scraper {
                         appended += 1;
                     }
                 }
+            }
+        }
+        // Recording rules run after the registry pass so each rule sees
+        // this tick's fresh samples; outputs land at the same tick. An
+        // erroring rule writes nothing and its counter does not advance.
+        {
+            // lint:allow(clock-hygiene) self-timing of the rule pass; outputs are stamped with the injected tick
+            let r0 = std::time::Instant::now();
+            let rules = self.rules.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            for slot in rules.iter() {
+                if let Ok(n) = slot.rule.record(&self.store, tick) {
+                    slot.series_total.add(n as u64);
+                    appended += n;
+                }
+            }
+            if !rules.is_empty() {
+                self.rule_eval_seconds.record(r0.elapsed().as_secs_f64());
             }
         }
         self.samples.add(appended as u64);

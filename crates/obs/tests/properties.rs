@@ -238,3 +238,89 @@ fn spans_feed_stage_histograms_through_the_handle() {
         assert!(text.contains(&format!("stage=\"{stage}\"")), "{stage} exported");
     }
 }
+
+/// Property: `sum by (sub) (...)` conserves totals. For random counter
+/// histories over random label sets, grouping by the label and summing the
+/// groups equals the ungrouped `sum(...)` at every tick — aggregation moves
+/// samples between buckets, never creates or destroys value.
+#[test]
+fn sum_by_conserves_totals_over_random_histories() {
+    use obs::tsdb::{SeriesKey, Tsdb, TsdbConfig};
+
+    let mut rnd = lcg();
+    for case in 0..20 {
+        let store = Tsdb::new(TsdbConfig::default());
+        let subs = 1 + (rnd() * 5.0) as usize;
+        let ticks = 2 + (rnd() * 20.0) as u64;
+        for s in 0..subs {
+            let sub = format!("s{s}");
+            let mut total = 0.0f64;
+            for tick in 1..=ticks {
+                total += (rnd() * 50.0).floor();
+                // Random gaps: skip ~1 in 4 ticks after the first.
+                if tick == 1 || rnd() > 0.25 {
+                    store.append(SeriesKey::value("req_total", &[("sub", &sub)]), tick, total);
+                }
+            }
+        }
+        let grouped = obs::query::parse("sum by (sub) (req_total)").expect("parses");
+        let flat = obs::query::parse("sum(req_total)").expect("parses");
+        for tick in 1..=ticks {
+            let by = match obs::query::eval(&store, &grouped, tick).expect("evaluates") {
+                obs::Value::Vector(v) => v.iter().map(|s| s.value).sum::<f64>(),
+                obs::Value::Scalar(_) => unreachable!("aggregation yields a vector"),
+            };
+            let all = match obs::query::eval(&store, &flat, tick).expect("evaluates") {
+                obs::Value::Vector(v) => v.iter().map(|s| s.value).sum::<f64>(),
+                obs::Value::Scalar(_) => unreachable!("aggregation yields a vector"),
+            };
+            assert!(
+                (by - all).abs() < 1e-9 * all.abs().max(1.0),
+                "case {case} tick {tick}: sum by (sub) = {by}, sum = {all}"
+            );
+        }
+    }
+}
+
+/// Property: `rate` and `increase` of a monotone counter are non-negative
+/// at every tick for every window size — the window arithmetic can never
+/// manufacture a decrease from a counter that only goes up.
+#[test]
+fn rate_of_monotone_counter_is_non_negative() {
+    use obs::tsdb::{SeriesKey, Tsdb, TsdbConfig};
+
+    let mut rnd = lcg();
+    for case in 0..20 {
+        let store = Tsdb::new(TsdbConfig::default());
+        let ticks = 3 + (rnd() * 25.0) as u64;
+        let mut total = 0.0f64;
+        for tick in 1..=ticks {
+            total += (rnd() * 100.0).floor();
+            if tick == 1 || rnd() > 0.3 {
+                store.append(SeriesKey::value("mono_total", &[]), tick, total);
+            }
+        }
+        for window in [1u64, 2, 3, 7, 50] {
+            for (func, src) in [
+                ("rate", format!("rate(mono_total[{window}])")),
+                ("increase", format!("increase(mono_total[{window}])")),
+            ] {
+                let expr = obs::query::parse(&src).expect("parses");
+                for tick in 1..=ticks + 2 {
+                    if let obs::Value::Vector(v) =
+                        obs::query::eval(&store, &expr, tick).expect("evaluates")
+                    {
+                        for s in &v {
+                            assert!(
+                                s.value >= 0.0,
+                                "case {case}: {func}[{window}] at tick {tick} went \
+                                 negative: {}",
+                                s.value
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

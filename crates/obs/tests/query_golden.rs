@@ -1,0 +1,143 @@
+//! Golden parser + evaluator snapshots for `obs::query` against a
+//! deterministic fixture store.
+//!
+//! Each expression is parsed (the typed AST's `Debug` form is part of the
+//! snapshot) and evaluated as a range query over the fixture's six ticks;
+//! the rendered document is compared byte-for-byte against the committed
+//! snapshot. After an intentional output change, regenerate with:
+//!
+//! ```text
+//! OBS_QUERY_UPDATE_GOLDEN=1 cargo test -p commgraph-obs --test query_golden
+//! ```
+//!
+//! and review the diff like any other source change. Because the evaluator
+//! is clock-free and the fixture is hand-written, any byte drift here is a
+//! behaviour change in the lexer, parser, or evaluator — never noise.
+
+use obs::tsdb::{SampleField, SeriesKey, Tsdb, TsdbConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const TICKS: u64 = 6;
+
+/// A hand-written store: two counter series with different slopes (one with
+/// a gap), a gauge that moves both ways, and a histogram family with the
+/// quantile fields `histogram_quantile` consumes.
+fn fixture_store() -> Tsdb {
+    let store = Tsdb::new(TsdbConfig::default());
+    for tick in 1..=TICKS {
+        store.append(SeriesKey::value("requests_total", &[("sub", "a")]), tick, (tick * 10) as f64);
+        // `sub="b"` skips tick 3 — instant selectors must carry the newest
+        // sample at or before the tick across the gap.
+        if tick != 3 {
+            store.append(
+                SeriesKey::value("requests_total", &[("sub", "b")]),
+                tick,
+                (tick * 4) as f64,
+            );
+        }
+        let swing = if tick % 2 == 0 { 2.5 } else { -1.5 };
+        store.append(SeriesKey::value("temp", &[]), tick, 20.0 + tick as f64 * swing);
+        for (field, scale) in [
+            (SampleField::Count, 1.0),
+            (SampleField::Sum, 0.25),
+            (SampleField::P50, 0.01),
+            (SampleField::P95, 0.05),
+            (SampleField::P99, 0.09),
+            (SampleField::Max, 0.1),
+        ] {
+            store.append(
+                SeriesKey { name: "lag_seconds".to_string(), labels: vec![], field },
+                tick,
+                tick as f64 * scale,
+            );
+        }
+    }
+    store
+}
+
+/// Expressions covering every construct the engine supports: selectors and
+/// matchers (exact, negated, glob), every range function, aggregation with
+/// `by`/`without`, arithmetic, comparisons, quantiles, scalar helpers, and
+/// a few parse errors (their positions are part of the contract).
+const EXPRS: &[&str] = &[
+    "requests_total",
+    "requests_total{sub=\"a\"}",
+    "requests_total{sub!=\"a\"}",
+    "requests_total{sub=\"*\"}",
+    "rate(requests_total[2])",
+    "increase(requests_total[3])",
+    "delta(temp[2])",
+    "avg_over_time(temp[3])",
+    "max_over_time(temp[3])",
+    "min_over_time(temp[3])",
+    "count_over_time(requests_total{sub=\"b\"}[3])",
+    "absent_over_time(missing_family[2])",
+    "sum by (sub) (rate(requests_total[2]))",
+    "sum(requests_total)",
+    "count without (sub) (requests_total)",
+    "histogram_quantile(0.99, lag_seconds)",
+    "requests_total > 25",
+    "rate(requests_total[2]) * 60 + 1",
+    "clamp_max(temp, 21) and requests_total{sub=\"a\"} > 0",
+    "min(tick(), 4)",
+    "-temp unless missing_family",
+    // Parse errors: the reported position and message are snapshotted too.
+    "rate(requests_total)",
+    "sum by (requests_total",
+    "1 +",
+    "requests_total{sub~\"a\"}",
+];
+
+fn render_snapshot() -> String {
+    let store = fixture_store();
+    let mut out = String::new();
+    for src in EXPRS {
+        let _ = writeln!(out, "== {src}");
+        match obs::query::parse(src) {
+            Ok(expr) => {
+                let _ = writeln!(out, "ast: {expr:?}");
+                match obs::query::query_range_json(&store, src, 1, TICKS, 1) {
+                    Ok(json) => {
+                        let _ = writeln!(out, "range: {json}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "eval error: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "parse error: {e}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn parser_and_evaluator_match_the_committed_snapshot() {
+    let got = render_snapshot();
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join("query.txt");
+    if std::env::var_os("OBS_QUERY_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "golden mismatch; if intentional, regenerate with \
+         OBS_QUERY_UPDATE_GOLDEN=1 cargo test -p commgraph-obs --test query_golden"
+    );
+}
+
+/// The snapshot itself must be deterministic: rendering twice against two
+/// independently built stores produces identical bytes.
+#[test]
+fn snapshot_rendering_is_deterministic() {
+    assert_eq!(render_snapshot(), render_snapshot());
+}

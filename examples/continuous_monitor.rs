@@ -13,8 +13,10 @@
 use commgraph::cloudsim::attack::{AttackKind, AttackScenario};
 use commgraph::cloudsim::{ClusterPreset, SimConfig, Simulator};
 use commgraph::monitor::{MonitorConfig, MonitorEvent, SecurityMonitor};
-use commgraph::obs::alert::default_pack;
-use commgraph::obs::{trace, AlertEngine, Obs, Registry, Scraper, Tracer, Tsdb, TsdbConfig};
+use commgraph::obs::alert::query_pack;
+use commgraph::obs::{
+    trace, AlertEngine, Obs, RecordingRule, Registry, Scraper, Tracer, Tsdb, TsdbConfig,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -46,6 +48,15 @@ fn main() {
     // Metrics history + alerting: each closed window is one logical tick.
     let store = Arc::new(Tsdb::new(TsdbConfig::default()));
     let scraper = Arc::new(Scraper::new(registry, store.clone()));
+    // Each scrape also evaluates this recording rule, materialising the
+    // per-window violation delta as its own series in the store.
+    scraper.add_recording_rule(
+        RecordingRule::new(
+            "monitor:violations:delta1",
+            "delta(commgraph_monitor_violations_total[1])",
+        )
+        .expect("rule expression parses"),
+    );
     let alerts = Arc::new(AlertEngine::new(obs.clone()));
     let mut monitor = SecurityMonitor::with_obs(
         MonitorConfig { window_len: 1200, learn_windows: 3, ..Default::default() },
@@ -54,9 +65,9 @@ fn main() {
     );
     monitor.max_violation_events = 3; // headline examples only
 
-    // The default pack's freshness SLO is sized by expected records per
-    // tick; each WindowSummary below advances one tick.
-    alerts.add_rules(default_pack(2000.0));
+    // The expression twin of the default pack: the freshness SLO is sized by
+    // expected records per tick; each WindowSummary below advances one tick.
+    alerts.add_rules(query_pack(2000.0).expect("pack expressions parse"));
     let mut tick = 0u64;
 
     println!("streaming two hours of '{}' telemetry through the monitor …\n", preset.name());
@@ -132,6 +143,26 @@ fn main() {
         println!("\nmetric alerts firing after {tick} ticks:");
         for a in firing {
             println!("  ⚠ {} [{}] since tick {}", a.rule, a.severity, a.since_tick);
+        }
+    }
+
+    // Exit report: the questions an on-call engineer asks of the history,
+    // phrased as query expressions and evaluated in-process against the
+    // scraped TSDB (the HTTP twin of this is /query_range — see the
+    // live_dashboard example).
+    println!("\n── named queries over the scraped history ──────────────────────");
+    let named_queries: [(&str, &str); 3] = [
+        ("violations per window", "delta(commgraph_monitor_violations_total[1])"),
+        (
+            "anomaly score, 3-window max",
+            "max_over_time(commgraph_monitor_anomaly_score{field=\"max\"}[3])",
+        ),
+        ("recorded violation delta", "monitor:violations:delta1"),
+    ];
+    for (label, expr) in named_queries {
+        match commgraph::obs::query::query_range_json(&store, expr, 1, tick, 1) {
+            Ok(body) => println!("{label}\n  expr: {expr}\n  {body}"),
+            Err(e) => println!("{label}\n  expr: {expr}\n  error: {e}"),
         }
     }
 }

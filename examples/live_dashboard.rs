@@ -22,9 +22,10 @@ use commgraph::cloudsim::{ClusterPreset, Simulator};
 use commgraph::graph::Facet;
 use commgraph::linalg::quantize::{log_normalize, to_ascii};
 use commgraph::linalg::Matrix;
-use commgraph::obs::alert::default_pack;
+use commgraph::obs::alert::query_pack;
 use commgraph::obs::{
-    trace, AlertEngine, IntrospectionServer, Obs, Registry, Scraper, Tracer, Tsdb, TsdbConfig,
+    trace, AlertEngine, IntrospectionServer, Obs, RecordingRule, Registry, Scraper, Tracer, Tsdb,
+    TsdbConfig,
 };
 use commgraph::pipeline::{Pipeline, PipelineConfig};
 use std::io::{Read as _, Write as _};
@@ -58,6 +59,15 @@ fn main() {
     // evaluated against the fresh history.
     let store = Arc::new(Tsdb::new(TsdbConfig::default()));
     let scraper = Arc::new(Scraper::new(registry.clone(), store.clone()));
+    // A recording rule runs inside every scrape, writing the per-tick
+    // watermark progress back into the TSDB as its own queryable series.
+    scraper.add_recording_rule(
+        RecordingRule::new(
+            "pipeline:watermark:delta1",
+            "delta(commgraph_ingest_watermark_seconds{source=\"pipeline\"}[1])",
+        )
+        .expect("rule expression parses"),
+    );
     let alerts = Arc::new(AlertEngine::new(obs.clone()));
     let mut pipeline = Pipeline::new(PipelineConfig {
         facet: Facet::Ip,
@@ -88,7 +98,13 @@ fn main() {
         "volume moves"
     );
     let seq = &out.sequence;
-    alerts.add_rules(default_pack(out.total_records as f64 / seq.len().max(1) as f64));
+    // The expression-based twin of the default alert pack: same rules, same
+    // transitions, but every condition is a query the engine parses and
+    // evaluates per tick.
+    alerts.add_rules(
+        query_pack(out.total_records as f64 / seq.len().max(1) as f64)
+            .expect("pack expressions parse"),
+    );
     for (i, g) in seq.graphs().iter().enumerate() {
         let tick = i as u64 + 1;
         scraper.scrape(tick);
@@ -148,8 +164,35 @@ fn main() {
         .start("127.0.0.1:0")
         .expect("bind an ephemeral port");
     println!("\nintrospection server listening on http://{}", server.addr());
-    println!("── /metrics (scraped over HTTP) ────────────────────────────────");
-    print!("{}", http_get(server.addr(), "/metrics"));
+
+    // Instead of dumping the raw /metrics text, ask the query engine the
+    // questions a dashboard actually asks — each one served over real HTTP
+    // via /query_range, exactly as curl would see it.
+    println!("── named queries (served over /query_range) ────────────────────");
+    let named_queries: [(&str, &str); 4] = [
+        (
+            "ingest watermark (high-water telemetry seconds)",
+            "commgraph_ingest_watermark_seconds{source=\"pipeline\"}",
+        ),
+        (
+            "window roll-lag p99 (seconds)",
+            "histogram_quantile(0.99, commgraph_window_roll_lag_seconds{source=\"pipeline\"})",
+        ),
+        (
+            "late-record drop ratio",
+            "commgraph_pipeline_dropped_late_records_total \
+             / clamp_min(commgraph_pipeline_late_records_total, 1)",
+        ),
+        ("recorded per-tick watermark progress", "pipeline:watermark:delta1"),
+    ];
+    for (label, expr) in named_queries {
+        let body = http_get(
+            server.addr(),
+            &format!("/query_range?expr={}&from=1&to={}&step=1", url_encode(expr), seq.len()),
+        );
+        println!("{label}\n  expr: {expr}\n  {}", body.trim_end());
+    }
+    println!();
 
     println!("── /alerts (scraped over HTTP) ─────────────────────────────────");
     println!("{}", http_get(server.addr(), "/alerts"));
@@ -178,6 +221,20 @@ fn main() {
             println!("  ⚠ {} [{}] since tick {}", a.rule, a.severity, a.since_tick);
         }
     }
+}
+
+/// Percent-encode an expression for use as a `/query_range?expr=` value.
+fn url_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'(' | b')' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
 }
 
 /// Minimal HTTP/1.0 GET against our own introspection server.

@@ -134,3 +134,72 @@ fn lag_fault_fires_bit_identically_across_runs_over_http() {
     assert_eq!(alert["rule"].as_str(), Some("subscription_roll_lag_high"));
     assert_eq!(alert["state"].as_str(), Some("inactive"), "healthy again by the last tick");
 }
+
+/// The expression-based pack is a behavioural twin of the hard-coded one:
+/// over the real sharded-engine workload (lag fault included), two alert
+/// engines — one running [`obs::alert::default_pack`], one running
+/// [`obs::alert::query_pack`] plus an expression twin of the roll-lag
+/// threshold — evaluate the same store on the same ticks and walk the
+/// exact same transition sequence.
+#[test]
+fn query_pack_matches_hard_coded_rules_on_the_real_workload() {
+    const RATE: f64 = 20.0; // records per window batch
+
+    let registry = Arc::new(obs::Registry::new());
+    let o = obs::Obs::new(registry.clone());
+    let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
+    let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
+
+    let hard = Arc::new(obs::AlertEngine::new(o.clone()));
+    for rule in obs::alert::default_pack(RATE) {
+        hard.add_rule(rule);
+    }
+    hard.add_rule(obs::AlertRule::threshold(
+        "subscription_roll_lag_high",
+        Selector::value("commgraph_subscription_roll_lag_seconds")
+            .with_label("subscription", "tenant-a"),
+        Op::Gt,
+        600.0,
+        1,
+    ));
+
+    let expr = Arc::new(obs::AlertEngine::new(o.clone()));
+    for rule in obs::alert::query_pack(RATE).expect("pack expressions parse") {
+        expr.add_rule(rule);
+    }
+    expr.add_rule(
+        obs::AlertRule::query(
+            "subscription_roll_lag_high",
+            "commgraph_subscription_roll_lag_seconds{subscription=\"tenant-a\"} > 600",
+        )
+        .expect("twin expression parses")
+        .with_for_ticks(1),
+    );
+
+    let mut front = ShardedEngine::new(ShardedConfig {
+        obs: o,
+        engine: EngineConfig { window_len: WINDOW_LEN, ..Default::default() },
+        ..Default::default()
+    })
+    .unwrap();
+    for w in 0..WINDOWS {
+        front.ingest("tenant-a", &window_batch(w)).unwrap();
+        let tick = w + 1;
+        scraper.scrape(tick);
+        hard.evaluate(tick, &store);
+        expr.evaluate(tick, &store);
+    }
+    front.finish().unwrap();
+
+    let strip = |e: &obs::AlertEngine| -> Vec<(u64, String, obs::AlertState, obs::AlertState)> {
+        e.history().iter().map(|t| (t.tick, t.rule.clone(), t.from, t.to)).collect()
+    };
+    let hard_seq = strip(&hard);
+    assert_eq!(hard_seq, strip(&expr), "expression twins walk the same transition sequence");
+    assert!(
+        hard_seq.iter().any(|(_, rule, _, to)| {
+            rule == "subscription_roll_lag_high" && *to == obs::AlertState::Firing
+        }),
+        "the injected lag fault actually fires inside the compared sequence"
+    );
+}

@@ -182,6 +182,16 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
     let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
     let alerts = Arc::new(obs::AlertEngine::new(o.clone()));
     alerts.add_rules(commgraph::obs::alert::default_pack(1000.0));
+    // A recording rule makes the query families part of the single-scrape
+    // contract: `commgraph_query_rule_series_total` registers on install,
+    // and the eval pass records `commgraph_query_rule_eval_seconds`.
+    scraper.add_recording_rule(
+        obs::RecordingRule::new(
+            "subscription:records:rate2",
+            "rate(commgraph_subscription_records_total[2])",
+        )
+        .expect("rule expression parses"),
+    );
 
     exercise_everything(&o, &scraper, &alerts);
     record_lint_sweep(&registry);
@@ -297,5 +307,74 @@ fn one_scrape_serves_every_canonical_family_and_trace_nests() {
         complete.iter().any(|e| e["name"].as_str() == Some("monitor_window")
             && e["args"]["parent_id"].as_str() == Some(mon_id)),
         "monitor windows nest under monitor_run"
+    );
+}
+
+/// `/query_range` is replay-stable: two fully independent runs of the same
+/// seeded workload — separate registries, stores, scrapers, servers, ports —
+/// serve **byte-identical** bodies over real HTTP for the same expression,
+/// including the synthetic series a recording rule wrote back per tick.
+#[test]
+fn query_range_serves_byte_identical_documents_across_same_seed_runs() {
+    fn run_once() -> (String, String) {
+        let registry = Arc::new(obs::Registry::new());
+        let o = obs::Obs::new(registry.clone());
+        let store = Arc::new(obs::Tsdb::new(obs::TsdbConfig::default()));
+        let scraper = Arc::new(obs::Scraper::new(registry.clone(), store.clone()));
+        scraper.add_recording_rule(
+            obs::RecordingRule::new(
+                "subscription:records:rate2",
+                "rate(commgraph_subscription_records_total[2])",
+            )
+            .expect("rule expression parses"),
+        );
+
+        let preset = ClusterPreset::MicroserviceBench;
+        let mut sim =
+            Simulator::new(preset.topology_scaled(0.25), preset.default_sim_config()).unwrap();
+        let records = sim.collect(8);
+        let mut sharded = ShardedEngine::new(ShardedConfig {
+            obs: o,
+            engine: EngineConfig { workers: 2, ..Default::default() },
+            ..Default::default()
+        })
+        .unwrap();
+        let mut tick = 0;
+        for chunk in records.chunks(512) {
+            sharded.ingest("tenant-a", chunk).unwrap();
+            tick += 1;
+            scraper.scrape(tick);
+        }
+        sharded.finish().unwrap();
+
+        let server = obs::IntrospectionServer::new(registry)
+            .with_tsdb(store)
+            .start("127.0.0.1:0")
+            .expect("bind an ephemeral port");
+        let addr = server.addr();
+        // rate over the raw counter, percent-encoded; and the recording
+        // rule's synthetic series read back as a plain selector.
+        let raw = http_get(
+            addr,
+            "/query_range?expr=rate(commgraph_subscription_records_total%7B\
+             subscription%3D%22tenant-a%22%7D%5B2%5D)&step=1",
+        );
+        let recorded = http_get(addr, "/query_range?expr=subscription%3Arecords%3Arate2");
+        server.shutdown();
+        (raw, recorded)
+    }
+
+    let (raw_a, rec_a) = run_once();
+    let (raw_b, rec_b) = run_once();
+    assert_eq!(raw_a, raw_b, "raw-counter rate query replays byte-identically");
+    assert_eq!(rec_a, rec_b, "recording-rule series query replays byte-identically");
+
+    let doc: Value = serde_json::from_str(&raw_a).expect("valid /query_range JSON");
+    let series = doc["series"].as_array().expect("series array");
+    assert!(!series.is_empty(), "the seeded workload produced a rate series");
+    let rec_doc: Value = serde_json::from_str(&rec_a).expect("valid recorded-series JSON");
+    assert!(
+        !rec_doc["series"].as_array().expect("series array").is_empty(),
+        "the recording rule wrote ticks the range query reads back"
     );
 }
